@@ -1,0 +1,124 @@
+// Command ptrack-eval reproduces the paper's evaluation: it runs every
+// figure experiment on the synthetic substrate and prints the resulting
+// tables (the data behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ptrack-eval                 # all experiments, paper-scale durations
+//	ptrack-eval -fig 7a -fig 7b # a subset
+//	ptrack-eval -users 10 -seed 3 -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ptrack/internal/eval"
+)
+
+// experiment binds a figure id to its runner.
+type experiment struct {
+	id  string
+	run func(eval.Options) *eval.Table
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"1a", func(o eval.Options) *eval.Table { t, _ := eval.Fig1aOvercount(o); return t }},
+		{"1b", func(o eval.Options) *eval.Table { t, _ := eval.Fig1bOvercountMobile(o); return t }},
+		{"1c", func(o eval.Options) *eval.Table { t, _ := eval.Fig1cSpoof(o); return t }},
+		{"1d", func(o eval.Options) *eval.Table { t, _ := eval.Fig1dNaiveStride(o); return t }},
+		{"3", func(o eval.Options) *eval.Table { t, _ := eval.Fig3CriticalPoints(o); return t }},
+		{"6a", func(o eval.Options) *eval.Table { t, _ := eval.Fig6aAccuracy(o); return t }},
+		{"6b", func(o eval.Options) *eval.Table { t, _ := eval.Fig6bBreakdown(o); return t }},
+		{"7a", func(o eval.Options) *eval.Table { t, _ := eval.Fig7aInterference(o); return t }},
+		{"7b", func(o eval.Options) *eval.Table { t, _ := eval.Fig7bSpoof(o); return t }},
+		{"8a", func(o eval.Options) *eval.Table { t, _ := eval.Fig8aStrideCDF(o); return t }},
+		{"8b", func(o eval.Options) *eval.Table { t, _ := eval.Fig8bSelfTraining(o); return t }},
+		{"9", func(o eval.Options) *eval.Table { t, _ := eval.Fig9Navigation(o); return t }},
+		// Extensions beyond the paper's figures.
+		{"adversary", func(o eval.Options) *eval.Table { t, _ := eval.AdversarialSpoof(o); return t }},
+		{"surface", func(o eval.Options) *eval.Table { t, _ := eval.SurfaceSweep(o); return t }},
+		{"zoo", func(o eval.Options) *eval.Table { t, _ := eval.BaselineZoo(o); return t }},
+		{"stability", func(o eval.Options) *eval.Table { t, _ := eval.SeedStability(o, 5); return t }},
+		{"mapmatch", func(o eval.Options) *eval.Table { t, _ := eval.MapMatchCaseStudy(o); return t }},
+		{"gaits", func(o eval.Options) *eval.Table { t, _ := eval.GaitVariants(o); return t }},
+		{"loosemount", func(o eval.Options) *eval.Table { t, _ := eval.LooseMount(o); return t }},
+		{"dutycycle", func(o eval.Options) *eval.Table { t, _ := eval.DutyCycle(o); return t }},
+	}
+}
+
+type figList []string
+
+func (f *figList) String() string     { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptrack-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ptrack-eval", flag.ContinueOnError)
+	var figs figList
+	var (
+		seed  = fs.Int64("seed", 1, "experiment seed")
+		users = fs.Int("users", 5, "simulated users")
+		scale = fs.Float64("scale", 1, "duration scale (1 = paper-like)")
+	)
+	fs.Var(&figs, "fig", "figure id to run (repeatable; default: all)")
+	dataDir := fs.String("data", "", "also write plot-ready figure data CSVs to this directory")
+	mdOut := fs.String("md", "", "write the tables as a Markdown report to this file instead of text to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := eval.Options{Seed: *seed, Users: *users, DurationScale: *scale}
+	selected := map[string]bool{}
+	for _, f := range figs {
+		selected[strings.TrimPrefix(strings.ToLower(f), "fig")] = true
+	}
+
+	var md *os.File
+	if *mdOut != "" {
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		md = f
+		fmt.Fprintf(md, "# PTrack evaluation report\n\nseed %d, %d users, duration scale %g\n\n", *seed, *users, *scale)
+	}
+	ran := 0
+	for _, ex := range experiments() {
+		if len(selected) > 0 && !selected[ex.id] {
+			continue
+		}
+		tbl := ex.run(opt)
+		if md != nil {
+			fmt.Fprint(md, tbl.RenderMarkdown())
+		} else {
+			fmt.Fprintln(stdout, tbl.Render())
+		}
+		ran++
+	}
+	if md != nil {
+		fmt.Fprintf(stdout, "markdown report written to %s (%d experiments)\n", *mdOut, ran)
+	}
+	if *dataDir != "" {
+		files, err := eval.WriteFigureData(*dataDir, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "figure data written to %s: %s\n", *dataDir, strings.Join(files, ", "))
+	}
+	if ran == 0 && *dataDir == "" {
+		return fmt.Errorf("no experiment matched %v (known: 1a 1b 1c 1d 3 6a 6b 7a 7b 8a 8b 9 adversary surface zoo stability mapmatch gaits loosemount dutycycle)", figs)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetFast(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-fig", "1c", "-fig", "3", "-scale", "0.5", "-users", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig.1(c)") || !strings.Contains(s, "Fig.3") {
+		t.Errorf("missing tables:\n%s", s)
+	}
+	if strings.Contains(s, "Fig.9") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestRunUnknownFig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "zz"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunFigPrefixAccepted(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "fig1c"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig.1(c)") {
+		t.Error("fig-prefixed id not matched")
+	}
+}
+
+func TestExperimentsCoverPaperFigures(t *testing.T) {
+	ids := make(map[string]bool)
+	for _, ex := range experiments() {
+		ids[ex.id] = true
+	}
+	for _, want := range []string{"1a", "1b", "1c", "1d", "3", "6a", "6b", "7a", "7b", "8a", "8b", "9"} {
+		if !ids[want] {
+			t.Errorf("missing paper experiment %q", want)
+		}
+	}
+	for _, want := range []string{"adversary", "surface", "zoo", "stability"} {
+		if !ids[want] {
+			t.Errorf("missing extension experiment %q", want)
+		}
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "report.md")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1c", "-md", md, "-scale", "0.5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "# PTrack evaluation report") || !strings.Contains(s, "### Fig.1(c)") {
+		t.Errorf("report malformed:\n%s", s)
+	}
+	if !strings.Contains(s, "| device | count |") {
+		t.Errorf("markdown table missing:\n%s", s)
+	}
+}

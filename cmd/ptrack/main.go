@@ -1,0 +1,150 @@
+// Command ptrack runs the PTrack pipeline over a trace CSV (as produced
+// by tracegen or recorded in the library's format) and reports steps,
+// distance and the gait-type breakdown.
+//
+// Usage:
+//
+//	ptrack -profile 0.62,0.90,2.35 trace.csv
+//	tracegen -activity walking | ptrack
+//	ptrack -train calibration.csv -train-distance 180 trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ptrack"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptrack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ptrack", flag.ContinueOnError)
+	var (
+		profileFlag = fs.String("profile", "", "arm,leg,k user profile for stride estimation (e.g. 0.62,0.90,2.35)")
+		trainFile   = fs.String("train", "", "calibration trace CSV for profile self-training")
+		trainDist   = fs.Float64("train-distance", 0, "known distance (m) of the calibration trace")
+		delta       = fs.Float64("delta", 0, "override the gait-identification threshold (0 = paper default 0.0325)")
+		truthFile   = fs.String("truth", "", "ground-truth JSON (from tracegen -truth) for scoring")
+		verbose     = fs.Bool("v", false, "print per-cycle diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []ptrack.Option
+	if *delta != 0 {
+		opts = append(opts, ptrack.WithOffsetThreshold(*delta))
+	}
+	switch {
+	case *trainFile != "":
+		f, err := os.Open(*trainFile)
+		if err != nil {
+			return err
+		}
+		cal, err := ptrack.ReadTraceCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading calibration trace: %w", err)
+		}
+		profile, err := ptrack.TrainProfile(cal, *trainDist)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "self-trained profile: arm=%.3f m leg=%.3f m k=%.3f\n",
+			profile.ArmLength, profile.LegLength, profile.K)
+		opts = append(opts, ptrack.WithTrainedProfile(profile))
+	case *profileFlag != "":
+		arm, leg, k, err := parseProfile(*profileFlag)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, ptrack.WithProfile(arm, leg, k))
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := ptrack.ReadTraceCSV(in)
+	if err != nil {
+		return fmt.Errorf("reading trace: %w", err)
+	}
+
+	tk, err := ptrack.New(opts...)
+	if err != nil {
+		return err
+	}
+	res, err := tk.Process(tr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "samples:  %d (%.1f s at %.0f Hz)\n",
+		len(tr.Samples), tr.Duration().Seconds(), tr.SampleRate)
+	fmt.Fprintf(stdout, "steps:    %d\n", res.Steps)
+	if res.Distance > 0 {
+		fmt.Fprintf(stdout, "distance: %.2f m\n", res.Distance)
+	}
+	counts := res.LabelCounts()
+	fmt.Fprintf(stdout, "cycles:   %d walking, %d stepping, %d interference\n",
+		counts[ptrack.LabelWalking], counts[ptrack.LabelStepping], counts[ptrack.LabelInterference])
+	if *truthFile != "" {
+		tf, err := os.Open(*truthFile)
+		if err != nil {
+			return err
+		}
+		truth, terr := ptrack.ReadGroundTruthJSON(tf)
+		tf.Close()
+		if terr != nil {
+			return fmt.Errorf("reading ground truth: %w", terr)
+		}
+		fmt.Fprintf(stdout, "truth:    %d steps, %.2f m\n", truth.StepCount(), truth.Distance)
+		if truth.StepCount() > 0 {
+			stepErr := 100 * float64(res.Steps-truth.StepCount()) / float64(truth.StepCount())
+			fmt.Fprintf(stdout, "score:    step error %+.1f%%", stepErr)
+			if res.Distance > 0 && truth.Distance > 0 {
+				distErr := 100 * (res.Distance - truth.Distance) / truth.Distance
+				fmt.Fprintf(stdout, ", distance error %+.1f%%", distErr)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	if *verbose {
+		for i, c := range res.Cycles {
+			fmt.Fprintf(stdout, "  cycle %3d t=%6.2fs label=%-12s offset=%.4f C=%+.2f steps+%d\n",
+				i, c.T, c.Label, c.Offset, c.C, c.StepsAdded)
+		}
+	}
+	return nil
+}
+
+func parseProfile(s string) (arm, leg, k float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("profile must be arm,leg,k, got %q", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		v, perr := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if perr != nil {
+			return 0, 0, 0, fmt.Errorf("bad profile component %q", p)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}

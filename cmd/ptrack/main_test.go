@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ptrack"
+)
+
+// writeWalk writes a simulated walking trace (and truth) to temp files.
+func writeWalk(t *testing.T, seconds float64) (csvPath, truthPath string, rec *ptrack.Recording) {
+	t.Helper()
+	var err error
+	rec, err = ptrack.Simulate(ptrack.DefaultSimProfile(), ptrack.DefaultSimConfig(),
+		[]ptrack.SimSegment{{Activity: ptrack.ActivityWalking, Duration: seconds}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	csvPath = filepath.Join(dir, "walk.csv")
+	truthPath = filepath.Join(dir, "walk.json")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ptrack.WriteTraceCSV(f, rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Create(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := ptrack.WriteGroundTruthJSON(tf, rec.Truth); err != nil {
+		t.Fatal(err)
+	}
+	return csvPath, truthPath, rec
+}
+
+func TestRunCountOnly(t *testing.T) {
+	csvPath, _, rec := writeWalk(t, 20)
+	var out bytes.Buffer
+	if err := run([]string{csvPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "steps:") {
+		t.Errorf("missing steps line:\n%s", s)
+	}
+	if strings.Contains(s, "distance:") {
+		t.Error("distance printed without a profile")
+	}
+	_ = rec
+}
+
+func TestRunWithProfileAndTruth(t *testing.T) {
+	csvPath, truthPath, _ := writeWalk(t, 30)
+	var out bytes.Buffer
+	err := run([]string{"-profile", "0.62,0.90,2.35", "-truth", truthPath, "-v", csvPath},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"distance:", "truth:", "score:", "cycle"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in output:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	rec, err := ptrack.Simulate(ptrack.DefaultSimProfile(), ptrack.DefaultSimConfig(),
+		[]ptrack.SimSegment{{Activity: ptrack.ActivityWalking, Duration: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceBuf bytes.Buffer
+	if err := ptrack.WriteTraceCSV(&traceBuf, rec.Trace); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(nil, &traceBuf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "steps:") {
+		t.Error("no steps output from stdin path")
+	}
+}
+
+func TestRunSelfTrainFlow(t *testing.T) {
+	// Calibration trace with walking + stepping for the trainer.
+	cal, err := ptrack.Simulate(ptrack.DefaultSimProfile(), ptrack.DefaultSimConfig(),
+		[]ptrack.SimSegment{
+			{Activity: ptrack.ActivityWalking, Duration: 40},
+			{Activity: ptrack.ActivityStepping, Duration: 20},
+			{Activity: ptrack.ActivityWalking, Duration: 40},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	calPath := filepath.Join(dir, "cal.csv")
+	f, err := os.Create(calPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ptrack.WriteTraceCSV(f, cal.Trace); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	csvPath, _, _ := writeWalk(t, 20)
+	var out bytes.Buffer
+	err = run([]string{
+		"-train", calPath,
+		"-train-distance", formatFloatForTest(cal.Truth.Distance),
+		csvPath,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "self-trained profile") || !strings.Contains(s, "distance:") {
+		t.Errorf("self-training flow output:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"/nonexistent.csv"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-profile", "1,2"}, strings.NewReader("#rate,100\nt,ax,ay,az,yaw\n"), &out); err == nil {
+		t.Error("bad profile accepted")
+	}
+	if err := run([]string{"-profile", "a,b,c"}, strings.NewReader(""), &out); err == nil {
+		t.Error("non-numeric profile accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+		t.Error("garbage stdin accepted")
+	}
+}
+
+func formatFloatForTest(v float64) string {
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptrack"
+)
+
+func TestRunSingleActivityToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-activity", "walking", "-duration", "5", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ptrack.ReadTraceCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 500 {
+		t.Errorf("samples = %d, want 500", len(tr.Samples))
+	}
+	if tr.Label != ptrack.ActivityWalking {
+		t.Errorf("label = %v", tr.Label)
+	}
+}
+
+func TestRunScriptWithFiles(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "t.csv")
+	truth := filepath.Join(dir, "t.json")
+	err := run([]string{"-script", "walking:5,eating:3", "-o", csv, "-truth", truth}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ptrack.ReadTraceCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 800 {
+		t.Errorf("samples = %d", len(tr.Samples))
+	}
+	tf, err := os.Open(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	g, err := ptrack.ReadGroundTruthJSON(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.StepCount() == 0 {
+		t.Error("no truth steps recorded")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-activity", "flying"},
+		{"-script", "walking"},
+		{"-script", "walking:abc"},
+		{"-script", "walking:-5"},
+		{"-duration", "-1"},
+	}
+	for _, args := range tests {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestParseActivityLists(t *testing.T) {
+	if _, err := parseActivity("poker"); err != nil {
+		t.Errorf("poker: %v", err)
+	}
+	_, err := parseActivity("nope")
+	if err == nil || !strings.Contains(err.Error(), "walking") {
+		t.Errorf("error should list valid names, got %v", err)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "5", "-stride", "0.85", "-cadence", "2.0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ptrack.ReadTraceCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Error("no samples")
+	}
+}

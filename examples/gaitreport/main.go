@@ -1,0 +1,58 @@
+// Gaitreport: clinical-style gait analysis on top of PTrack's per-step
+// output — cadence, stride variability, timing regularity and left/right
+// symmetry, compared between a smooth indoor floor and a rough outdoor
+// trail. Elevated stride variability is a recognised fall-risk marker;
+// the paper's healthcare motivation is exactly this kind of quantitative
+// awareness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptrack"
+)
+
+func main() {
+	user := ptrack.DefaultSimProfile()
+	tracker, err := ptrack.New(ptrack.WithProfile(user.ArmLength, user.LegLength, user.K))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	analyse := func(name string, roughness float64) *ptrack.GaitQuality {
+		cfg := ptrack.DefaultSimConfig()
+		cfg.Seed = 17
+		cfg.SurfaceRoughness = roughness
+		rec, err := ptrack.Simulate(user, cfg, []ptrack.SimSegment{
+			{Activity: ptrack.ActivityWalking, Duration: 120},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tracker.Process(rec.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := ptrack.AnalyzeGait(res, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s steps=%3d cadence=%.2f±%.2f steps/s  stride=%.2f m (CV %.1f%%)  "+
+			"timing CV %.1f%%  symmetry %.3f\n",
+			name, g.Steps, g.CadenceMean, g.CadenceStd,
+			g.StrideMean, 100*g.StrideCV, 100*g.StepTimeCV, g.SymmetryIndex)
+		return g
+	}
+
+	fmt.Println("Two-minute walks, same user, different surfaces:")
+	smooth := analyse("indoor floor", 0)
+	rough := analyse("outdoor trail", 0.7)
+
+	fmt.Println()
+	if rough.StrideCV > smooth.StrideCV {
+		fmt.Printf("stride variability rises %.1fx on rough ground — the kind of gait-quality\n",
+			rough.StrideCV/smooth.StrideCV)
+		fmt.Println("signal a longitudinal health application watches for.")
+	}
+}

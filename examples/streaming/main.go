@@ -1,0 +1,52 @@
+// Streaming: feed samples one at a time, as a watch app would, and react
+// to classification events as they become decidable (latency is roughly
+// one gait cycle plus the classification margin). The user walks, stops
+// to eat, then walks on with a hand in the pocket.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptrack"
+)
+
+func main() {
+	user := ptrack.DefaultSimProfile()
+	rec, err := ptrack.Simulate(user, ptrack.DefaultSimConfig(), []ptrack.SimSegment{
+		{Activity: ptrack.ActivityWalking, Duration: 20},
+		{Activity: ptrack.ActivityEating, Duration: 15},
+		{Activity: ptrack.ActivityStepping, Duration: 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	online, err := ptrack.NewOnline(rec.Trace.SampleRate,
+		ptrack.WithProfile(user.ArmLength, user.LegLength, user.K))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("t(s)   event                 steps  note")
+	report := func(ev ptrack.Event, now float64) {
+		note := ""
+		if ev.StepsAdded > 0 {
+			note = fmt.Sprintf("+%d steps", ev.StepsAdded)
+		}
+		fmt.Printf("%5.1f  cycle=%-13s %6d  %s (decided %.1fs after the cycle)\n",
+			ev.T, ev.Label, ev.TotalSteps, note, now-ev.T)
+	}
+
+	for i, s := range rec.Trace.Samples {
+		now := float64(i) / rec.Trace.SampleRate
+		for _, ev := range online.Push(s) {
+			report(ev, now)
+		}
+	}
+	for _, ev := range online.Flush() {
+		report(ev, rec.Trace.Duration().Seconds())
+	}
+
+	fmt.Printf("\nfinal: %d steps online (%d true)\n", online.Steps(), rec.Truth.StepCount())
+}

@@ -1,0 +1,3 @@
+module ptrack
+
+go 1.22

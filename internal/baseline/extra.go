@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"math"
+
+	"ptrack/internal/dsp"
+	"ptrack/internal/imu"
+	"ptrack/internal/trace"
+)
+
+// CountStepsAutocorr is an autocorrelation pedometer — another of the
+// "peak detection or its variants" the paper groups existing designs
+// into: windows whose magnitude autocorrelation shows a strong
+// periodicity in the gait band are assumed to be walking, and steps are
+// derived from the detected period. Like all rhythm detectors it cannot
+// tell walking from rhythmic interference.
+func CountStepsAutocorr(tr *trace.Trace, windowS float64) int {
+	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
+		return 0
+	}
+	if windowS <= 0 {
+		windowS = 4
+	}
+	win := int(windowS * tr.SampleRate)
+	if win < 16 {
+		return 0
+	}
+	mag := magnitudeSeries(tr)
+	mag = dsp.FiltFilt(mag, 5, tr.SampleRate)
+
+	minLag := int(0.25 * tr.SampleRate) // max 4 steps/s
+	maxLag := int(1.4 * tr.SampleRate)  // min ~0.7 steps/s
+	total := 0
+	for start := 0; start+win <= len(mag); start += win {
+		seg := dsp.RemoveMean(mag[start : start+win])
+		if dsp.StdDev(seg) < 0.3 {
+			continue // too quiet to be gait
+		}
+		lag := firstPeakLag(seg, minLag, maxLag, 0.4)
+		if lag == 0 {
+			continue
+		}
+		stepsPerS := tr.SampleRate / float64(lag)
+		total += int(math.Round(stepsPerS * windowS))
+	}
+	return total
+}
+
+// CountStepsZeroCross is the classic zero-crossing pedometer: each pair
+// of crossings of the detrended magnitude counts as one step, with a
+// refractory period. The cheapest design — and the most gullible.
+func CountStepsZeroCross(tr *trace.Trace) int {
+	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
+		return 0
+	}
+	mag := magnitudeSeries(tr)
+	mag = dsp.FiltFilt(mag, 5, tr.SampleRate)
+	mag = dsp.RemoveMean(mag)
+
+	// Hysteresis thresholding suppresses noise crossings.
+	const hyst = 0.4
+	refractory := int(0.25 * tr.SampleRate)
+	count := 0
+	armed := true
+	lastStep := -refractory
+	for i, v := range mag {
+		switch {
+		case armed && v > hyst:
+			if i-lastStep >= refractory {
+				count++
+				lastStep = i
+			}
+			armed = false
+		case !armed && v < -hyst:
+			armed = true
+		}
+	}
+	return count
+}
+
+// firstPeakLag returns the smallest lag in [minLag, maxLag] at which the
+// autocorrelation has a local maximum above threshold — the fundamental
+// step period, rather than the (stronger) full gait-cycle repetition a
+// global argmax would find.
+func firstPeakLag(x []float64, minLag, maxLag int, threshold float64) int {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	prev := dsp.AutoCorrAt(x, minLag-1)
+	cur := dsp.AutoCorrAt(x, minLag)
+	for lag := minLag; lag < maxLag; lag++ {
+		next := dsp.AutoCorrAt(x, lag+1)
+		if cur >= threshold && cur >= prev && cur > next {
+			return lag
+		}
+		prev, cur = cur, next
+	}
+	return 0
+}
+
+func magnitudeSeries(tr *trace.Trace) []float64 {
+	mag := make([]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		mag[i] = s.Accel.Norm() - imu.StandardGravity
+	}
+	return mag
+}

@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/trace"
+)
+
+func TestCountStepsAutocorrOnWalking(t *testing.T) {
+	rec := simulate(t, trace.ActivityWalking, 60, 21)
+	got := CountStepsAutocorr(rec.Trace, 4)
+	truth := rec.Truth.StepCount()
+	if math.Abs(float64(got-truth)) > 0.15*float64(truth) {
+		t.Errorf("autocorr steps = %d, truth %d", got, truth)
+	}
+}
+
+func TestCountStepsAutocorrFooledBySpoofer(t *testing.T) {
+	rec := simulate(t, trace.ActivitySpoofing, 60, 22)
+	if got := CountStepsAutocorr(rec.Trace, 4); got < 40 {
+		t.Errorf("autocorr spoofed count = %d, want the rhythm detector fooled", got)
+	}
+}
+
+func TestCountStepsAutocorrQuietIdle(t *testing.T) {
+	rec := simulate(t, trace.ActivityIdle, 30, 23)
+	if got := CountStepsAutocorr(rec.Trace, 4); got != 0 {
+		t.Errorf("idle autocorr steps = %d", got)
+	}
+}
+
+func TestCountStepsAutocorrDegenerate(t *testing.T) {
+	if CountStepsAutocorr(nil, 4) != 0 {
+		t.Error("nil trace should count 0")
+	}
+	if CountStepsAutocorr(&trace.Trace{SampleRate: 100}, 4) != 0 {
+		t.Error("empty trace should count 0")
+	}
+	short := simulate(t, trace.ActivityWalking, 1, 24)
+	// Window defaulting path with tiny trace must not panic.
+	_ = CountStepsAutocorr(short.Trace, 0)
+}
+
+func TestCountStepsZeroCrossOnWalking(t *testing.T) {
+	rec := simulate(t, trace.ActivityWalking, 60, 25)
+	got := CountStepsZeroCross(rec.Trace)
+	truth := rec.Truth.StepCount()
+	if math.Abs(float64(got-truth)) > 0.2*float64(truth) {
+		t.Errorf("zero-cross steps = %d, truth %d", got, truth)
+	}
+}
+
+func TestCountStepsZeroCrossFooledByInterference(t *testing.T) {
+	rec := simulate(t, trace.ActivityEating, 60, 26)
+	if got := CountStepsZeroCross(rec.Trace); got < 15 {
+		t.Errorf("zero-cross eating count = %d, want mis-triggering", got)
+	}
+}
+
+func TestCountStepsZeroCrossQuietIdle(t *testing.T) {
+	rec := simulate(t, trace.ActivityIdle, 30, 27)
+	if got := CountStepsZeroCross(rec.Trace); got > 2 {
+		t.Errorf("idle zero-cross steps = %d", got)
+	}
+}
+
+func TestCountStepsZeroCrossDegenerate(t *testing.T) {
+	if CountStepsZeroCross(nil) != 0 {
+		t.Error("nil trace should count 0")
+	}
+}

@@ -1,0 +1,264 @@
+// Package core assembles the full PTrack pipeline of Fig. 2: the inherited
+// front end (segment), acceleration projection (project), gait-type
+// identification (gaitid) and stride estimation (stride), producing step
+// counts, per-step strides and walked distance from a raw sensor trace.
+package core
+
+import (
+	"fmt"
+
+	"ptrack/internal/gaitid"
+	"ptrack/internal/project"
+	"ptrack/internal/segment"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+// Config assembles the stage configurations. The zero value counts steps
+// with all documented defaults but cannot estimate strides (no user
+// profile); set Profile to enable the stride estimator.
+type Config struct {
+	Segment  segment.Config
+	Identify gaitid.Config
+	// Profile enables stride estimation when non-nil.
+	Profile *stride.Config
+	// MarginFraction is the context added on each side of a gait-cycle
+	// candidate before classification, as a fraction of the cycle length.
+	// Default 0.25.
+	MarginFraction float64
+	// AdaptiveDelta enables the adaptive offset threshold (the paper's
+	// stated future work): δ tracks the widest gap of the recent offset
+	// distribution instead of staying fixed.
+	AdaptiveDelta bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MarginFraction == 0 {
+		c.MarginFraction = 0.25
+	}
+	return c
+}
+
+// CycleOutcome reports one classified gait-cycle candidate.
+type CycleOutcome struct {
+	Start, End int // sample range of the cycle core
+	T          float64
+	Label      gaitid.Label
+	Offset     float64
+	C          float64
+	PhaseOK    bool
+	StepsAdded int
+	Strides    []float64 // per-step stride estimates credited by this cycle
+}
+
+// StepEstimate is one counted step with its stride estimate (zero when no
+// profile is configured).
+type StepEstimate struct {
+	T      float64 // time the step was credited, seconds
+	Stride float64 // metres; 0 when stride estimation is disabled
+}
+
+// Result is the pipeline output for a whole trace.
+type Result struct {
+	Steps    int            // total counted steps
+	Distance float64        // sum of stride estimates of counted steps
+	Cycles   []CycleOutcome // per-candidate diagnostics
+	StepLog  []StepEstimate // counted steps in order
+}
+
+// LabelCounts returns how many candidate cycles received each label —
+// the Fig. 6(b) breakdown.
+func (r *Result) LabelCounts() map[gaitid.Label]int {
+	out := make(map[gaitid.Label]int, 3)
+	for _, c := range r.Cycles {
+		out[c.Label]++
+	}
+	return out
+}
+
+// Decomposer produces the projected series for a trace. The default is
+// project.Decompose (low-pass gravity); project.DecomposeFused uses the
+// gyro-fused attitude for loosely mounted devices.
+type Decomposer func(*trace.Trace) *project.Series
+
+// Process runs the PTrack pipeline over a trace with the default
+// projection.
+func Process(tr *trace.Trace, cfg Config) (*Result, error) {
+	return ProcessWithProjection(tr, cfg, project.Decompose)
+}
+
+// ProcessWithProjection runs the pipeline with a custom projection stage.
+func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if tr == nil || tr.SampleRate <= 0 {
+		return nil, fmt.Errorf("core: trace with a positive sample rate required")
+	}
+	if decompose == nil {
+		decompose = project.Decompose
+	}
+
+	var est *stride.Estimator
+	if cfg.Profile != nil {
+		var err error
+		est, err = stride.New(*cfg.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	seg := segment.Segment(tr, cfg.Segment)
+	series := decompose(tr)
+	id := gaitid.NewIdentifier(cfg.Identify, tr.SampleRate)
+	var adaptive *gaitid.AdaptiveThreshold
+	if cfg.AdaptiveDelta {
+		adaptive = gaitid.NewAdaptiveThreshold(0)
+	}
+
+	res := &Result{}
+	// Stepping cycles are credited retroactively on the confirmation
+	// cycle (+2·ConfirmCount); keep the pending windows so their strides
+	// are not lost.
+	type window struct {
+		cyc    segment.Cycle
+		margin int
+		w      project.Window
+	}
+	var pendingStepping []window
+
+	prevEnd := -1
+	for _, cyc := range seg.Cycles {
+		// A temporal gap in the candidate stream breaks the stepping
+		// streak: confirmation requires consecutive gait cycles.
+		if prevEnd >= 0 && cyc.Start-prevEnd > cyc.Len()/4 {
+			id.BreakStreak()
+			pendingStepping = pendingStepping[:0]
+		}
+		prevEnd = cyc.End
+		margin := int(cfg.MarginFraction * float64(cyc.Len()))
+		start, end := cyc.Start-margin, cyc.End+margin
+		if start < 0 {
+			margin = cyc.Start
+			start = 0
+			end = cyc.End + margin
+		}
+		if end > len(tr.Samples) {
+			over := end - len(tr.Samples)
+			if margin-over < 0 {
+				continue
+			}
+			margin -= over
+			start, end = cyc.Start-margin, cyc.End+margin
+		}
+		w := series.ProjectWindow(start, end)
+		if !w.OK {
+			continue
+		}
+		if adaptive != nil {
+			id.SetThreshold(adaptive.Threshold())
+		}
+		cr := id.ClassifyWindow(w.Vertical, w.Anterior, margin)
+		if adaptive != nil && cr.OffsetOK {
+			adaptive.Observe(cr.Offset)
+		}
+		out := CycleOutcome{
+			Start: cyc.Start, End: cyc.End,
+			T:      float64(cyc.End) / tr.SampleRate,
+			Label:  cr.Label,
+			Offset: cr.Offset, C: cr.C, PhaseOK: cr.PhaseOK,
+			StepsAdded: cr.StepsAdded,
+		}
+
+		switch cr.Label {
+		case gaitid.LabelWalking:
+			out.Strides = cycleStrides(est, w, margin, tr.SampleRate, cr.StepsAdded, true)
+			credit(res, &out, tr.SampleRate)
+			pendingStepping = pendingStepping[:0]
+		case gaitid.LabelStepping:
+			if cr.StepsAdded == 0 {
+				// Pending until the streak confirms.
+				pendingStepping = append(pendingStepping, window{cyc: cyc, margin: margin, w: w})
+			} else {
+				// The confirmation cycle credits the pending streak too
+				// (Fig. 4's "+6"): flush the pending cycles' strides, then
+				// this cycle's own two steps.
+				for _, p := range pendingStepping {
+					strides := cycleStrides(est, p.w, p.margin, tr.SampleRate, 2, false)
+					pOut := CycleOutcome{T: float64(p.cyc.End) / tr.SampleRate, Strides: strides}
+					creditSteps(res, &pOut, 2, tr.SampleRate)
+				}
+				pendingStepping = pendingStepping[:0]
+				out.Strides = cycleStrides(est, w, margin, tr.SampleRate, 2, false)
+				creditSteps(res, &out, 2, tr.SampleRate)
+			}
+		default:
+			pendingStepping = pendingStepping[:0]
+		}
+		res.Cycles = append(res.Cycles, out)
+	}
+	res.Steps = id.Steps()
+	return res, nil
+}
+
+// credit logs a walking cycle's steps and strides into the result.
+func credit(res *Result, out *CycleOutcome, sampleRate float64) {
+	creditSteps(res, out, out.StepsAdded, sampleRate)
+}
+
+func creditSteps(res *Result, out *CycleOutcome, n int, sampleRate float64) {
+	t := out.T
+	for i := 0; i < n; i++ {
+		s := 0.0
+		if i < len(out.Strides) {
+			s = out.Strides[i]
+		} else if len(out.Strides) > 0 {
+			s = out.Strides[len(out.Strides)-1]
+		}
+		res.Distance += s
+		res.StepLog = append(res.StepLog, StepEstimate{T: t, Stride: s})
+	}
+}
+
+// cycleStrides runs the stride estimator over one projected window and
+// returns up to `count` per-step strides. When the estimator finds fewer
+// steps than counted, the mean of the found strides pads the remainder so
+// distance accounting stays consistent.
+func cycleStrides(est *stride.Estimator, w project.Window, margin int, sampleRate float64, count int, walking bool) []float64 {
+	if est == nil || count <= 0 {
+		return nil
+	}
+	var steps []stride.Step
+	if walking {
+		steps = est.EstimateWalking(w.Vertical, w.Anterior, margin, sampleRate)
+	} else {
+		steps = est.EstimateStepping(w.Vertical, margin, sampleRate)
+	}
+	out := make([]float64, 0, count)
+	for _, s := range steps {
+		if len(out) == count {
+			break
+		}
+		out = append(out, s.Stride)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, s := range out {
+		sum += s
+	}
+	mean := sum / float64(len(out))
+	if walking {
+		// The forward and backward arm-swing halves of a cycle see the
+		// body bounce at opposite phases, biasing their individual
+		// estimates in opposite directions; the left and right strides of
+		// one cycle are nearly equal, so averaging them cancels the
+		// artefact without losing cycle-to-cycle stride variation.
+		for i := range out {
+			out[i] = mean
+		}
+	}
+	for len(out) < count {
+		out = append(out, mean)
+	}
+	return out
+}

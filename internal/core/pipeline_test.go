@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/gaitid"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+func profileConfig(p gaitsim.Profile) Config {
+	return Config{
+		Profile: &stride.Config{
+			ArmLength: p.ArmLength,
+			LegLength: p.LegLength,
+			K:         p.K,
+		},
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	if _, err := Process(nil, Config{}); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := Process(&trace.Trace{}, Config{}); err == nil {
+		t.Error("zero-rate trace should fail")
+	}
+	bad := Config{Profile: &stride.Config{ArmLength: -1}}
+	tr := &trace.Trace{SampleRate: 100}
+	if _, err := Process(tr, bad); err == nil {
+		t.Error("invalid profile should fail")
+	}
+}
+
+func TestProcessEmptyTrace(t *testing.T) {
+	res, err := Process(&trace.Trace{SampleRate: 100}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 || len(res.Cycles) != 0 {
+		t.Errorf("empty trace produced %d steps, %d cycles", res.Steps, len(res.Cycles))
+	}
+}
+
+func TestProcessWalkStepCount(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, profileConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := rec.Truth.StepCount()
+	if math.Abs(float64(res.Steps-truth)) > 0.1*float64(truth) {
+		t.Errorf("steps = %d, truth %d", res.Steps, truth)
+	}
+	if len(res.StepLog) != res.Steps {
+		t.Errorf("step log has %d entries for %d steps", len(res.StepLog), res.Steps)
+	}
+}
+
+func TestProcessWalkDistanceAccuracy(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, profileConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(res.Distance-rec.Truth.Distance) / rec.Truth.Distance
+	t.Logf("distance = %.1f m, truth %.1f m (rel err %.1f%%)", res.Distance, rec.Truth.Distance, 100*relErr)
+	// Before per-user K calibration, the estimate must still be in the
+	// right ballpark (the paper's K absorbs the systematic part).
+	if relErr > 0.35 {
+		t.Errorf("distance = %v, truth %v", res.Distance, rec.Truth.Distance)
+	}
+}
+
+func TestProcessSteppingDistance(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityStepping, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, profileConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := rec.Truth.StepCount()
+	if math.Abs(float64(res.Steps-truth)) > 0.15*float64(truth) {
+		t.Errorf("steps = %d, truth %d", res.Steps, truth)
+	}
+	relErr := math.Abs(res.Distance-rec.Truth.Distance) / rec.Truth.Distance
+	t.Logf("stepping distance = %.1f m, truth %.1f m (rel err %.1f%%)", res.Distance, rec.Truth.Distance, 100*relErr)
+	if relErr > 0.35 {
+		t.Errorf("distance = %v, truth %v", res.Distance, rec.Truth.Distance)
+	}
+}
+
+func TestProcessInterferenceNoSteps(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	for _, a := range []trace.Activity{trace.ActivityEating, trace.ActivitySpoofing, trace.ActivitySwinging} {
+		rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), a, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Process(rec.Trace, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps > 4 {
+			t.Errorf("%v: %d spurious steps", a, res.Steps)
+		}
+	}
+}
+
+func TestProcessWithoutProfileCountsButNoDistance(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("no steps counted")
+	}
+	if res.Distance != 0 {
+		t.Errorf("distance = %v without a profile", res.Distance)
+	}
+}
+
+func TestProcessMixedActivityBreakdown(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.Simulate(p, gaitsim.DefaultConfig(), []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 30},
+		{Activity: trace.ActivityEating, Duration: 20},
+		{Activity: trace.ActivityStepping, Duration: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, profileConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.LabelCounts()
+	if counts[gaitid.LabelWalking] < 20 {
+		t.Errorf("walking cycles = %d", counts[gaitid.LabelWalking])
+	}
+	if counts[gaitid.LabelStepping] < 18 {
+		t.Errorf("stepping cycles = %d", counts[gaitid.LabelStepping])
+	}
+	truth := rec.Truth.StepCount() // 54 + 54
+	if math.Abs(float64(res.Steps-truth)) > 0.15*float64(truth) {
+		t.Errorf("steps = %d, truth %d", res.Steps, truth)
+	}
+}
+
+func TestProcessPerStepStrideError(t *testing.T) {
+	// The headline stride metric: mean per-step |error| before user
+	// calibration should already be decimetre-scale; Fig. 8's ~5 cm needs
+	// the trained K (exercised in the eval package).
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, profileConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var cnt int
+	truthStride := meanTruthStride(rec)
+	for _, s := range res.StepLog {
+		if s.Stride > 0 {
+			sum += math.Abs(s.Stride - truthStride)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		t.Fatal("no strides estimated")
+	}
+	mean := sum / float64(cnt)
+	t.Logf("mean per-step |stride error| = %.3f m over %d steps (truth mean %.3f)", mean, cnt, truthStride)
+	if mean > 0.25 {
+		t.Errorf("uncalibrated stride error = %v m", mean)
+	}
+}
+
+func meanTruthStride(rec *trace.Recording) float64 {
+	var sum float64
+	for _, s := range rec.Truth.Steps {
+		sum += s.Stride
+	}
+	return sum / float64(len(rec.Truth.Steps))
+}
+
+func TestProcessAdaptiveDelta(t *testing.T) {
+	// With the adaptive threshold the pipeline must still count walking
+	// correctly and reject interference.
+	p := gaitsim.DefaultProfile()
+	walk, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(walk.Trace, Config{AdaptiveDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := walk.Truth.StepCount()
+	if math.Abs(float64(res.Steps-truth)) > 0.1*float64(truth) {
+		t.Errorf("adaptive walking steps = %d, truth %d", res.Steps, truth)
+	}
+
+	eatCfg := gaitsim.DefaultConfig()
+	eatCfg.Seed = 9
+	eat, err := gaitsim.SimulateActivity(p, eatCfg, trace.ActivityEating, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := Process(eat.Trace, Config{AdaptiveDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.Steps > 4 {
+		t.Errorf("adaptive eating steps = %d", eres.Steps)
+	}
+}
+
+func TestProcessAdaptiveDeltaMixedStream(t *testing.T) {
+	// The adaptive threshold sees both offset modes in one stream and must
+	// keep the separation.
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.Simulate(p, gaitsim.DefaultConfig(), []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 40},
+		{Activity: trace.ActivityEating, Duration: 30},
+		{Activity: trace.ActivityWalking, Duration: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(rec.Trace, Config{AdaptiveDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := rec.Truth.StepCount()
+	if math.Abs(float64(res.Steps-truth)) > 0.1*float64(truth) {
+		t.Errorf("adaptive mixed steps = %d, truth %d", res.Steps, truth)
+	}
+}

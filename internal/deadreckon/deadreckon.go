@@ -1,0 +1,172 @@
+// Package deadreckon implements the step-and-heading dead-reckoning layer
+// of the paper's indoor-navigation case study (Fig. 9): counted steps with
+// per-step strides from PTrack are propagated along the fused heading to
+// produce a 2-D trajectory, and routes/paths are compared geometrically.
+package deadreckon
+
+import (
+	"fmt"
+	"math"
+
+	"ptrack/internal/vecmath"
+)
+
+// Fix is one dead-reckoned position.
+type Fix struct {
+	T   float64      // seconds
+	Pos vecmath.Vec3 // metres, Z always 0
+}
+
+// Tracker propagates a position from step events. The zero value starts
+// at the origin with heading read per step.
+type Tracker struct {
+	pos      vecmath.Vec3
+	fixes    []Fix
+	distance float64
+}
+
+// NewTracker returns a tracker starting at the given position.
+func NewTracker(start vecmath.Vec3) *Tracker {
+	start.Z = 0
+	t := &Tracker{pos: start}
+	t.fixes = append(t.fixes, Fix{T: 0, Pos: start})
+	return t
+}
+
+// Step advances the position by one step of the given stride along the
+// given heading (radians CCW from +X) at time ts.
+func (t *Tracker) Step(ts, stride, heading float64) {
+	if stride < 0 {
+		stride = 0
+	}
+	delta := vecmath.V3(stride*math.Cos(heading), stride*math.Sin(heading), 0)
+	t.pos = t.pos.Add(delta)
+	t.distance += stride
+	t.fixes = append(t.fixes, Fix{T: ts, Pos: t.pos})
+}
+
+// Position returns the current position.
+func (t *Tracker) Position() vecmath.Vec3 { return t.pos }
+
+// Distance returns the total propagated distance.
+func (t *Tracker) Distance() float64 { return t.distance }
+
+// Path returns a copy of the fixes recorded so far.
+func (t *Tracker) Path() []Fix {
+	out := make([]Fix, len(t.fixes))
+	copy(out, t.fixes)
+	return out
+}
+
+// Route is a polyline of 2-D waypoints (the planned corridor route of
+// Fig. 9).
+type Route struct {
+	Waypoints []vecmath.Vec3
+}
+
+// NewRoute validates and returns a route. At least two waypoints are
+// required.
+func NewRoute(wps []vecmath.Vec3) (*Route, error) {
+	if len(wps) < 2 {
+		return nil, fmt.Errorf("deadreckon: a route needs at least 2 waypoints, got %d", len(wps))
+	}
+	cp := make([]vecmath.Vec3, len(wps))
+	for i, w := range wps {
+		w.Z = 0
+		cp[i] = w
+	}
+	return &Route{Waypoints: cp}, nil
+}
+
+// Length returns the total polyline length.
+func (r *Route) Length() float64 {
+	var sum float64
+	for i := 1; i < len(r.Waypoints); i++ {
+		sum += r.Waypoints[i].Sub(r.Waypoints[i-1]).Norm()
+	}
+	return sum
+}
+
+// LegHeadings returns the heading of each leg (radians CCW from +X).
+func (r *Route) LegHeadings() []float64 {
+	out := make([]float64, 0, len(r.Waypoints)-1)
+	for i := 1; i < len(r.Waypoints); i++ {
+		d := r.Waypoints[i].Sub(r.Waypoints[i-1])
+		out = append(out, math.Atan2(d.Y, d.X))
+	}
+	return out
+}
+
+// DistanceToPoint returns the minimum distance from p to the route
+// polyline.
+func (r *Route) DistanceToPoint(p vecmath.Vec3) float64 {
+	p.Z = 0
+	best := math.Inf(1)
+	for i := 1; i < len(r.Waypoints); i++ {
+		if d := pointSegmentDistance(p, r.Waypoints[i-1], r.Waypoints[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// pointSegmentDistance returns the distance from p to segment [a, b].
+func pointSegmentDistance(p, a, b vecmath.Vec3) float64 {
+	ab := b.Sub(a)
+	denom := ab.NormSq()
+	if denom == 0 {
+		return p.Sub(a).Norm()
+	}
+	t := p.Sub(a).Dot(ab) / denom
+	t = math.Max(0, math.Min(1, t))
+	return p.Sub(a.Add(ab.Scale(t))).Norm()
+}
+
+// PathError summarises how a dead-reckoned path tracks a route.
+type PathError struct {
+	Mean float64 // mean cross-track distance over fixes, metres
+	Max  float64 // worst cross-track distance, metres
+	End  float64 // distance from final fix to final waypoint, metres
+}
+
+// CompareToRoute scores a path against a route.
+func CompareToRoute(path []Fix, r *Route) PathError {
+	var pe PathError
+	if len(path) == 0 || r == nil || len(r.Waypoints) == 0 {
+		return pe
+	}
+	var sum float64
+	for _, f := range path {
+		d := r.DistanceToPoint(f.Pos)
+		sum += d
+		if d > pe.Max {
+			pe.Max = d
+		}
+	}
+	pe.Mean = sum / float64(len(path))
+	pe.End = path[len(path)-1].Pos.Sub(r.Waypoints[len(r.Waypoints)-1]).Norm()
+	return pe
+}
+
+// MallRoute reconstructs the Fig. 9 shopping-centre route: store exit A to
+// elevator G via markers B..F. The printed map gives a 125 m x 85 m floor
+// with a 20 m upper corridor notch and a 141.5 m route that crosses a
+// 4-metre corridor twice between B and D. Corner coordinates are our
+// reading of the figure at those printed dimensions.
+func MallRoute() *Route {
+	r, err := NewRoute([]vecmath.Vec3{
+		{X: 0, Y: 0},      // A: store exit
+		{X: 24, Y: 0},     // B: corridor junction
+		{X: 24, Y: -4},    // C: across the 4 m corridor
+		{X: 30, Y: -4},    // between C and D the user returns
+		{X: 30, Y: 0},     // D: back across the corridor
+		{X: 80, Y: 0},     // E: long east corridor
+		{X: 80, Y: 20},    // F: north turn
+		{X: 113.5, Y: 20}, // G: elevator; total 141.5 m
+	})
+	if err != nil {
+		// Static construction cannot fail; keep the API total anyway.
+		panic(err)
+	}
+	return r
+}

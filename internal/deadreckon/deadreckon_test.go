@@ -1,0 +1,163 @@
+package deadreckon
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/vecmath"
+)
+
+func TestTrackerStepPropagation(t *testing.T) {
+	tr := NewTracker(vecmath.Vec3{})
+	tr.Step(0.5, 0.7, 0)          // east
+	tr.Step(1.0, 0.7, math.Pi/2)  // north
+	tr.Step(1.5, 0.7, math.Pi)    // west
+	tr.Step(2.0, 0.7, -math.Pi/2) // south -> back at origin
+	if d := tr.Position().Norm(); d > 1e-12 {
+		t.Errorf("closed square did not return to origin: %v", tr.Position())
+	}
+	if got := tr.Distance(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("distance = %v, want 2.8", got)
+	}
+	if got := len(tr.Path()); got != 5 {
+		t.Errorf("fixes = %d, want 5", got)
+	}
+}
+
+func TestTrackerNegativeStrideClamped(t *testing.T) {
+	tr := NewTracker(vecmath.Vec3{})
+	tr.Step(1, -3, 0)
+	if tr.Distance() != 0 || tr.Position().Norm() != 0 {
+		t.Error("negative stride should be ignored")
+	}
+}
+
+func TestTrackerPathIsCopy(t *testing.T) {
+	tr := NewTracker(vecmath.Vec3{})
+	tr.Step(1, 1, 0)
+	p := tr.Path()
+	p[0].Pos.X = 999
+	if tr.Path()[0].Pos.X == 999 {
+		t.Error("Path aliases internal storage")
+	}
+}
+
+func TestNewRouteValidation(t *testing.T) {
+	if _, err := NewRoute(nil); err == nil {
+		t.Error("empty route should fail")
+	}
+	if _, err := NewRoute([]vecmath.Vec3{{X: 1}}); err == nil {
+		t.Error("single waypoint should fail")
+	}
+	r, err := NewRoute([]vecmath.Vec3{{X: 0, Z: 5}, {X: 3, Z: -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range r.Waypoints {
+		if w.Z != 0 {
+			t.Error("waypoints should be flattened to Z=0")
+		}
+	}
+}
+
+func TestRouteLength(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 3}, {X: 3, Y: 4}})
+	if got := r.Length(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("length = %v, want 7", got)
+	}
+}
+
+func TestRouteLegHeadings(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 5}, {X: 5, Y: 5}, {X: 0, Y: 5}})
+	h := r.LegHeadings()
+	want := []float64{0, math.Pi / 2, math.Pi}
+	if len(h) != len(want) {
+		t.Fatalf("legs = %d", len(h))
+	}
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-12 {
+			t.Errorf("heading %d = %v, want %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestDistanceToPoint(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 10}})
+	tests := []struct {
+		p    vecmath.Vec3
+		want float64
+	}{
+		{vecmath.V3(5, 3, 0), 3},
+		{vecmath.V3(-4, 0, 0), 4},
+		{vecmath.V3(13, 4, 0), 5},
+		{vecmath.V3(7, 0, 9), 0}, // Z ignored
+	}
+	for _, tt := range tests {
+		if got := r.DistanceToPoint(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("dist(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPointSegmentDistanceDegenerate(t *testing.T) {
+	a := vecmath.V3(2, 2, 0)
+	if got := pointSegmentDistance(vecmath.V3(5, 6, 0), a, a); math.Abs(got-5) > 1e-12 {
+		t.Errorf("degenerate segment distance = %v, want 5", got)
+	}
+}
+
+func TestCompareToRoute(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 10}})
+	path := []Fix{
+		{T: 0, Pos: vecmath.V3(0, 1, 0)},
+		{T: 1, Pos: vecmath.V3(5, 2, 0)},
+		{T: 2, Pos: vecmath.V3(10, 1, 0)},
+	}
+	pe := CompareToRoute(path, r)
+	if math.Abs(pe.Mean-4.0/3) > 1e-12 {
+		t.Errorf("mean = %v, want 4/3", pe.Mean)
+	}
+	if pe.Max != 2 {
+		t.Errorf("max = %v, want 2", pe.Max)
+	}
+	if math.Abs(pe.End-1) > 1e-12 {
+		t.Errorf("end = %v, want 1", pe.End)
+	}
+	if got := CompareToRoute(nil, r); got != (PathError{}) {
+		t.Error("empty path should score zero")
+	}
+}
+
+func TestMallRouteMatchesPaper(t *testing.T) {
+	r := MallRoute()
+	if got := r.Length(); math.Abs(got-141.5) > 1e-9 {
+		t.Errorf("route length = %v, want 141.5 (paper)", got)
+	}
+	// A..G: 8 waypoints (6 markers plus the return crossing corner).
+	if len(r.Waypoints) != 8 {
+		t.Errorf("waypoints = %d", len(r.Waypoints))
+	}
+	// The corridor double-cross: two legs of exactly 4 m in -Y/+Y.
+	h := r.LegHeadings()
+	down, up := 0, 0
+	for i, hd := range h {
+		leg := r.Waypoints[i+1].Sub(r.Waypoints[i]).Norm()
+		if math.Abs(leg-4) < 1e-9 {
+			if math.Abs(hd+math.Pi/2) < 1e-9 {
+				down++
+			}
+			if math.Abs(hd-math.Pi/2) < 1e-9 {
+				up++
+			}
+		}
+	}
+	if down != 1 || up != 1 {
+		t.Errorf("corridor double-cross not present: down=%d up=%d", down, up)
+	}
+	// Fits the printed 125 m x 85 m floor.
+	for _, w := range r.Waypoints {
+		if w.X < -1 || w.X > 125 || w.Y < -43 || w.Y > 43 {
+			t.Errorf("waypoint %v outside the floor", w)
+		}
+	}
+}

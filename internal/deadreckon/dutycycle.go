@@ -1,0 +1,127 @@
+package deadreckon
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixScheduler implements the energy-efficiency application from the
+// paper's introduction: dead-reckoning lets a device "access
+// energy-consuming sensors less, e.g., GPS". The scheduler tracks how far
+// the dead-reckoned position may have drifted since the last absolute fix
+// and requests a new fix only when the uncertainty budget is exceeded —
+// instead of waking the GPS on a fixed period.
+//
+// The uncertainty model: each step contributes stride·sin(σ_heading)
+// cross-track and stride·σ_stride along-track error in the worst case;
+// the random components grow as sqrt(steps) and any systematic heading
+// bias grows linearly. The scheduler uses the conservative linear bound.
+// Construct with NewFixScheduler.
+type FixScheduler struct {
+	cfg         FixSchedulerConfig
+	uncertainty float64 // metres since the last fix
+	fixes       int
+	steps       int
+}
+
+// FixSchedulerConfig tunes the scheduler. Zero values select defaults.
+type FixSchedulerConfig struct {
+	// Budget is the maximum tolerated position uncertainty before a fix
+	// is requested, metres. Default 10.
+	Budget float64
+	// HeadingErr is the assumed per-step heading error (systematic bound),
+	// radians. Default 0.05.
+	HeadingErr float64
+	// StrideErr is the assumed fractional stride error. Default 0.05.
+	StrideErr float64
+}
+
+func (c FixSchedulerConfig) withDefaults() FixSchedulerConfig {
+	if c.Budget == 0 {
+		c.Budget = 10
+	}
+	if c.HeadingErr == 0 {
+		c.HeadingErr = 0.05
+	}
+	if c.StrideErr == 0 {
+		c.StrideErr = 0.05
+	}
+	return c
+}
+
+// NewFixScheduler returns a scheduler with the given configuration.
+func NewFixScheduler(cfg FixSchedulerConfig) (*FixScheduler, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Budget <= 0 || cfg.HeadingErr < 0 || cfg.StrideErr < 0 {
+		return nil, fmt.Errorf("deadreckon: invalid scheduler config %+v", cfg)
+	}
+	return &FixScheduler{cfg: cfg}, nil
+}
+
+// Step accounts one dead-reckoned step and reports whether an absolute
+// fix should be taken now. When it returns true the caller is assumed to
+// take the fix, and the uncertainty resets.
+func (f *FixScheduler) Step(stride float64) bool {
+	if stride < 0 {
+		stride = 0
+	}
+	f.steps++
+	f.uncertainty += stride * math.Sin(f.cfg.HeadingErr)
+	f.uncertainty += stride * f.cfg.StrideErr
+	if f.uncertainty >= f.cfg.Budget {
+		f.fixes++
+		f.uncertainty = 0
+		return true
+	}
+	return false
+}
+
+// Uncertainty returns the current uncertainty estimate, metres.
+func (f *FixScheduler) Uncertainty() float64 { return f.uncertainty }
+
+// Fixes returns how many fixes have been requested so far.
+func (f *FixScheduler) Fixes() int { return f.fixes }
+
+// Steps returns how many steps have been accounted.
+func (f *FixScheduler) Steps() int { return f.steps }
+
+// DutyCycleStats compares the scheduler against a periodic-GPS policy on
+// a step stream.
+type DutyCycleStats struct {
+	Steps          int
+	ScheduledFixes int     // fixes taken by the uncertainty scheduler
+	PeriodicFixes  int     // fixes a fixed-period policy would take
+	WorstDrift     float64 // max uncertainty reached between scheduled fixes
+}
+
+// SimulateDutyCycle replays a stride sequence (with per-step times)
+// through the scheduler and a periodic policy with the given period.
+func SimulateDutyCycle(strides, times []float64, cfg FixSchedulerConfig, periodS float64) (*DutyCycleStats, error) {
+	if len(strides) != len(times) {
+		return nil, fmt.Errorf("deadreckon: strides/times length mismatch %d vs %d", len(strides), len(times))
+	}
+	if periodS <= 0 {
+		return nil, fmt.Errorf("deadreckon: period must be positive, got %v", periodS)
+	}
+	sched, err := NewFixScheduler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats := &DutyCycleStats{Steps: len(strides)}
+	lastPeriodic := math.Inf(-1)
+	for i, s := range strides {
+		if u := sched.Uncertainty(); u > stats.WorstDrift {
+			stats.WorstDrift = u
+		}
+		sched.Step(s)
+		if times[i]-lastPeriodic >= periodS {
+			stats.PeriodicFixes++
+			lastPeriodic = times[i]
+		}
+	}
+	if u := sched.Uncertainty(); u > stats.WorstDrift {
+		stats.WorstDrift = u
+	}
+	stats.ScheduledFixes = sched.Fixes()
+	return stats, nil
+}

@@ -1,0 +1,113 @@
+package deadreckon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFixSchedulerValidation(t *testing.T) {
+	if _, err := NewFixScheduler(FixSchedulerConfig{Budget: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	s, err := NewFixScheduler(FixSchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fixes() != 0 || s.Steps() != 0 || s.Uncertainty() != 0 {
+		t.Error("fresh scheduler not zeroed")
+	}
+}
+
+func TestFixSchedulerAccumulatesAndResets(t *testing.T) {
+	s, _ := NewFixScheduler(FixSchedulerConfig{Budget: 1, HeadingErr: 0.05, StrideErr: 0.05})
+	// Per 0.7 m step: 0.7*sin(0.05) + 0.7*0.05 = 0.070 m -> fix every ~15 steps.
+	fixAt := -1
+	for i := 0; i < 40; i++ {
+		if s.Step(0.7) && fixAt == -1 {
+			fixAt = i
+		}
+	}
+	if fixAt < 12 || fixAt > 16 {
+		t.Errorf("first fix at step %d, want ~14", fixAt)
+	}
+	if s.Fixes() < 2 {
+		t.Errorf("fixes = %d, want >= 2 over 40 steps", s.Fixes())
+	}
+	if s.Uncertainty() >= 1 {
+		t.Error("uncertainty not reset after fix")
+	}
+}
+
+func TestFixSchedulerNegativeStride(t *testing.T) {
+	s, _ := NewFixScheduler(FixSchedulerConfig{})
+	s.Step(-5)
+	if s.Uncertainty() != 0 {
+		t.Errorf("negative stride added uncertainty: %v", s.Uncertainty())
+	}
+}
+
+func TestSimulateDutyCycleValidation(t *testing.T) {
+	if _, err := SimulateDutyCycle([]float64{1}, []float64{1, 2}, FixSchedulerConfig{}, 30); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SimulateDutyCycle(nil, nil, FixSchedulerConfig{}, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestSimulateDutyCycleSavesFixes(t *testing.T) {
+	// A 30-minute walk at 1.8 steps/s, 0.7 m strides.
+	n := int(30 * 60 * 1.8)
+	strides := make([]float64, n)
+	times := make([]float64, n)
+	for i := range strides {
+		strides[i] = 0.7
+		times[i] = float64(i) / 1.8
+	}
+	stats, err := SimulateDutyCycle(strides, times, FixSchedulerConfig{Budget: 10}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != n {
+		t.Errorf("steps = %d", stats.Steps)
+	}
+	// Periodic: one fix per 30 s = 60 fixes. Scheduled: uncertainty grows
+	// ~0.07 m/step -> fix every ~143 steps (~80 s) -> ~22 fixes.
+	if stats.PeriodicFixes < 55 {
+		t.Errorf("periodic fixes = %d, want ~60", stats.PeriodicFixes)
+	}
+	if stats.ScheduledFixes >= stats.PeriodicFixes {
+		t.Errorf("scheduler (%d fixes) should beat periodic (%d)", stats.ScheduledFixes, stats.PeriodicFixes)
+	}
+	if stats.ScheduledFixes == 0 {
+		t.Error("scheduler never fixed on a 1.2 km walk")
+	}
+	// The scheduler guarantees bounded drift.
+	if stats.WorstDrift > 10+0.1 {
+		t.Errorf("worst drift = %v, exceeds the 10 m budget", stats.WorstDrift)
+	}
+}
+
+func TestSimulateDutyCycleIdlePeriods(t *testing.T) {
+	// Standing still: no steps, no uncertainty growth -> the scheduler
+	// needs no fixes while periodic GPS keeps burning energy.
+	n := 100
+	strides := make([]float64, n) // all zero
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = float64(i) * 10 // one "step event" per 10 s, zero stride
+	}
+	stats, err := SimulateDutyCycle(strides, times, FixSchedulerConfig{}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ScheduledFixes != 0 {
+		t.Errorf("scheduler fixed %d times while stationary", stats.ScheduledFixes)
+	}
+	if stats.PeriodicFixes < 30 {
+		t.Errorf("periodic fixes = %d over ~1000 s", stats.PeriodicFixes)
+	}
+	if math.Abs(stats.WorstDrift) > 1e-12 {
+		t.Errorf("drift while stationary: %v", stats.WorstDrift)
+	}
+}

@@ -1,0 +1,245 @@
+package deadreckon
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ptrack/internal/vecmath"
+)
+
+// CorridorMap is a walkable-area model: a set of corridor segments with
+// widths. Dead-reckoned positions can be constrained to it, which is how
+// indoor systems curb heading drift (the paper's motivation: boosting
+// "accuracy and robustness of location-based applications").
+type CorridorMap struct {
+	segments []corridor
+}
+
+type corridor struct {
+	a, b  vecmath.Vec3
+	halfW float64
+}
+
+// NewCorridorMap builds a map from a route polyline, giving every leg the
+// given corridor width (metres).
+func NewCorridorMap(r *Route, width float64) (*CorridorMap, error) {
+	if r == nil || len(r.Waypoints) < 2 {
+		return nil, fmt.Errorf("deadreckon: corridor map needs a route with >= 2 waypoints")
+	}
+	if width <= 0 {
+		return nil, fmt.Errorf("deadreckon: corridor width must be positive, got %v", width)
+	}
+	m := &CorridorMap{}
+	for i := 1; i < len(r.Waypoints); i++ {
+		m.segments = append(m.segments, corridor{
+			a:     r.Waypoints[i-1],
+			b:     r.Waypoints[i],
+			halfW: width / 2,
+		})
+	}
+	return m, nil
+}
+
+// DistanceOutside returns how far p lies outside the walkable area (0 when
+// inside any corridor).
+func (m *CorridorMap) DistanceOutside(p vecmath.Vec3) float64 {
+	p.Z = 0
+	best := math.Inf(1)
+	for _, c := range m.segments {
+		d := pointSegmentDistance(p, c.a, c.b) - c.halfW
+		if d < 0 {
+			return 0
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Walkable reports whether p lies inside a corridor.
+func (m *CorridorMap) Walkable(p vecmath.Vec3) bool { return m.DistanceOutside(p) == 0 }
+
+// ParticleFilter fuses step-and-heading dead reckoning with the corridor
+// map: particles carry position and a heading-bias hypothesis, propagate
+// per step with noise, are weighted down when they leave the walkable
+// area, and are resampled. The estimate is the weighted particle mean.
+// Construct with NewParticleFilter; not safe for concurrent use.
+type ParticleFilter struct {
+	m         *CorridorMap
+	particles []particle
+	rng       *rand.Rand
+
+	strideNoise  float64 // fractional stride noise per step
+	headingNoise float64 // rad per step
+	biasNoise    float64 // heading-bias random walk, rad per step
+	outsideDecay float64 // weight decay per metre outside the map
+}
+
+type particle struct {
+	pos    vecmath.Vec3
+	bias   float64 // heading bias hypothesis, rad
+	weight float64
+}
+
+// ParticleFilterConfig tunes the filter. Zero values select defaults.
+type ParticleFilterConfig struct {
+	Particles    int     // default 400
+	Seed         int64   // default 1
+	StrideNoise  float64 // default 0.05 (5% of stride)
+	HeadingNoise float64 // default 0.03 rad
+	BiasNoise    float64 // default 0.005 rad
+	OutsideDecay float64 // default 4 (weight × exp(−4·metres outside))
+}
+
+// NewParticleFilter starts all particles at the given position.
+func NewParticleFilter(m *CorridorMap, start vecmath.Vec3, cfg ParticleFilterConfig) (*ParticleFilter, error) {
+	if m == nil {
+		return nil, fmt.Errorf("deadreckon: nil corridor map")
+	}
+	if cfg.Particles == 0 {
+		cfg.Particles = 400
+	}
+	if cfg.Particles < 10 {
+		return nil, fmt.Errorf("deadreckon: need at least 10 particles, got %d", cfg.Particles)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.StrideNoise == 0 {
+		cfg.StrideNoise = 0.05
+	}
+	if cfg.HeadingNoise == 0 {
+		cfg.HeadingNoise = 0.03
+	}
+	if cfg.BiasNoise == 0 {
+		cfg.BiasNoise = 0.005
+	}
+	if cfg.OutsideDecay == 0 {
+		cfg.OutsideDecay = 4
+	}
+	start.Z = 0
+	pf := &ParticleFilter{
+		m:            m,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		strideNoise:  cfg.StrideNoise,
+		headingNoise: cfg.HeadingNoise,
+		biasNoise:    cfg.BiasNoise,
+		outsideDecay: cfg.OutsideDecay,
+	}
+	pf.particles = make([]particle, cfg.Particles)
+	for i := range pf.particles {
+		pf.particles[i] = particle{
+			pos:    start,
+			bias:   pf.rng.NormFloat64() * 0.02,
+			weight: 1,
+		}
+	}
+	return pf, nil
+}
+
+// Step propagates every particle by one detected step and returns the
+// current position estimate.
+func (pf *ParticleFilter) Step(stride, heading float64) vecmath.Vec3 {
+	if stride < 0 {
+		stride = 0
+	}
+	var wSum float64
+	for i := range pf.particles {
+		p := &pf.particles[i]
+		p.bias += pf.rng.NormFloat64() * pf.biasNoise
+		h := heading + p.bias + pf.rng.NormFloat64()*pf.headingNoise
+		s := stride * (1 + pf.rng.NormFloat64()*pf.strideNoise)
+		p.pos = p.pos.Add(vecmath.V3(s*math.Cos(h), s*math.Sin(h), 0))
+		if d := pf.m.DistanceOutside(p.pos); d > 0 {
+			p.weight *= math.Exp(-pf.outsideDecay * d)
+		}
+		wSum += p.weight
+	}
+	if wSum <= 1e-12 || pf.effectiveParticles(wSum) < float64(len(pf.particles))/2 {
+		pf.resample(wSum)
+	}
+	return pf.Estimate()
+}
+
+// Estimate returns the weighted mean position.
+func (pf *ParticleFilter) Estimate() vecmath.Vec3 {
+	var sum vecmath.Vec3
+	var wSum float64
+	for _, p := range pf.particles {
+		sum = sum.Add(p.pos.Scale(p.weight))
+		wSum += p.weight
+	}
+	if wSum <= 0 {
+		return pf.particles[0].pos
+	}
+	return sum.Scale(1 / wSum)
+}
+
+// effectiveParticles is the standard ESS = (Σw)²/Σw².
+func (pf *ParticleFilter) effectiveParticles(wSum float64) float64 {
+	var sq float64
+	for _, p := range pf.particles {
+		sq += p.weight * p.weight
+	}
+	if sq == 0 {
+		return 0
+	}
+	return wSum * wSum / sq
+}
+
+// resample draws a fresh particle set with systematic resampling. A fully
+// degenerate set (all weights ~0, e.g. every particle off-map) restarts
+// from the current estimate.
+func (pf *ParticleFilter) resample(wSum float64) {
+	n := len(pf.particles)
+	if wSum <= 1e-12 {
+		est := pf.Estimate()
+		for i := range pf.particles {
+			pf.particles[i] = particle{
+				pos:    est.Add(vecmath.V3(pf.rng.NormFloat64()*0.5, pf.rng.NormFloat64()*0.5, 0)),
+				bias:   pf.rng.NormFloat64() * 0.02,
+				weight: 1,
+			}
+		}
+		return
+	}
+	out := make([]particle, n)
+	step := wSum / float64(n)
+	u := pf.rng.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+pf.particles[j].weight < target && j < n-1 {
+			cum += pf.particles[j].weight
+			j++
+		}
+		out[i] = pf.particles[j]
+		out[i].weight = 1
+	}
+	pf.particles = out
+}
+
+// Fix injects an absolute position observation (a GPS fix, a WiFi or
+// door landmark — the paper's [3] Travi-Navi style): every particle is
+// re-weighted by a Gaussian likelihood around the observation, and the
+// heading-bias hypotheses survive, so repeated fixes let the filter learn
+// the compass bias. sigma is the observation's standard deviation in
+// metres (non-positive values default to 3).
+func (pf *ParticleFilter) Fix(pos vecmath.Vec3, sigma float64) {
+	pos.Z = 0
+	if sigma <= 0 {
+		sigma = 3
+	}
+	var wSum float64
+	inv := 1 / (2 * sigma * sigma)
+	for i := range pf.particles {
+		p := &pf.particles[i]
+		d2 := p.pos.Sub(pos).NormSq()
+		p.weight *= math.Exp(-d2 * inv)
+		wSum += p.weight
+	}
+	pf.resample(wSum)
+}

@@ -1,0 +1,241 @@
+package deadreckon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptrack/internal/vecmath"
+)
+
+func TestNewCorridorMapValidation(t *testing.T) {
+	if _, err := NewCorridorMap(nil, 3); err == nil {
+		t.Error("nil route accepted")
+	}
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 10}})
+	if _, err := NewCorridorMap(r, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewCorridorMap(r, 3); err != nil {
+		t.Errorf("valid map rejected: %v", err)
+	}
+}
+
+func TestCorridorMapWalkable(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 10}})
+	m, err := NewCorridorMap(r, 4) // half-width 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		p    vecmath.Vec3
+		in   bool
+		dist float64
+	}{
+		{vecmath.V3(5, 0, 0), true, 0},
+		{vecmath.V3(5, 1.9, 0), true, 0},
+		{vecmath.V3(5, 3, 0), false, 1},
+		{vecmath.V3(-4, 0, 0), false, 2},
+		{vecmath.V3(5, -2.5, 9), false, 0.5}, // Z ignored
+	}
+	for _, tt := range tests {
+		if got := m.Walkable(tt.p); got != tt.in {
+			t.Errorf("walkable(%v) = %v", tt.p, got)
+		}
+		if got := m.DistanceOutside(tt.p); math.Abs(got-tt.dist) > 1e-9 {
+			t.Errorf("distanceOutside(%v) = %v, want %v", tt.p, got, tt.dist)
+		}
+	}
+}
+
+func TestNewParticleFilterValidation(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 10}})
+	m, _ := NewCorridorMap(r, 4)
+	if _, err := NewParticleFilter(nil, vecmath.Vec3{}, ParticleFilterConfig{}); err == nil {
+		t.Error("nil map accepted")
+	}
+	if _, err := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{Particles: 3}); err == nil {
+		t.Error("too few particles accepted")
+	}
+	if _, err := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// simulateStepsWithBias generates step headings with a constant compass
+// bias — the systematic error map matching should absorb.
+func simulateStepsWithBias(n int, trueHeading, bias float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = trueHeading + bias + rng.NormFloat64()*0.02
+	}
+	return out
+}
+
+func TestParticleFilterAbsorbsHeadingBias(t *testing.T) {
+	// A 100 m straight corridor walked with a 6-degree heading bias:
+	// unconstrained dead reckoning drifts ~10 m off axis; the particle
+	// filter must keep the estimate inside the 4 m corridor.
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 120}})
+	m, _ := NewCorridorMap(r, 4)
+	pf, err := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const (
+		steps  = 140
+		stride = 0.7
+		bias   = 0.10 // ~6 degrees
+	)
+	headings := simulateStepsWithBias(steps, 0, bias, rng)
+
+	plain := NewTracker(vecmath.Vec3{})
+	var pfEnd vecmath.Vec3
+	for i, h := range headings {
+		plain.Step(float64(i), stride, h)
+		pfEnd = pf.Step(stride, h)
+	}
+	plainOff := math.Abs(plain.Position().Y)
+	pfOff := math.Abs(pfEnd.Y)
+	t.Logf("cross-corridor drift: plain %.1f m, particle filter %.1f m", plainOff, pfOff)
+	if plainOff < 5 {
+		t.Fatalf("test setup: plain drift only %.1f m", plainOff)
+	}
+	if pfOff > 2.5 {
+		t.Errorf("map-matched drift %.1f m, want inside the corridor", pfOff)
+	}
+	// Forward progress must be preserved (not killed by the constraint).
+	if pfEnd.X < 0.8*float64(steps)*stride {
+		t.Errorf("forward progress %.1f m, want ~%.1f", pfEnd.X, float64(steps)*stride)
+	}
+}
+
+func TestParticleFilterOnMallRoute(t *testing.T) {
+	// Walk the Fig. 9 route with noisy headings; the filtered path must
+	// track the corridors tighter than plain dead reckoning.
+	route := MallRoute()
+	m, _ := NewCorridorMap(route, 5)
+	pf, err := NewParticleFilter(m, route.Waypoints[0], ParticleFilterConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewTracker(route.Waypoints[0])
+	rng := rand.New(rand.NewSource(9))
+
+	const stride = 0.7
+	headings := route.LegHeadings()
+	var filtered []Fix
+	stepIdx := 0
+	for li, h := range headings {
+		legLen := route.Waypoints[li+1].Sub(route.Waypoints[li]).Norm()
+		n := int(legLen / stride)
+		for s := 0; s < n; s++ {
+			noisy := h + 0.06 + rng.NormFloat64()*0.03 // bias + jitter
+			plain.Step(float64(stepIdx), stride, noisy)
+			pos := pf.Step(stride, noisy)
+			filtered = append(filtered, Fix{T: float64(stepIdx), Pos: pos})
+			stepIdx++
+		}
+	}
+	pePlain := CompareToRoute(plain.Path(), route)
+	pePF := CompareToRoute(filtered, route)
+	t.Logf("mean cross-track: plain %.2f m, filtered %.2f m", pePlain.Mean, pePF.Mean)
+	if pePF.Mean >= pePlain.Mean {
+		t.Errorf("map matching did not help: %.2f vs %.2f", pePF.Mean, pePlain.Mean)
+	}
+	if pePF.Mean > 2.5 {
+		t.Errorf("filtered cross-track %.2f m too large", pePF.Mean)
+	}
+}
+
+func TestParticleFilterDeterministic(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 50}})
+	m, _ := NewCorridorMap(r, 4)
+	run := func() vecmath.Vec3 {
+		pf, _ := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{Seed: 5})
+		var end vecmath.Vec3
+		for i := 0; i < 40; i++ {
+			end = pf.Step(0.7, 0.02)
+		}
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestParticleFilterNegativeStride(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 50}})
+	m, _ := NewCorridorMap(r, 4)
+	pf, _ := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{Seed: 6})
+	before := pf.Estimate()
+	after := pf.Step(-1, 0)
+	if after.Sub(before).Norm() > 0.1 {
+		t.Errorf("negative stride moved the estimate: %v -> %v", before, after)
+	}
+}
+
+func TestParticleFilterFixCorrectsDrift(t *testing.T) {
+	// Long corridor, strong heading bias, periodic absolute fixes driven
+	// by the duty-cycle scheduler: the combination must hold the estimate
+	// near the true position with only a handful of fixes.
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 200}})
+	m, _ := NewCorridorMap(r, 6)
+	pf, err := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewFixScheduler(FixSchedulerConfig{Budget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	const (
+		steps  = 250
+		stride = 0.7
+		bias   = 0.12
+	)
+	fixes := 0
+	var worstErr float64
+	for i := 0; i < steps; i++ {
+		noisy := bias + rng.NormFloat64()*0.02
+		est := pf.Step(stride, noisy)
+		truePos := vecmath.V3(float64(i+1)*stride, 0, 0)
+		if sched.Step(stride) {
+			// "Take a fix": the application obtains an absolute position
+			// (true position + GPS-like noise) and injects it.
+			obs := truePos.Add(vecmath.V3(rng.NormFloat64()*2, rng.NormFloat64()*2, 0))
+			pf.Fix(obs, 3)
+			fixes++
+		}
+		if e := est.Sub(truePos).Norm(); e > worstErr {
+			worstErr = e
+		}
+	}
+	t.Logf("fixes=%d worst position error=%.1f m over %d steps", fixes, worstErr, steps)
+	if fixes == 0 || fixes > 25 {
+		t.Errorf("fixes = %d, want a handful", fixes)
+	}
+	if worstErr > 12 {
+		t.Errorf("worst error %.1f m despite map + fixes", worstErr)
+	}
+	// Final estimate near the true end.
+	end := pf.Estimate()
+	if d := end.Sub(vecmath.V3(steps*stride, 0, 0)).Norm(); d > 8 {
+		t.Errorf("final error %.1f m", d)
+	}
+}
+
+func TestParticleFilterFixDefaultsSigma(t *testing.T) {
+	r, _ := NewRoute([]vecmath.Vec3{{X: 0}, {X: 50}})
+	m, _ := NewCorridorMap(r, 4)
+	pf, _ := NewParticleFilter(m, vecmath.Vec3{}, ParticleFilterConfig{Seed: 12})
+	for i := 0; i < 10; i++ {
+		pf.Step(0.7, 0)
+	}
+	pf.Fix(vecmath.V3(3, 0, 0), -1) // sigma defaults
+	if d := pf.Estimate().Sub(vecmath.V3(3, 0, 0)).Norm(); d > 4 {
+		t.Errorf("estimate %.1f m from the fix", d)
+	}
+}

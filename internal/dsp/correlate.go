@@ -1,0 +1,125 @@
+package dsp
+
+import "math"
+
+// AutoCorrAt returns the normalised (Pearson) auto-correlation of x at the
+// given lag: corr(x[0:n-lag], x[lag:n]) with the mean removed. The result
+// is in [-1, 1]. It returns 0 when the overlap is shorter than 2 samples or
+// either segment has zero variance.
+func AutoCorrAt(x []float64, lag int) float64 {
+	if lag < 0 {
+		lag = -lag
+	}
+	n := len(x) - lag
+	if n < 2 {
+		return 0
+	}
+	a := x[:n]
+	b := x[lag : lag+n]
+	return Pearson(a, b)
+}
+
+// Pearson returns the Pearson correlation coefficient of equal-length a and
+// b, or 0 when undefined (length < 2, length mismatch, or zero variance).
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var saa, sbb, sab float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		saa += da * da
+		sbb += db * db
+		sab += da * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// HalfCycleCorrelation computes the paper's stepping test statistic C
+// (§III-B1): the auto-correlation of one gait cycle's anterior acceleration
+// at half the cycle length. A stepping gait repeats its (co)sine-like
+// pattern twice per cycle (left and right step), so C is large and
+// positive; back-and-forth arm gestures flip phase at the half cycle,
+// driving C negative.
+func HalfCycleCorrelation(cycle []float64) float64 {
+	return AutoCorrAt(cycle, len(cycle)/2)
+}
+
+// CrossCorrBestLag searches lags in [-maxLag, maxLag] and returns the lag
+// that maximises the normalised cross-correlation between a and b, together
+// with that correlation value. Positive lag means b is delayed relative to
+// a. It returns (0, 0) when no valid lag exists.
+func CrossCorrBestLag(a, b []float64, maxLag int) (bestLag int, bestCorr float64) {
+	if maxLag < 0 {
+		maxLag = -maxLag
+	}
+	bestCorr = math.Inf(-1)
+	found := false
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		c, ok := crossCorrAt(a, b, lag)
+		if !ok {
+			continue
+		}
+		if c > bestCorr {
+			bestCorr = c
+			bestLag = lag
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0
+	}
+	return bestLag, bestCorr
+}
+
+// crossCorrAt computes the normalised correlation of a[i] with b[i+lag]
+// over their overlap.
+func crossCorrAt(a, b []float64, lag int) (float64, bool) {
+	var as, bs []float64
+	if lag >= 0 {
+		if lag >= len(b) {
+			return 0, false
+		}
+		bs = b[lag:]
+		as = a
+	} else {
+		if -lag >= len(a) {
+			return 0, false
+		}
+		as = a[-lag:]
+		bs = b
+	}
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	if n < 2 {
+		return 0, false
+	}
+	return Pearson(as[:n], bs[:n]), true
+}
+
+// DominantLag estimates the fundamental period of x in samples by locating
+// the first prominent peak of the auto-correlation between minLag and
+// maxLag. It returns 0 when no peak exceeds threshold.
+func DominantLag(x []float64, minLag, maxLag int, threshold float64) int {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	bestLag, bestVal := 0, threshold
+	for lag := minLag; lag <= maxLag; lag++ {
+		v := AutoCorrAt(x, lag)
+		if v > bestVal {
+			bestVal = v
+			bestLag = lag
+		}
+	}
+	return bestLag
+}

@@ -1,0 +1,125 @@
+package dsp
+
+import "math"
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of the complex sequence (re, im). Both slices must have the
+// same power-of-two length; other lengths leave the input unchanged and
+// return false.
+func FFT(re, im []float64) bool {
+	n := len(re)
+	if n == 0 || n != len(im) || n&(n-1) != 0 {
+		return false
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			for k := 0; k < length/2; k++ {
+				i, j := start+k, start+k+length/2
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j], im[j] = re[i]-tRe, im[i]-tIm
+				re[i], im[i] = re[i]+tRe, im[i]+tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+	return true
+}
+
+// IFFT computes the inverse FFT in place (same length constraints as FFT).
+func IFFT(re, im []float64) bool {
+	n := len(re)
+	if n == 0 || n != len(im) || n&(n-1) != 0 {
+		return false
+	}
+	for i := range im {
+		im[i] = -im[i]
+	}
+	FFT(re, im)
+	for i := range re {
+		re[i] /= float64(n)
+		im[i] = -im[i] / float64(n)
+	}
+	return true
+}
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SpectrumPoint is one bin of a power spectral density estimate.
+type SpectrumPoint struct {
+	FreqHz float64
+	Power  float64
+}
+
+// PowerSpectrum estimates the one-sided power spectrum of x (mean removed,
+// Hann windowed, zero padded to a power of two). It returns bins from DC
+// to Nyquist. An empty input or non-positive rate yields nil.
+func PowerSpectrum(x []float64, sampleRateHz float64) []SpectrumPoint {
+	if len(x) < 2 || sampleRateHz <= 0 {
+		return nil
+	}
+	xm := RemoveMean(x)
+	// Hann window against spectral leakage.
+	n := len(xm)
+	for i := range xm {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+		xm[i] *= w
+	}
+	m := nextPow2(n)
+	re := make([]float64, m)
+	im := make([]float64, m)
+	copy(re, xm)
+	FFT(re, im)
+
+	half := m/2 + 1
+	out := make([]SpectrumPoint, half)
+	df := sampleRateHz / float64(m)
+	norm := 1 / float64(n)
+	for k := 0; k < half; k++ {
+		p := (re[k]*re[k] + im[k]*im[k]) * norm
+		if k != 0 && k != m/2 {
+			p *= 2 // fold the negative frequencies
+		}
+		out[k] = SpectrumPoint{FreqHz: float64(k) * df, Power: p}
+	}
+	return out
+}
+
+// PeakFrequency returns the frequency of the strongest spectral bin within
+// [minHz, maxHz], or 0 when the band is empty.
+func PeakFrequency(spec []SpectrumPoint, minHz, maxHz float64) float64 {
+	bestF, bestP := 0.0, 0.0
+	for _, sp := range spec {
+		if sp.FreqHz < minHz || sp.FreqHz > maxHz {
+			continue
+		}
+		if sp.Power > bestP {
+			bestP = sp.Power
+			bestF = sp.FreqHz
+		}
+	}
+	return bestF
+}

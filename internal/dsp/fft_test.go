@@ -1,0 +1,153 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownTransform(t *testing.T) {
+	// DFT of [1, 0, 0, 0] is all ones.
+	re := []float64{1, 0, 0, 0}
+	im := make([]float64, 4)
+	if !FFT(re, im) {
+		t.Fatal("FFT refused power-of-two input")
+	}
+	for k := 0; k < 4; k++ {
+		if math.Abs(re[k]-1) > 1e-12 || math.Abs(im[k]) > 1e-12 {
+			t.Errorf("bin %d = (%v, %v), want (1, 0)", k, re[k], im[k])
+		}
+	}
+}
+
+func TestFFTSineBin(t *testing.T) {
+	// A sine at exactly bin 8 of a 64-point transform concentrates there.
+	const n = 64
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = math.Sin(2 * math.Pi * 8 * float64(i) / n)
+	}
+	FFT(re, im)
+	mag := func(k int) float64 { return math.Hypot(re[k], im[k]) }
+	if mag(8) < 30 {
+		t.Errorf("bin 8 magnitude = %v, want ~32", mag(8))
+	}
+	for k := 1; k < n/2; k++ {
+		if k != 8 && mag(k) > 1e-9 {
+			t.Errorf("leakage at bin %d: %v", k, mag(k))
+		}
+	}
+}
+
+func TestFFTRejectsBadLengths(t *testing.T) {
+	if FFT(make([]float64, 3), make([]float64, 3)) {
+		t.Error("accepted non-power-of-two")
+	}
+	if FFT(nil, nil) {
+		t.Error("accepted empty input")
+	}
+	if FFT(make([]float64, 4), make([]float64, 8)) {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestIFFTRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		re := make([]float64, n)
+		im := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			orig[i] = re[i]
+		}
+		FFT(re, im)
+		IFFT(re, im)
+		for i := range re {
+			if math.Abs(re[i]-orig[i]) > 1e-9 || math.Abs(im[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Energy in time equals energy in frequency / N.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		re := make([]float64, n)
+		im := make([]float64, n)
+		var eTime float64
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			eTime += re[i] * re[i]
+		}
+		FFT(re, im)
+		var eFreq float64
+		for i := range re {
+			eFreq += re[i]*re[i] + im[i]*im[i]
+		}
+		return math.Abs(eTime-eFreq/float64(n)) < 1e-6*(1+eTime)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerSpectrumFindsTone(t *testing.T) {
+	const fs = 100.0
+	x := sine(500, 1.8, fs, 1)
+	spec := PowerSpectrum(x, fs)
+	if len(spec) == 0 {
+		t.Fatal("empty spectrum")
+	}
+	if got := PeakFrequency(spec, 0.5, 5); math.Abs(got-1.8) > 0.2 {
+		t.Errorf("peak frequency = %v, want 1.8", got)
+	}
+	// DC must not dominate after mean removal.
+	if spec[0].Power > spec[9].Power {
+		t.Errorf("DC power %v exceeds tone-band power %v", spec[0].Power, spec[9].Power)
+	}
+}
+
+func TestPowerSpectrumDegenerate(t *testing.T) {
+	if PowerSpectrum(nil, 100) != nil {
+		t.Error("nil input should yield nil")
+	}
+	if PowerSpectrum([]float64{1}, 100) != nil {
+		t.Error("single sample should yield nil")
+	}
+	if PowerSpectrum([]float64{1, 2, 3}, 0) != nil {
+		t.Error("zero rate should yield nil")
+	}
+}
+
+func TestPeakFrequencyEmptyBand(t *testing.T) {
+	spec := PowerSpectrum(sine(256, 2, 100, 1), 100)
+	// Beyond Nyquist: no bins exist there.
+	if got := PeakFrequency(spec, 60, 70); got != 0 {
+		t.Errorf("empty band peak = %v", got)
+	}
+	if got := PeakFrequency(nil, 0, 10); got != 0 {
+		t.Errorf("nil spectrum peak = %v", got)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {129, 256},
+	}
+	for _, tt := range tests {
+		if got := nextPow2(tt.in); got != tt.want {
+			t.Errorf("nextPow2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package dsp implements the signal-processing primitives PTrack builds on:
+// low-pass filters, peak and zero-crossing detection, auto/cross
+// correlation, mean-removal double integration (after MoLe, MobiCom'15),
+// summary statistics and frequency estimation.
+//
+// All routines operate on plain []float64 sample slices. Unless stated
+// otherwise they do not mutate their inputs and return freshly allocated
+// output (slices and maps are copied at API boundaries).
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowPassSinglePole applies a first-order IIR low-pass filter
+// y[i] = y[i-1] + alpha*(x[i]-y[i-1]) with alpha derived from the cutoff
+// frequency (Hz) and the sample rate (Hz). It is the classic smoothing
+// filter used by pedometer front ends. It returns a new slice.
+func LowPassSinglePole(x []float64, cutoffHz, sampleRateHz float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	alpha := singlePoleAlpha(cutoffHz, sampleRateHz)
+	out := make([]float64, len(x))
+	out[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		out[i] = out[i-1] + alpha*(x[i]-out[i-1])
+	}
+	return out
+}
+
+func singlePoleAlpha(cutoffHz, sampleRateHz float64) float64 {
+	if cutoffHz <= 0 || sampleRateHz <= 0 {
+		return 1 // pass-through
+	}
+	dt := 1 / sampleRateHz
+	rc := 1 / (2 * math.Pi * cutoffHz)
+	return dt / (rc + dt)
+}
+
+// Biquad is a second-order IIR filter section (direct form I). The zero
+// value is a pass-through for b0=0; construct with NewLowPassBiquad.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	x1, x2     float64
+	y1, y2     float64
+}
+
+// NewLowPassBiquad builds a Butterworth (Q = 1/sqrt(2)) second-order
+// low-pass biquad with the given cutoff. It returns an error when the
+// cutoff is not in (0, sampleRate/2).
+func NewLowPassBiquad(cutoffHz, sampleRateHz float64) (*Biquad, error) {
+	if sampleRateHz <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate must be positive, got %v", sampleRateHz)
+	}
+	if cutoffHz <= 0 || cutoffHz >= sampleRateHz/2 {
+		return nil, fmt.Errorf("dsp: cutoff %v Hz outside (0, %v) Hz", cutoffHz, sampleRateHz/2)
+	}
+	const q = math.Sqrt2 / 2
+	w0 := 2 * math.Pi * cutoffHz / sampleRateHz
+	cosW0, sinW0 := math.Cos(w0), math.Sin(w0)
+	alpha := sinW0 / (2 * q)
+
+	a0 := 1 + alpha
+	f := &Biquad{
+		b0: (1 - cosW0) / 2 / a0,
+		b1: (1 - cosW0) / a0,
+		b2: (1 - cosW0) / 2 / a0,
+		a1: -2 * cosW0 / a0,
+		a2: (1 - alpha) / a0,
+	}
+	return f, nil
+}
+
+// Process filters a single sample, advancing the filter state.
+func (f *Biquad) Process(x float64) float64 {
+	y := f.b0*x + f.b1*f.x1 + f.b2*f.x2 - f.a1*f.y1 - f.a2*f.y2
+	f.x2, f.x1 = f.x1, x
+	f.y2, f.y1 = f.y1, y
+	return y
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.x1, f.x2, f.y1, f.y2 = 0, 0, 0, 0 }
+
+// Apply filters a whole slice, returning a new slice. The filter state is
+// reset first, and primed with the first sample to suppress the start-up
+// transient on signals with a non-zero baseline.
+func (f *Biquad) Apply(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	f.Reset()
+	f.x1, f.x2 = x[0], x[0]
+	f.y1, f.y2 = x[0], x[0]
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = f.Process(v)
+	}
+	return out
+}
+
+// LowPassButterworth is a convenience wrapper: it builds a Butterworth
+// biquad and applies it forward over x. Invalid parameters degrade to a
+// pass-through copy, which is the safe behaviour for a smoothing stage.
+func LowPassButterworth(x []float64, cutoffHz, sampleRateHz float64) []float64 {
+	f, err := NewLowPassBiquad(cutoffHz, sampleRateHz)
+	if err != nil {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	return f.Apply(x)
+}
+
+// FiltFilt applies the Butterworth low-pass forward and then backward,
+// cancelling the phase delay (zero-phase filtering). PTrack's critical-point
+// timing analysis needs phase-preserving smoothing, so this is the filter
+// used ahead of offset computation.
+func FiltFilt(x []float64, cutoffHz, sampleRateHz float64) []float64 {
+	fwd := LowPassButterworth(x, cutoffHz, sampleRateHz)
+	Reverse(fwd)
+	bwd := LowPassButterworth(fwd, cutoffHz, sampleRateHz)
+	Reverse(bwd)
+	return bwd
+}
+
+// MovingAverage smooths x with a centred window of the given odd width.
+// Edges use a shrunken window. width < 2 returns a copy.
+func MovingAverage(x []float64, width int) []float64 {
+	out := make([]float64, len(x))
+	if width < 2 {
+		copy(out, x)
+		return out
+	}
+	half := width / 2
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(x)-1 {
+			hi = len(x) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += x[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Reverse reverses x in place.
+func Reverse(x []float64) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// Detrend removes the least-squares straight line from x, returning a new
+// slice. Slices shorter than 2 are returned as copies.
+func Detrend(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) < 2 {
+		copy(out, x)
+		return out
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i, v := range x {
+		fi := float64(i)
+		sx += fi
+		sy += v
+		sxx += fi * fi
+		sxy += fi * v
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		copy(out, x)
+		return out
+	}
+	b := (n*sxy - sx*sy) / denom
+	a := (sy - b*sx) / n
+	for i, v := range x {
+		out[i] = v - (a + b*float64(i))
+	}
+	return out
+}
+
+// RemoveMean subtracts the mean of x, returning a new slice.
+func RemoveMean(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	m := Mean(x)
+	for i, v := range x {
+		out[i] = v - m
+	}
+	return out
+}

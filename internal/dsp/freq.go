@@ -1,0 +1,47 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates the power of x at the single frequency freqHz using
+// the Goertzel algorithm — an O(n) single-bin DFT, which is all the
+// activity classifier needs (no full FFT required). The returned value is
+// the squared magnitude of the DFT bin, normalised by the window length.
+func Goertzel(x []float64, freqHz, sampleRateHz float64) float64 {
+	n := len(x)
+	if n == 0 || sampleRateHz <= 0 {
+		return 0
+	}
+	// Nearest integer bin keeps the recurrence exact.
+	k := math.Round(freqHz / sampleRateHz * float64(n))
+	w := 2 * math.Pi * k / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / float64(n)
+}
+
+// DominantFrequency estimates the strongest frequency of x in
+// [minHz, maxHz] by scanning Goertzel bins at the DFT resolution. It
+// returns 0 when the slice is too short or the band is empty.
+func DominantFrequency(x []float64, sampleRateHz, minHz, maxHz float64) float64 {
+	n := len(x)
+	if n < 4 || sampleRateHz <= 0 || maxHz <= minHz {
+		return 0
+	}
+	xm := RemoveMean(x)
+	df := sampleRateHz / float64(n)
+	bestF, bestP := 0.0, 0.0
+	for f := math.Max(df, minHz); f <= maxHz && f < sampleRateHz/2; f += df {
+		p := Goertzel(xm, f, sampleRateHz)
+		if p > bestP {
+			bestP = p
+			bestF = f
+		}
+	}
+	return bestF
+}

@@ -1,0 +1,124 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoertzelDetectsTone(t *testing.T) {
+	const fs = 100.0
+	x := sine(500, 5, fs, 1)
+	at5 := Goertzel(x, 5, fs)
+	at12 := Goertzel(x, 12, fs)
+	if at5 <= 10*at12 {
+		t.Errorf("tone power %v not dominant over off-bin %v", at5, at12)
+	}
+}
+
+func TestGoertzelEmpty(t *testing.T) {
+	if got := Goertzel(nil, 5, 100); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := Goertzel([]float64{1, 2}, 5, 0); got != 0 {
+		t.Errorf("zero rate = %v", got)
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	const fs = 100.0
+	tests := []struct {
+		name string
+		freq float64
+	}{
+		{"walking-cadence", 1.8},
+		{"jogging-cadence", 2.6},
+		{"slow", 0.8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x := sine(1000, tt.freq, fs, 1)
+			got := DominantFrequency(x, fs, 0.3, 5)
+			if math.Abs(got-tt.freq) > 0.15 {
+				t.Errorf("freq = %v, want %v", got, tt.freq)
+			}
+		})
+	}
+}
+
+func TestDominantFrequencyIgnoresDC(t *testing.T) {
+	const fs = 100.0
+	x := sine(1000, 2, fs, 0.5)
+	for i := range x {
+		x[i] += 9.81 // strong DC (gravity)
+	}
+	got := DominantFrequency(x, fs, 0.3, 5)
+	if math.Abs(got-2) > 0.15 {
+		t.Errorf("freq = %v, want 2 despite DC", got)
+	}
+}
+
+func TestDominantFrequencyDegenerate(t *testing.T) {
+	if got := DominantFrequency([]float64{1, 2}, 100, 1, 5); got != 0 {
+		t.Errorf("short input = %v", got)
+	}
+	if got := DominantFrequency(sine(100, 2, 100, 1), 100, 5, 1); got != 0 {
+		t.Errorf("empty band = %v", got)
+	}
+}
+
+func TestResampleLinear(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := ResampleLinear(x, 7)
+	if len(y) != 7 {
+		t.Fatalf("len = %d", len(y))
+	}
+	if y[0] != 0 || y[6] != 3 {
+		t.Errorf("endpoints = %v, %v", y[0], y[6])
+	}
+	if math.Abs(y[3]-1.5) > 1e-12 {
+		t.Errorf("midpoint = %v, want 1.5", y[3])
+	}
+}
+
+func TestResampleLinearDegenerate(t *testing.T) {
+	if y := ResampleLinear(nil, 5); y != nil {
+		t.Errorf("nil input = %v", y)
+	}
+	if y := ResampleLinear([]float64{1, 2}, 0); y != nil {
+		t.Errorf("n=0 = %v", y)
+	}
+	y := ResampleLinear([]float64{7}, 3)
+	for _, v := range y {
+		if v != 7 {
+			t.Errorf("constant expand = %v", y)
+		}
+	}
+	y = ResampleLinear([]float64{1, 2, 3}, 1)
+	if len(y) != 1 || y[0] != 1 {
+		t.Errorf("n=1 = %v", y)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6}
+	y := Decimate(x, 3)
+	want := []float64{0, 3, 6}
+	if len(y) != len(want) {
+		t.Fatalf("len = %d", len(y))
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y = %v, want %v", y, want)
+			break
+		}
+	}
+	// k<=1 copies.
+	y = Decimate(x, 1)
+	if len(y) != len(x) {
+		t.Fatalf("copy len = %d", len(y))
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("Decimate aliases input for k<=1")
+	}
+}

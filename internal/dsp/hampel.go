@@ -1,0 +1,43 @@
+package dsp
+
+import "math"
+
+// Hampel applies a Hampel outlier filter: each sample more than nSigma
+// robust standard deviations (1.4826 × MAD) from its windowed median is
+// replaced by that median. It is the standard pre-filter for IMU spike
+// artefacts (strap knocks, bus glitches). halfWindow is the one-sided
+// window size in samples; a new slice is returned.
+func Hampel(x []float64, halfWindow int, nSigma float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	if halfWindow < 1 || nSigma <= 0 || len(x) < 3 {
+		return out
+	}
+	const k = 1.4826 // MAD to std for Gaussian data
+	win := make([]float64, 0, 2*halfWindow+1)
+	dev := make([]float64, 0, 2*halfWindow+1)
+	for i := range x {
+		lo := i - halfWindow
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + halfWindow
+		if hi > len(x)-1 {
+			hi = len(x) - 1
+		}
+		win = append(win[:0], x[lo:hi+1]...)
+		med := Median(win)
+		dev = dev[:0]
+		for _, v := range win {
+			dev = append(dev, math.Abs(v-med))
+		}
+		mad := Median(dev)
+		if mad == 0 {
+			continue
+		}
+		if math.Abs(x[i]-med) > nSigma*k*mad {
+			out[i] = med
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHampelRemovesSpikes(t *testing.T) {
+	x := sine(200, 2, 100, 1)
+	clean := make([]float64, len(x))
+	copy(clean, x)
+	x[50] = 40
+	x[120] = -35
+	y := Hampel(x, 5, 3)
+	if math.Abs(y[50]-clean[50]) > 0.3 {
+		t.Errorf("spike at 50 not repaired: %v vs %v", y[50], clean[50])
+	}
+	if math.Abs(y[120]-clean[120]) > 0.3 {
+		t.Errorf("spike at 120 not repaired: %v", y[120])
+	}
+	// Inliers untouched.
+	for i := 0; i < len(x); i++ {
+		if i == 50 || i == 120 {
+			continue
+		}
+		if y[i] != x[i] {
+			t.Fatalf("inlier %d modified", i)
+		}
+	}
+}
+
+func TestHampelDegenerate(t *testing.T) {
+	x := []float64{1, 2, 3}
+	// Invalid params: pass-through copy.
+	y := Hampel(x, 0, 3)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("halfWindow 0 should copy")
+		}
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("aliases input")
+	}
+	if got := Hampel(nil, 3, 3); len(got) != 0 {
+		t.Error("nil input")
+	}
+	// Constant signal: MAD 0, nothing replaced.
+	c := []float64{5, 5, 5, 5, 5}
+	y = Hampel(c, 2, 3)
+	for i := range c {
+		if y[i] != 5 {
+			t.Fatal("constant signal modified")
+		}
+	}
+}
+
+func TestHampelEdgesHandled(t *testing.T) {
+	x := sine(50, 2, 100, 1)
+	x[0] = 30
+	y := Hampel(x, 4, 3)
+	if math.Abs(y[0]) > 1 {
+		t.Errorf("edge spike not repaired: %v", y[0])
+	}
+}

@@ -1,0 +1,63 @@
+package dsp
+
+// CumTrapz integrates x with the trapezoidal rule at sample spacing dt,
+// returning the running integral with out[0] = 0.
+func CumTrapz(x []float64, dt float64) []float64 {
+	out := make([]float64, len(x))
+	for i := 1; i < len(x); i++ {
+		out[i] = out[i-1] + (x[i]+x[i-1])/2*dt
+	}
+	return out
+}
+
+// Trapz returns the definite trapezoidal integral of x at spacing dt.
+func Trapz(x []float64, dt float64) float64 {
+	var s float64
+	for i := 1; i < len(x); i++ {
+		s += (x[i] + x[i-1]) / 2 * dt
+	}
+	return s
+}
+
+// DisplacementMeanRemoval computes the displacement travelled over an
+// acceleration segment using the mean-removal double-integration technique
+// of MoLe (Wang et al., MobiCom'15), cited by the paper as [26]. The
+// segment must start and end at (approximately) zero velocity — PTrack's
+// h1, h2 and d segments all satisfy this (§III-C1).
+//
+// The method: over a piece with zero start and end velocity, the true
+// acceleration integrates to zero, so its mean over the piece is exactly
+// zero. The mean of the measured acceleration is therefore an unbiased
+// estimate of the sensor bias; subtracting it before double-integrating
+// removes the bias-induced quadratic drift while leaving the true
+// displacement untouched.
+func DisplacementMeanRemoval(accel []float64, dt float64) float64 {
+	if len(accel) < 2 {
+		return 0
+	}
+	corrected := RemoveMean(accel)
+	vel := CumTrapz(corrected, dt)
+	return Trapz(vel, dt)
+}
+
+// DisplacementNaive double-integrates the acceleration directly with no
+// drift correction. It exists as the baseline PTrack's Fig. 1(d) measures
+// against: even a small accelerometer bias makes its error grow
+// quadratically with segment length.
+func DisplacementNaive(accel []float64, dt float64) float64 {
+	if len(accel) < 2 {
+		return 0
+	}
+	vel := CumTrapz(accel, dt)
+	return Trapz(vel, dt)
+}
+
+// DisplacementSeries returns the running displacement using mean-removal on
+// the acceleration, useful for inspecting the trajectory within a segment.
+func DisplacementSeries(accel []float64, dt float64) []float64 {
+	if len(accel) == 0 {
+		return nil
+	}
+	vel := CumTrapz(RemoveMean(accel), dt)
+	return CumTrapz(vel, dt)
+}

@@ -1,0 +1,143 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCumTrapzLinear(t *testing.T) {
+	// Integral of a constant 2 over t in [0,1] is 2t.
+	n := 101
+	dt := 0.01
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2
+	}
+	y := CumTrapz(x, dt)
+	if math.Abs(y[n-1]-2.0) > 1e-9 {
+		t.Errorf("integral = %v, want 2", y[n-1])
+	}
+	if y[0] != 0 {
+		t.Errorf("y[0] = %v, want 0", y[0])
+	}
+}
+
+func TestTrapzQuadratic(t *testing.T) {
+	// Integral of t^2 over [0,1] = 1/3; trapezoid error ~ O(dt^2).
+	n := 1001
+	dt := 0.001
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) * dt
+		x[i] = ti * ti
+	}
+	if got := Trapz(x, dt); math.Abs(got-1.0/3) > 1e-6 {
+		t.Errorf("integral = %v, want 1/3", got)
+	}
+}
+
+// motionSegment builds an acceleration trace for a smooth move of the given
+// displacement over duration seconds: velocity follows a raised-cosine
+// profile that starts and ends at zero, as PTrack's h1/h2/d segments do.
+func motionSegment(displacement, duration, fs float64) ([]float64, float64) {
+	n := int(duration * fs)
+	dt := 1 / fs
+	accel := make([]float64, n)
+	// v(t) = A*(1-cos(2*pi*t/T))/2, integral over [0,T] = A*T/2 = displacement.
+	amp := 2 * displacement / duration
+	for i := range accel {
+		ti := float64(i) * dt
+		// a(t) = dv/dt = A*pi/T*sin(2*pi*t/T)
+		accel[i] = amp * math.Pi / duration * math.Sin(2*math.Pi*ti/duration)
+	}
+	return accel, dt
+}
+
+func TestDisplacementMeanRemovalExactOnCleanSignal(t *testing.T) {
+	accel, dt := motionSegment(0.25, 0.5, 200)
+	got := DisplacementMeanRemoval(accel, dt)
+	if math.Abs(got-0.25) > 2e-3 {
+		t.Errorf("displacement = %v, want 0.25", got)
+	}
+}
+
+func TestDisplacementMeanRemovalCancelsBias(t *testing.T) {
+	accel, dt := motionSegment(0.25, 0.5, 200)
+	// A constant bias of 0.2 m/s^2 (typical accelerometer residual after
+	// gravity removal) wrecks the naive integral but not mean-removal.
+	biased := make([]float64, len(accel))
+	for i, v := range accel {
+		biased[i] = v + 0.2
+	}
+	naive := DisplacementNaive(biased, dt)
+	mr := DisplacementMeanRemoval(biased, dt)
+	if math.Abs(naive-0.25) < 0.01 {
+		t.Errorf("naive unexpectedly accurate: %v", naive)
+	}
+	if math.Abs(mr-0.25) > 5e-3 {
+		t.Errorf("mean-removal displacement = %v, want 0.25", mr)
+	}
+}
+
+func TestDisplacementMeanRemovalNoisyBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	accel, dt := motionSegment(0.10, 0.4, 200)
+	for i := range accel {
+		accel[i] += 0.1 + 0.05*rng.NormFloat64()
+	}
+	got := DisplacementMeanRemoval(accel, dt)
+	if math.Abs(got-0.10) > 0.015 {
+		t.Errorf("noisy displacement = %v, want 0.10 +- 0.015", got)
+	}
+}
+
+func TestDisplacementShortSegments(t *testing.T) {
+	if got := DisplacementMeanRemoval(nil, 0.01); got != 0 {
+		t.Errorf("nil = %v", got)
+	}
+	if got := DisplacementMeanRemoval([]float64{1}, 0.01); got != 0 {
+		t.Errorf("single = %v", got)
+	}
+	if got := DisplacementNaive([]float64{1}, 0.01); got != 0 {
+		t.Errorf("naive single = %v", got)
+	}
+}
+
+func TestDisplacementSeriesEndsAtDisplacement(t *testing.T) {
+	accel, dt := motionSegment(0.3, 0.6, 100)
+	series := DisplacementSeries(accel, dt)
+	if len(series) != len(accel) {
+		t.Fatalf("len = %d, want %d", len(series), len(accel))
+	}
+	final := series[len(series)-1]
+	if math.Abs(final-0.3) > 5e-3 {
+		t.Errorf("final displacement = %v, want 0.3", final)
+	}
+}
+
+func TestDisplacementMeanRemovalBiasInvarianceProperty(t *testing.T) {
+	// Property: adding any constant bias changes the mean-removal result
+	// by at most a numerical epsilon (the bias is fully absorbed by the
+	// velocity mean removal for segments with symmetric time support).
+	f := func(seed int64, biasRaw float64) bool {
+		bias := math.Mod(biasRaw, 5)
+		if math.IsNaN(bias) || math.IsInf(bias, 0) {
+			bias = 0
+		}
+		rng := rand.New(rand.NewSource(seed))
+		disp := 0.05 + rng.Float64()*0.4
+		accel, dt := motionSegment(disp, 0.5, 200)
+		biased := make([]float64, len(accel))
+		for i, v := range accel {
+			biased[i] = v + bias
+		}
+		a := DisplacementMeanRemoval(accel, dt)
+		b := DisplacementMeanRemoval(biased, dt)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

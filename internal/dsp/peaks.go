@@ -1,0 +1,202 @@
+package dsp
+
+// Extremum is a local maximum or minimum of a sampled signal.
+type Extremum struct {
+	Index int     // sample index
+	Value float64 // sample value
+	Max   bool    // true for a local maximum, false for a minimum
+}
+
+// LocalExtrema finds all strict local maxima and minima of x. Plateaus are
+// reported once at their centre sample. The endpoints are never reported.
+func LocalExtrema(x []float64) []Extremum {
+	var out []Extremum
+	n := len(x)
+	if n < 3 {
+		return out
+	}
+	i := 1
+	for i < n-1 {
+		// Skip forward over any plateau starting at i.
+		j := i
+		for j < n-1 && x[j+1] == x[j] {
+			j++
+		}
+		if j == n-1 {
+			break
+		}
+		left, right := x[i-1], x[j+1]
+		v := x[i]
+		switch {
+		case v > left && v > right:
+			out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: true})
+		case v < left && v < right:
+			out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: false})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// PeakOptions controls FindPeaks.
+type PeakOptions struct {
+	// MinHeight discards maxima below this value. Zero means no height
+	// constraint (note: not "height 0"); use math.Inf(-1) semantics by
+	// leaving it unset if peaks may be negative and unconstrained.
+	MinHeight float64
+	// HasMinHeight enables the MinHeight constraint.
+	HasMinHeight bool
+	// MinDistance discards the smaller of two maxima closer than this many
+	// samples. Zero or negative disables the constraint.
+	MinDistance int
+	// MinProminence discards maxima whose prominence (height above the
+	// higher of the two flanking valleys within the peak's basin) is below
+	// this value. Zero or negative disables the constraint.
+	MinProminence float64
+}
+
+// FindPeaks returns indices of local maxima of x that satisfy opts, in
+// ascending index order. It is the peak-detection stage shared by all step
+// counters in this repository (paper §II, "peak detection or its variants").
+func FindPeaks(x []float64, opts PeakOptions) []int {
+	ext := LocalExtrema(x)
+	var cands []Extremum
+	for _, e := range ext {
+		if !e.Max {
+			continue
+		}
+		if opts.HasMinHeight && e.Value < opts.MinHeight {
+			continue
+		}
+		cands = append(cands, e)
+	}
+	if opts.MinProminence > 0 {
+		kept := cands[:0]
+		for _, e := range cands {
+			if prominence(x, e.Index) >= opts.MinProminence {
+				kept = append(kept, e)
+			}
+		}
+		cands = kept
+	}
+	if opts.MinDistance > 0 {
+		cands = enforceMinDistance(cands, opts.MinDistance)
+	}
+	out := make([]int, len(cands))
+	for i, e := range cands {
+		out[i] = e.Index
+	}
+	return out
+}
+
+// prominence computes a peak's prominence: its height above the higher of
+// the minimum values between the peak and the nearest higher terrain (or
+// the signal edge) on each side.
+func prominence(x []float64, peak int) float64 {
+	h := x[peak]
+	leftMin := h
+	for i := peak - 1; i >= 0; i-- {
+		if x[i] > h {
+			break
+		}
+		if x[i] < leftMin {
+			leftMin = x[i]
+		}
+	}
+	rightMin := h
+	for i := peak + 1; i < len(x); i++ {
+		if x[i] > h {
+			break
+		}
+		if x[i] < rightMin {
+			rightMin = x[i]
+		}
+	}
+	base := leftMin
+	if rightMin > base {
+		base = rightMin
+	}
+	return h - base
+}
+
+// enforceMinDistance greedily keeps the tallest peaks, discarding any peak
+// within dist samples of an already-kept taller one.
+func enforceMinDistance(peaks []Extremum, dist int) []Extremum {
+	if len(peaks) == 0 {
+		return peaks
+	}
+	// Order candidate indices by height, tallest first (stable for ties).
+	order := make([]int, len(peaks))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && peaks[order[j]].Value > peaks[order[j-1]].Value; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	removed := make([]bool, len(peaks))
+	for _, i := range order {
+		if removed[i] {
+			continue
+		}
+		for j := range peaks {
+			if j == i || removed[j] {
+				continue
+			}
+			d := peaks[j].Index - peaks[i].Index
+			if d < 0 {
+				d = -d
+			}
+			if d < dist {
+				removed[j] = true
+			}
+		}
+	}
+	var out []Extremum
+	for i, e := range peaks {
+		if !removed[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ZeroCrossings returns the indices i where x crosses zero between samples
+// i and i+1 (sign change), or where x[i] is exactly zero with a sign change
+// around it. Each crossing is reported at the sample nearest to the
+// crossing point.
+func ZeroCrossings(x []float64) []int {
+	var out []int
+	for i := 0; i+1 < len(x); i++ {
+		a, b := x[i], x[i+1]
+		if a == 0 {
+			// Report exact zeros once, when the neighbourhood changes sign.
+			if i > 0 && sign(x[i-1])*sign(b) < 0 {
+				out = append(out, i)
+			}
+			continue
+		}
+		if a*b < 0 {
+			// Linear interpolation picks the nearer sample.
+			frac := a / (a - b)
+			if frac < 0.5 {
+				out = append(out, i)
+			} else {
+				out = append(out, i+1)
+			}
+		}
+	}
+	return out
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

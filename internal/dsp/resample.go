@@ -1,0 +1,45 @@
+package dsp
+
+// ResampleLinear resamples x (assumed uniformly sampled) to the given
+// number of output samples using linear interpolation. The first and last
+// samples are preserved. n <= 0 returns nil; n == 1 returns the first
+// sample.
+func ResampleLinear(x []float64, n int) []float64 {
+	if n <= 0 || len(x) == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if len(x) == 1 || n == 1 {
+		for i := range out {
+			out[i] = x[0]
+		}
+		return out
+	}
+	scale := float64(len(x)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return out
+}
+
+// Decimate keeps every k-th sample of x starting from index 0. k <= 1
+// returns a copy.
+func Decimate(x []float64, k int) []float64 {
+	if k <= 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]float64, 0, (len(x)+k-1)/k)
+	for i := 0; i < len(x); i += k {
+		out = append(out, x[i])
+	}
+	return out
+}

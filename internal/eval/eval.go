@@ -1,0 +1,156 @@
+// Package eval reproduces every result figure of the paper's evaluation
+// (§II Fig. 1, §III Fig. 3, §IV Figs. 6-9) on the synthetic substrate.
+// Each experiment has a runner returning a structured result plus a
+// rendered text table; cmd/ptrack-eval prints them all and bench_test.go
+// wraps each in a benchmark.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ptrack/internal/dsp"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/trace"
+)
+
+// Options controls experiment scale. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	Seed  int64 // master seed, default 1
+	Users int   // simulated users (profiles), default 5
+	// DurationScale scales the per-trial durations (1 = paper-like).
+	// Benchmarks may lower it for speed. Default 1.
+	DurationScale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Users == 0 {
+		o.Users = 5
+	}
+	if o.DurationScale == 0 {
+		o.DurationScale = 1
+	}
+	return o
+}
+
+// Profiles generates n user profiles with anthropometric variation, all
+// valid by construction.
+func Profiles(n int, seed int64) []gaitsim.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]gaitsim.Profile, 0, n)
+	for len(out) < n {
+		p := gaitsim.DefaultProfile()
+		scale := 0.88 + 0.24*rng.Float64() // body-size factor
+		p.ArmLength *= scale
+		p.LegLength *= scale
+		p.StrideLength = (0.50 + 0.45*rng.Float64()) * scale
+		p.StepFrequency = 1.55 + 0.5*rng.Float64()
+		p.SwingAmplitude = 0.20 + 0.35*rng.Float64()
+		if p.Validate() != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// simCfg returns the simulator configuration for one trial.
+func simCfg(seed int64) gaitsim.Config {
+	cfg := gaitsim.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// mustSimulate wraps gaitsim for scripted experiment code: the scripts are
+// static and validated, so failures are programming errors.
+func mustSimulate(p gaitsim.Profile, cfg gaitsim.Config, script []gaitsim.Segment) *trace.Recording {
+	rec, err := gaitsim.Simulate(p, cfg, script)
+	if err != nil {
+		panic(fmt.Sprintf("eval: simulate: %v", err))
+	}
+	return rec
+}
+
+func mustActivity(p gaitsim.Profile, cfg gaitsim.Config, a trace.Activity, duration float64) *trace.Recording {
+	return mustSimulate(p, cfg, []gaitsim.Segment{{Activity: a, Duration: duration}})
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// cdfSummary renders the standard CDF summary stats used by the stride
+// figures.
+func cdfSummary(errors []float64) (mean, median, p90 float64) {
+	return dsp.Mean(errors), dsp.Median(errors), dsp.Percentile(errors, 90)
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d0(v int) string     { return fmt.Sprintf("%d", v) }
+
+// RenderMarkdown formats the table as GitHub-flavoured Markdown.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

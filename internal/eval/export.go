@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ptrack/internal/dsp"
+)
+
+// WriteFigureData regenerates the figure *data* (not just the summary
+// tables) and writes plot-ready CSV files into dir: the CDF series behind
+// Figs. 1(d), 8(a) and 8(b), the projected waveforms of Fig. 3, and the
+// dead-reckoned path of Fig. 9. It creates dir if needed and returns the
+// written file names.
+func WriteFigureData(dir string, opt Options) ([]string, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: creating %s: %w", dir, err)
+	}
+	var written []string
+	save := func(name string, lines []string) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("eval: creating %s: %w", path, err)
+		}
+		defer f.Close()
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(f, l); err != nil {
+				return fmt.Errorf("eval: writing %s: %w", path, err)
+			}
+		}
+		written = append(written, name)
+		return nil
+	}
+
+	// Fig. 1(d): per-model stride-error CDFs.
+	_, f1d := Fig1dNaiveStride(opt)
+	lines := []string{"model,error_m,p"}
+	for model, errs := range f1d.Errors {
+		for _, pt := range dsp.EmpiricalCDF(errs) {
+			lines = append(lines, fmt.Sprintf("%s,%.4f,%.4f", model, pt.Value, pt.P))
+		}
+	}
+	if err := save("fig1d_cdf.csv", lines); err != nil {
+		return written, err
+	}
+
+	// Fig. 3: projected series per motion with sample indices.
+	_, f3 := Fig3CriticalPoints(opt)
+	lines = []string{"motion,idx,vertical,anterior"}
+	for _, s := range f3.Series {
+		for i := range s.Vertical {
+			lines = append(lines, fmt.Sprintf("%s,%d,%.5f,%.5f", s.Activity, i, s.Vertical[i], s.Anterior[i]))
+		}
+	}
+	if err := save("fig3_series.csv", lines); err != nil {
+		return written, err
+	}
+
+	// Fig. 8(a): PTrack vs Montage stride-error CDFs.
+	_, f8a := Fig8aStrideCDF(opt)
+	lines = []string{"approach,error_m,p"}
+	for _, pt := range dsp.EmpiricalCDF(f8a.PTrackErrors) {
+		lines = append(lines, fmt.Sprintf("ptrack,%.4f,%.4f", pt.Value, pt.P))
+	}
+	for _, pt := range dsp.EmpiricalCDF(f8a.MontageErrors) {
+		lines = append(lines, fmt.Sprintf("montage,%.4f,%.4f", pt.Value, pt.P))
+	}
+	if err := save("fig8a_cdf.csv", lines); err != nil {
+		return written, err
+	}
+
+	// Fig. 8(b): automatic vs manual stride-error CDFs.
+	_, f8b := Fig8bSelfTraining(opt)
+	lines = []string{"profile,error_m,p"}
+	for _, pt := range dsp.EmpiricalCDF(f8b.AutomaticErrors) {
+		lines = append(lines, fmt.Sprintf("automatic,%.4f,%.4f", pt.Value, pt.P))
+	}
+	for _, pt := range dsp.EmpiricalCDF(f8b.ManualErrors) {
+		lines = append(lines, fmt.Sprintf("manual,%.4f,%.4f", pt.Value, pt.P))
+	}
+	if err := save("fig8b_cdf.csv", lines); err != nil {
+		return written, err
+	}
+
+	// Fig. 9: route and dead-reckoned path.
+	_, f9 := Fig9Navigation(opt)
+	lines = []string{"kind,t,x,y"}
+	for _, w := range f9.Route.Waypoints {
+		lines = append(lines, fmt.Sprintf("route,,%.2f,%.2f", w.X, w.Y))
+	}
+	for _, fx := range f9.Path {
+		lines = append(lines, fmt.Sprintf("path,%.2f,%.3f,%.3f", fx.T, fx.Pos.X, fx.Pos.Y))
+	}
+	if err := save("fig9_path.csv", lines); err != nil {
+		return written, err
+	}
+
+	return written, nil
+}

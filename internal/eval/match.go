@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"math"
+
+	"ptrack/internal/core"
+	"ptrack/internal/trace"
+)
+
+// matchStrides pairs estimated steps with ground-truth steps by time
+// proximity (greedy, in order) and returns the per-step absolute stride
+// errors in metres. Estimated steps without a truth step within maxGapS
+// are skipped — step-count accuracy is scored separately.
+func matchStrides(log []core.StepEstimate, truth []trace.StepTruth, maxGapS float64) []float64 {
+	var errs []float64
+	ti := 0
+	for _, est := range log {
+		if est.Stride <= 0 {
+			continue
+		}
+		// Advance to the nearest truth step at or after the pointer.
+		for ti+1 < len(truth) && math.Abs(truth[ti+1].T-est.T) <= math.Abs(truth[ti].T-est.T) {
+			ti++
+		}
+		if ti < len(truth) && math.Abs(truth[ti].T-est.T) <= maxGapS {
+			errs = append(errs, math.Abs(est.Stride-truth[ti].Stride))
+		}
+	}
+	return errs
+}
+
+// matchStridesFlat pairs a flat list of per-step stride estimates (no
+// timestamps, e.g. a baseline model's output) with truth steps by order,
+// up to the shorter length.
+func matchStridesFlat(estimates []float64, truth []trace.StepTruth) []float64 {
+	n := len(estimates)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	errs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		errs = append(errs, math.Abs(estimates[i]-truth[i].Stride))
+	}
+	return errs
+}

@@ -1,0 +1,147 @@
+// Package fitness implements the healthcare layer the paper's
+// introduction motivates ("a quantitative awareness of daily fitness
+// statuses"): converting PTrack's trustworthy steps and strides into
+// walking speed, intensity (METs), energy expenditure and daily activity
+// summaries. Because PTrack rejects interference and spoofing, these
+// numbers inherit its trustworthiness — the property insurers and
+// wellness programmes need (§I).
+package fitness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ptrack/internal/core"
+)
+
+// UserBody carries the anthropometrics energy models need.
+type UserBody struct {
+	MassKg  float64 // body mass
+	HeightM float64 // body height (optional; used for sanity checks)
+}
+
+// Validate reports whether the body parameters are usable.
+func (u UserBody) Validate() error {
+	if u.MassKg <= 0 {
+		return fmt.Errorf("fitness: body mass must be positive, got %v", u.MassKg)
+	}
+	return nil
+}
+
+// METsForSpeed returns the metabolic equivalent of walking at the given
+// speed (m/s), following the ACSM walking equation
+// VO2 = 3.5 + 0.1·(speed in m/min) + grade terms (level ground here),
+// with 1 MET = 3.5 ml/kg/min. Running speeds (> ~2.2 m/s) switch to the
+// running coefficient (0.2/min per m/min).
+func METsForSpeed(speed float64) float64 {
+	if speed <= 0 {
+		return 1 // resting
+	}
+	mPerMin := speed * 60
+	coeff := 0.1
+	if speed > 2.2 {
+		coeff = 0.2
+	}
+	vo2 := 3.5 + coeff*mPerMin
+	return vo2 / 3.5
+}
+
+// Interval is one uniform reporting window of activity.
+type Interval struct {
+	Start, End float64 // seconds within the trace
+	Steps      int
+	Distance   float64 // metres
+	Speed      float64 // m/s (distance over window length)
+	METs       float64
+	Kcal       float64
+}
+
+// Summary aggregates a whole processed trace.
+type Summary struct {
+	Steps       int
+	Distance    float64 // metres
+	ActiveS     float64 // seconds spent in intervals with steps
+	Kcal        float64
+	MeanSpeed   float64 // over active intervals, m/s
+	PeakSpeed   float64
+	MedianSpeed float64
+	Intervals   []Interval
+}
+
+// Summarize converts a pipeline result into a fitness summary using the
+// given reporting window (seconds; default 60 when <= 0). traceDuration
+// bounds the interval grid.
+func Summarize(res *core.Result, body UserBody, traceDuration, windowS float64) (*Summary, error) {
+	if err := body.Validate(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("fitness: nil result")
+	}
+	if windowS <= 0 {
+		windowS = 60
+	}
+	if traceDuration <= 0 {
+		// Derive from the last step if the caller did not say.
+		for _, s := range res.StepLog {
+			if s.T > traceDuration {
+				traceDuration = s.T
+			}
+		}
+		traceDuration += windowS
+	}
+
+	nWin := int(math.Ceil(traceDuration / windowS))
+	if nWin == 0 {
+		nWin = 1
+	}
+	intervals := make([]Interval, nWin)
+	for i := range intervals {
+		intervals[i].Start = float64(i) * windowS
+		intervals[i].End = math.Min(float64(i+1)*windowS, traceDuration)
+	}
+	for _, st := range res.StepLog {
+		idx := int(st.T / windowS)
+		if idx < 0 || idx >= nWin {
+			continue
+		}
+		intervals[idx].Steps++
+		intervals[idx].Distance += st.Stride
+	}
+
+	sum := &Summary{Intervals: intervals}
+	var speeds []float64
+	for i := range intervals {
+		iv := &intervals[i]
+		length := iv.End - iv.Start
+		if length <= 0 {
+			continue
+		}
+		iv.Speed = iv.Distance / length
+		iv.METs = 1
+		if iv.Steps > 0 {
+			iv.METs = METsForSpeed(iv.Speed)
+			sum.ActiveS += length
+			speeds = append(speeds, iv.Speed)
+			if iv.Speed > sum.PeakSpeed {
+				sum.PeakSpeed = iv.Speed
+			}
+		}
+		// kcal = METs × mass(kg) × hours.
+		iv.Kcal = iv.METs * body.MassKg * length / 3600
+		sum.Kcal += iv.Kcal
+		sum.Steps += iv.Steps
+		sum.Distance += iv.Distance
+	}
+	if len(speeds) > 0 {
+		var s float64
+		for _, v := range speeds {
+			s += v
+		}
+		sum.MeanSpeed = s / float64(len(speeds))
+		sort.Float64s(speeds)
+		sum.MedianSpeed = speeds[len(speeds)/2]
+	}
+	return sum, nil
+}

@@ -1,0 +1,152 @@
+package fitness
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/core"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+func TestUserBodyValidate(t *testing.T) {
+	if err := (UserBody{MassKg: 70}).Validate(); err != nil {
+		t.Errorf("valid body rejected: %v", err)
+	}
+	if err := (UserBody{}).Validate(); err == nil {
+		t.Error("zero mass accepted")
+	}
+}
+
+func TestMETsForSpeed(t *testing.T) {
+	tests := []struct {
+		name     string
+		speed    float64
+		min, max float64
+	}{
+		{"resting", 0, 1, 1},
+		{"stroll", 0.9, 2, 3.3},
+		{"brisk", 1.5, 3, 4.5},
+		{"run", 3.0, 9, 13},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := METsForSpeed(tt.speed)
+			if got < tt.min || got > tt.max {
+				t.Errorf("METs(%v) = %v, want in [%v, %v]", tt.speed, got, tt.min, tt.max)
+			}
+		})
+	}
+	// Monotone in speed.
+	prev := 0.0
+	for v := 0.2; v < 4; v += 0.2 {
+		m := METsForSpeed(v)
+		if m < prev {
+			t.Fatalf("METs not monotone at %v", v)
+		}
+		prev = m
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	if _, err := Summarize(&core.Result{}, UserBody{}, 60, 60); err == nil {
+		t.Error("invalid body accepted")
+	}
+	if _, err := Summarize(nil, UserBody{MassKg: 70}, 60, 60); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestSummarizeWalk(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Process(rec.Trace, core.Config{Profile: &stride.Config{
+		ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(res, UserBody{MassKg: 70}, 180, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Steps != res.Steps {
+		t.Errorf("summary steps %d != result steps %d", sum.Steps, res.Steps)
+	}
+	if math.Abs(sum.Distance-res.Distance) > 1e-9 {
+		t.Errorf("summary distance %v != result %v", sum.Distance, res.Distance)
+	}
+	// Three one-minute windows, all active.
+	if len(sum.Intervals) != 3 {
+		t.Fatalf("intervals = %d", len(sum.Intervals))
+	}
+	if sum.ActiveS < 170 {
+		t.Errorf("active seconds = %v", sum.ActiveS)
+	}
+	// Walking at ~1.2 m/s for 3 min at 70 kg: roughly 3.3 METs -> ~11 kcal.
+	if sum.Kcal < 6 || sum.Kcal > 20 {
+		t.Errorf("kcal = %v, want ~11", sum.Kcal)
+	}
+	trueSpeed := p.ForwardSpeed()
+	if math.Abs(sum.MeanSpeed-trueSpeed) > 0.2*trueSpeed {
+		t.Errorf("mean speed = %v, true %v", sum.MeanSpeed, trueSpeed)
+	}
+	if sum.PeakSpeed < sum.MedianSpeed {
+		t.Error("peak below median")
+	}
+}
+
+func TestSummarizeIdlePortion(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.Simulate(p, gaitsim.DefaultConfig(), []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 60},
+		{Activity: trace.ActivityIdle, Duration: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Process(rec.Trace, core.Config{Profile: &stride.Config{
+		ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(res, UserBody{MassKg: 70}, 180, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first minute is active; idle minutes still burn resting
+	// kcal (1 MET).
+	if sum.ActiveS > 70 {
+		t.Errorf("active seconds = %v, want ~60", sum.ActiveS)
+	}
+	resting := 1.0 * 70 * 60 / 3600 // 1 MET, 70 kg, 1 min
+	if sum.Intervals[2].Kcal < 0.8*resting || sum.Intervals[2].Kcal > 1.2*resting {
+		t.Errorf("idle interval kcal = %v, want ~%v", sum.Intervals[2].Kcal, resting)
+	}
+}
+
+func TestSummarizeDerivesDuration(t *testing.T) {
+	res := &core.Result{
+		Steps: 2,
+		StepLog: []core.StepEstimate{
+			{T: 10, Stride: 0.7},
+			{T: 130, Stride: 0.7},
+		},
+		Distance: 1.4,
+	}
+	sum, err := Summarize(res, UserBody{MassKg: 60}, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Steps != 2 {
+		t.Errorf("steps = %d", sum.Steps)
+	}
+	if len(sum.Intervals) < 3 {
+		t.Errorf("intervals = %d, want to cover the last step", len(sum.Intervals))
+	}
+}

@@ -1,0 +1,134 @@
+package fitness
+
+import (
+	"fmt"
+	"math"
+
+	"ptrack/internal/core"
+	"ptrack/internal/dsp"
+)
+
+// GaitQuality carries the clinical-style gait metrics derivable from
+// PTrack's per-step output — the quantitative health awareness the
+// paper's introduction motivates (occupational-disease risk, insurer
+// assessments). All metrics need only step times and strides, so they
+// inherit PTrack's interference robustness.
+type GaitQuality struct {
+	Steps int
+
+	// Cadence statistics, steps per second.
+	CadenceMean float64
+	CadenceStd  float64
+
+	// StrideMean/StrideCV: per-step stride mean (m) and coefficient of
+	// variation. Elevated stride variability is a clinical fall-risk
+	// marker.
+	StrideMean float64
+	StrideCV   float64
+
+	// StepTimeCV is the step-interval coefficient of variation —
+	// gait-timing regularity.
+	StepTimeCV float64
+
+	// SymmetryIndex compares alternating (left/right) step intervals:
+	// 0 = perfectly symmetric; clinical concern typically > 0.1.
+	SymmetryIndex float64
+}
+
+// AnalyzeGait computes gait-quality metrics from a processed trace. It
+// requires at least minSteps steps (default 10 when <= 0) and skips
+// intervals across counting gaps (> 2 s between credited steps).
+func AnalyzeGait(res *core.Result, minSteps int) (*GaitQuality, error) {
+	if res == nil {
+		return nil, fmt.Errorf("fitness: nil result")
+	}
+	if minSteps <= 0 {
+		minSteps = 10
+	}
+	if len(res.StepLog) < minSteps {
+		return nil, fmt.Errorf("fitness: need at least %d steps, have %d", minSteps, len(res.StepLog))
+	}
+
+	// Step intervals within contiguous bouts. Steps credited by the same
+	// cycle share a timestamp; spread them by half the surrounding
+	// interval so interval statistics stay meaningful.
+	times := spreadTimes(res.StepLog)
+	var intervals []float64
+	for i := 1; i < len(times); i++ {
+		d := times[i] - times[i-1]
+		if d <= 0 || d > 2 {
+			continue
+		}
+		intervals = append(intervals, d)
+	}
+	if len(intervals) < minSteps-1 {
+		return nil, fmt.Errorf("fitness: too few contiguous step intervals (%d)", len(intervals))
+	}
+
+	g := &GaitQuality{Steps: len(res.StepLog)}
+	meanInt := dsp.Mean(intervals)
+	g.CadenceMean = 1 / meanInt
+	// Std of cadence via first-order propagation: std(1/x) ≈ std(x)/mean².
+	g.CadenceStd = dsp.StdDev(intervals) / (meanInt * meanInt)
+	g.StepTimeCV = dsp.StdDev(intervals) / meanInt
+
+	var strides []float64
+	for _, s := range res.StepLog {
+		if s.Stride > 0 {
+			strides = append(strides, s.Stride)
+		}
+	}
+	if len(strides) > 1 {
+		g.StrideMean = dsp.Mean(strides)
+		g.StrideCV = dsp.StdDev(strides) / g.StrideMean
+	}
+
+	// Symmetry: compare the mean of even-indexed vs odd-indexed intervals
+	// (alternating feet), normalised by their average.
+	var even, odd []float64
+	for i, d := range intervals {
+		if i%2 == 0 {
+			even = append(even, d)
+		} else {
+			odd = append(odd, d)
+		}
+	}
+	if len(even) > 0 && len(odd) > 0 {
+		me, mo := dsp.Mean(even), dsp.Mean(odd)
+		if avg := (me + mo) / 2; avg > 0 {
+			g.SymmetryIndex = math.Abs(me-mo) / avg
+		}
+	}
+	return g, nil
+}
+
+// spreadTimes returns step timestamps with same-cycle duplicates spread
+// evenly between their neighbours.
+func spreadTimes(log []core.StepEstimate) []float64 {
+	out := make([]float64, len(log))
+	for i, s := range log {
+		out[i] = s.T
+	}
+	i := 0
+	for i < len(out) {
+		j := i
+		for j+1 < len(out) && out[j+1] == out[i] {
+			j++
+		}
+		if j > i {
+			// out[i..j] share a timestamp; spread them back from out[j]
+			// toward the previous distinct time.
+			prev := 0.0
+			if i > 0 {
+				prev = out[i-1]
+			}
+			span := out[j] - prev
+			n := j - i + 1
+			for k := 0; k < n; k++ {
+				out[i+k] = prev + span*float64(k+1)/float64(n)
+			}
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package fitness
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/core"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+func processWalk(t *testing.T, seed int64, duration float64) (*core.Result, gaitsim.Profile) {
+	t.Helper()
+	p := gaitsim.DefaultProfile()
+	cfg := gaitsim.DefaultConfig()
+	cfg.Seed = seed
+	rec, err := gaitsim.SimulateActivity(p, cfg, trace.ActivityWalking, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Process(rec.Trace, core.Config{Profile: &stride.Config{
+		ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p
+}
+
+func TestAnalyzeGaitValidation(t *testing.T) {
+	if _, err := AnalyzeGait(nil, 10); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := AnalyzeGait(&core.Result{}, 10); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestAnalyzeGaitOnSteadyWalk(t *testing.T) {
+	res, p := processWalk(t, 1, 90)
+	g, err := AnalyzeGait(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Steps != res.Steps {
+		t.Errorf("steps = %d, want %d", g.Steps, res.Steps)
+	}
+	// True cadence 1.8 steps/s.
+	if math.Abs(g.CadenceMean-p.StepFrequency) > 0.15 {
+		t.Errorf("cadence = %.2f, want ~%.2f", g.CadenceMean, p.StepFrequency)
+	}
+	// Steady simulated gait: low variability and near-perfect symmetry.
+	if g.StepTimeCV > 0.15 {
+		t.Errorf("step-time CV = %.3f, want small", g.StepTimeCV)
+	}
+	if g.SymmetryIndex > 0.1 {
+		t.Errorf("symmetry index = %.3f, want ~0", g.SymmetryIndex)
+	}
+	if math.Abs(g.StrideMean-p.StrideLength) > 0.15*p.StrideLength {
+		t.Errorf("stride mean = %.2f, want ~%.2f", g.StrideMean, p.StrideLength)
+	}
+	if g.StrideCV > 0.15 || g.StrideCV <= 0 {
+		t.Errorf("stride CV = %.3f", g.StrideCV)
+	}
+}
+
+func TestAnalyzeGaitRoughSurfaceIncreasesVariability(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	run := func(rough float64) *GaitQuality {
+		cfg := gaitsim.DefaultConfig()
+		cfg.Seed = 5
+		cfg.SurfaceRoughness = rough
+		rec, err := gaitsim.SimulateActivity(p, cfg, trace.ActivityWalking, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Process(rec.Trace, core.Config{Profile: &stride.Config{
+			ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := AnalyzeGait(res, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	smooth := run(0)
+	rough := run(0.7)
+	t.Logf("stride CV: smooth %.3f, rough %.3f", smooth.StrideCV, rough.StrideCV)
+	if rough.StrideCV <= smooth.StrideCV {
+		t.Errorf("rough ground should raise stride variability: %.3f vs %.3f",
+			rough.StrideCV, smooth.StrideCV)
+	}
+}
+
+func TestAnalyzeGaitSkipsGaps(t *testing.T) {
+	// Two walking bouts separated by quiet time: the cross-gap interval
+	// must not poison the cadence.
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.Simulate(p, gaitsim.DefaultConfig(), []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 40},
+		{Activity: trace.ActivityIdle, Duration: 30},
+		{Activity: trace.ActivityWalking, Duration: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Process(rec.Trace, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := AnalyzeGait(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.CadenceMean-p.StepFrequency) > 0.2 {
+		t.Errorf("cadence with gap = %.2f, want ~%.2f", g.CadenceMean, p.StepFrequency)
+	}
+}
+
+func TestSpreadTimes(t *testing.T) {
+	log := []core.StepEstimate{
+		{T: 1.0}, {T: 2.0}, {T: 2.0}, {T: 3.0}, {T: 3.0},
+	}
+	ts := spreadTimes(log)
+	want := []float64{1.0, 1.5, 2.0, 2.5, 3.0}
+	for i := range want {
+		if math.Abs(ts[i]-want[i]) > 1e-12 {
+			t.Errorf("ts = %v, want %v", ts, want)
+			break
+		}
+	}
+	// Leading duplicates spread from zero.
+	ts = spreadTimes([]core.StepEstimate{{T: 2.0}, {T: 2.0}})
+	if math.Abs(ts[0]-1.0) > 1e-12 || math.Abs(ts[1]-2.0) > 1e-12 {
+		t.Errorf("leading duplicates: %v", ts)
+	}
+}

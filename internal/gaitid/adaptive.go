@@ -1,0 +1,138 @@
+package gaitid
+
+import (
+	"math"
+	"sort"
+)
+
+// AdaptiveThreshold implements the paper's stated future work ("we plan
+// to adaptively tune the threshold δ"): instead of a fixed δ, it keeps a
+// bounded history of recent offsets and places the threshold in the
+// widest gap of their distribution, clamped to a safe band around the
+// paper's empirical value.
+//
+// Rationale: offsets are strongly bimodal — rigid motions cluster near
+// zero and walking clusters an order of magnitude higher — so the widest
+// inter-sample gap locates the decision boundary without labels. The
+// clamp keeps the adaptive value sane before both modes have been
+// observed. The zero value is unusable; construct with
+// NewAdaptiveThreshold.
+type AdaptiveThreshold struct {
+	history []float64
+	next    int
+	full    bool
+	minD    float64
+	maxD    float64
+	fallbak float64
+}
+
+// NewAdaptiveThreshold returns an adaptive δ with the given history
+// window (number of cycles; default 64 when <= 0). The threshold is
+// clamped to [0.5, 2] × the paper's 0.0325 and starts at the paper value.
+func NewAdaptiveThreshold(window int) *AdaptiveThreshold {
+	if window <= 0 {
+		window = 64
+	}
+	const paperDelta = 0.0325
+	return &AdaptiveThreshold{
+		history: make([]float64, window),
+		minD:    paperDelta / 2,
+		maxD:    paperDelta * 2,
+		fallbak: paperDelta,
+	}
+}
+
+// Observe records one cycle's offset.
+func (a *AdaptiveThreshold) Observe(offset float64) {
+	a.history[a.next] = offset
+	a.next++
+	if a.next == len(a.history) {
+		a.next = 0
+		a.full = true
+	}
+}
+
+// Threshold returns the current δ: the Otsu split of the recent offset
+// history when the two resulting clusters are strongly separated
+// (μ₂ − μ₁ ≥ 2·(σ₁ + σ₂)), the paper's fixed value otherwise. The guard
+// keeps a unimodal history (only walking, or only interference, observed
+// so far) from dragging δ into its own cluster.
+func (a *AdaptiveThreshold) Threshold() float64 {
+	n := len(a.history)
+	if !a.full {
+		n = a.next
+	}
+	if n < 8 {
+		return a.fallbak
+	}
+	s := make([]float64, n)
+	copy(s, a.history[:n])
+	sort.Float64s(s)
+
+	split, muLo, muHi, ok := otsuSplit(s)
+	if !ok {
+		return a.fallbak
+	}
+	// Only trust the split when the clusters straddle the paper value:
+	// a genuine interference mode sits below it and a walking mode above.
+	// A unimodal history (both means on the same side) keeps the default.
+	if muLo >= a.fallbak || muHi <= a.fallbak {
+		return a.fallbak
+	}
+	// Clamp to the safe band around the paper value.
+	if split < a.minD {
+		return a.minD
+	}
+	if split > a.maxD {
+		return a.maxD
+	}
+	return split
+}
+
+// otsuSplit finds the 1-D two-class split minimising within-class
+// variance, returning the midpoint between the class edges and the two
+// class means. ok is false when the classes are not separated by at least
+// the sum of their spreads.
+func otsuSplit(sorted []float64) (split, muLo, muHi float64, ok bool) {
+	n := len(sorted)
+	bestIdx, bestScore := -1, math.Inf(1)
+	for i := 1; i < n; i++ {
+		lo, hi := sorted[:i], sorted[i:]
+		score := float64(len(lo))*variance(lo) + float64(len(hi))*variance(hi)
+		if score < bestScore {
+			bestScore = score
+			bestIdx = i
+		}
+	}
+	if bestIdx <= 0 || bestIdx >= n {
+		return 0, 0, 0, false
+	}
+	lo, hi := sorted[:bestIdx], sorted[bestIdx:]
+	muLo, muHi = mean(lo), mean(hi)
+	sdLo, sdHi := math.Sqrt(variance(lo)), math.Sqrt(variance(hi))
+	if muHi-muLo < sdLo+sdHi || muHi-muLo <= 0 {
+		return 0, 0, 0, false
+	}
+	return (sorted[bestIdx-1] + sorted[bestIdx]) / 2, muLo, muHi, true
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+func variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}

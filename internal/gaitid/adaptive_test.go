@@ -1,0 +1,108 @@
+package gaitid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAdaptiveThresholdStartsAtPaperValue(t *testing.T) {
+	a := NewAdaptiveThreshold(0)
+	if got := a.Threshold(); got != 0.0325 {
+		t.Errorf("initial threshold = %v, want 0.0325", got)
+	}
+	// Too few observations: still the fallback.
+	for i := 0; i < 5; i++ {
+		a.Observe(0.01)
+	}
+	if got := a.Threshold(); got != 0.0325 {
+		t.Errorf("threshold with thin history = %v", got)
+	}
+}
+
+func TestAdaptiveThresholdFindsBimodalGap(t *testing.T) {
+	a := NewAdaptiveThreshold(64)
+	rng := rand.New(rand.NewSource(1))
+	// Rigid cluster ~0.01, walking cluster ~0.07: gap midpoint ~0.04.
+	for i := 0; i < 32; i++ {
+		a.Observe(0.008 + 0.006*rng.Float64())
+		a.Observe(0.06 + 0.03*rng.Float64())
+	}
+	got := a.Threshold()
+	if got < 0.03 || got > 0.055 {
+		t.Errorf("threshold = %v, want in the bimodal gap (~0.014..0.06 mid)", got)
+	}
+}
+
+func TestAdaptiveThresholdClampedForUnimodalHistory(t *testing.T) {
+	// Only rigid motion observed: the threshold must not collapse toward
+	// the cluster (which would misclassify future rigid cycles).
+	a := NewAdaptiveThreshold(32)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		a.Observe(0.005 + 0.004*rng.Float64())
+	}
+	got := a.Threshold()
+	if got < 0.0325/2 || got > 0.0325*2 {
+		t.Errorf("threshold = %v outside the clamp band", got)
+	}
+
+	// Only walking observed: same safety.
+	b := NewAdaptiveThreshold(32)
+	for i := 0; i < 64; i++ {
+		b.Observe(0.08 + 0.04*rng.Float64())
+	}
+	got = b.Threshold()
+	if got < 0.0325/2 || got > 0.0325*2 {
+		t.Errorf("walking-only threshold = %v outside the clamp band", got)
+	}
+}
+
+func TestAdaptiveThresholdRollsHistory(t *testing.T) {
+	a := NewAdaptiveThreshold(16)
+	// Fill with an early regime, then overwrite with a different one: the
+	// threshold should track the recent window only.
+	for i := 0; i < 16; i++ {
+		a.Observe(0.01)
+	}
+	for i := 0; i < 16; i++ {
+		a.Observe(0.012)
+		a.Observe(0.058)
+	}
+	got := a.Threshold()
+	if got < 0.025 || got > 0.05 {
+		t.Errorf("threshold after regime change = %v", got)
+	}
+}
+
+func TestAdaptiveThresholdSeparatesSimulatedOffsets(t *testing.T) {
+	// End-to-end: feed the adaptive threshold the actual offset streams
+	// of walking and eating and check the resulting classification.
+	a := NewAdaptiveThreshold(64)
+	walk, eat := makeWalkCycle(110)
+	gv, ga := makeGestureCycle(110)
+	id := NewIdentifier(Config{}, 100)
+	var walkOffs, gestOffs []float64
+	for i := 0; i < 20; i++ {
+		r1 := id.Classify(walk, eat)
+		if r1.OffsetOK {
+			walkOffs = append(walkOffs, r1.Offset)
+			a.Observe(r1.Offset)
+		}
+		r2 := id.Classify(gv, ga)
+		if r2.OffsetOK {
+			gestOffs = append(gestOffs, r2.Offset)
+			a.Observe(r2.Offset)
+		}
+	}
+	th := a.Threshold()
+	for _, o := range walkOffs {
+		if o <= th {
+			t.Errorf("walking offset %v below adaptive threshold %v", o, th)
+		}
+	}
+	for _, o := range gestOffs {
+		if o > th {
+			t.Errorf("gesture offset %v above adaptive threshold %v", o, th)
+		}
+	}
+}

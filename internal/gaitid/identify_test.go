@@ -1,0 +1,229 @@
+package gaitid
+
+import (
+	"math"
+	"testing"
+)
+
+// makeWalkCycle builds a synthetic projected cycle with a desynchronised
+// vertical (walking-like).
+func makeWalkCycle(n int) (vert, ant []float64) {
+	vert = make([]float64, n)
+	ant = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i) / float64(n)
+		ant[i] = 5 * math.Cos(ph)
+		vert[i] = -2.5 * math.Cos(2*ph-0.9)
+	}
+	return vert, ant
+}
+
+// makeStepCycle builds a stepping-like cycle: both directions at the step
+// frequency (2 per cycle) with a quarter-period phase difference and
+// synchronized critical points (vertical extrema on anterior zeros).
+func makeStepCycle(n int) (vert, ant []float64) {
+	vert = make([]float64, n)
+	ant = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i) / float64(n)
+		vert[i] = 3 * math.Cos(2*ph)
+		ant[i] = 1.2 * math.Sin(2*ph)
+	}
+	return vert, ant
+}
+
+// makeGestureCycle builds a rigid-gesture cycle: anterior at the cycle
+// frequency, vertical at twice it, fully synchronized.
+func makeGestureCycle(n int) (vert, ant []float64) {
+	vert = make([]float64, n)
+	ant = make([]float64, n)
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i) / float64(n)
+		ant[i] = 6 * math.Cos(ph)
+		vert[i] = -2 * math.Cos(2*ph)
+	}
+	return vert, ant
+}
+
+func TestLabelString(t *testing.T) {
+	tests := []struct {
+		l    Label
+		want string
+	}{
+		{LabelWalking, "walking"},
+		{LabelStepping, "stepping"},
+		{LabelInterference, "interference"},
+		{Label(0), "unlabeled"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Errorf("%d = %q, want %q", int(tt.l), got, tt.want)
+		}
+	}
+}
+
+func TestClassifyWalkingAddsTwo(t *testing.T) {
+	id := NewIdentifier(Config{}, 100)
+	v, a := makeWalkCycle(110)
+	res := id.Classify(v, a)
+	if res.Label != LabelWalking {
+		t.Fatalf("label = %v (offset %v)", res.Label, res.Offset)
+	}
+	if res.StepsAdded != 2 || id.Steps() != 2 {
+		t.Errorf("steps added = %d, total = %d", res.StepsAdded, id.Steps())
+	}
+}
+
+func TestClassifySteppingConfirmation(t *testing.T) {
+	id := NewIdentifier(Config{}, 100)
+	v, a := makeStepCycle(110)
+	// First two qualifying cycles: pending, no steps yet.
+	for i := 0; i < 2; i++ {
+		res := id.Classify(v, a)
+		if res.Label != LabelStepping {
+			t.Fatalf("cycle %d label = %v (offset %.4f C %.2f phase %v)", i, res.Label, res.Offset, res.C, res.PhaseOK)
+		}
+		if res.StepsAdded != 0 {
+			t.Fatalf("cycle %d added %d steps before confirmation", i, res.StepsAdded)
+		}
+	}
+	// Third: credit the whole streak (+6).
+	res := id.Classify(v, a)
+	if res.StepsAdded != 6 || id.Steps() != 6 {
+		t.Fatalf("confirmation added %d (total %d), want 6", res.StepsAdded, id.Steps())
+	}
+	// Fourth and later: +2 each.
+	res = id.Classify(v, a)
+	if res.StepsAdded != 2 || id.Steps() != 8 {
+		t.Fatalf("post-confirmation added %d (total %d)", res.StepsAdded, id.Steps())
+	}
+}
+
+func TestClassifySteppingStreakBrokenByInterference(t *testing.T) {
+	id := NewIdentifier(Config{}, 100)
+	sv, sa := makeStepCycle(110)
+	gv, ga := makeGestureCycle(110)
+	id.Classify(sv, sa)
+	id.Classify(sv, sa)
+	// Interference resets the pending streak: those 4 pending steps are
+	// never credited.
+	res := id.Classify(gv, ga)
+	if res.Label != LabelInterference {
+		t.Fatalf("gesture label = %v", res.Label)
+	}
+	id.Classify(sv, sa)
+	id.Classify(sv, sa)
+	if id.Steps() != 0 {
+		t.Fatalf("steps = %d before re-confirmation, want 0", id.Steps())
+	}
+	id.Classify(sv, sa)
+	if id.Steps() != 6 {
+		t.Fatalf("steps = %d after re-confirmation, want 6", id.Steps())
+	}
+}
+
+func TestClassifyGestureRejected(t *testing.T) {
+	id := NewIdentifier(Config{}, 100)
+	v, a := makeGestureCycle(110)
+	for i := 0; i < 10; i++ {
+		res := id.Classify(v, a)
+		if res.Label != LabelInterference {
+			t.Fatalf("cycle %d label = %v (offset %.4f C %.2f phase %v)",
+				i, res.Label, res.Offset, res.C, res.PhaseOK)
+		}
+	}
+	if id.Steps() != 0 {
+		t.Errorf("steps = %d, want 0", id.Steps())
+	}
+}
+
+func TestClassifySpooferInPhaseRejected(t *testing.T) {
+	// Single-axis rocking projected onto both directions: identical phase.
+	id := NewIdentifier(Config{}, 100)
+	n := 110
+	v := make([]float64, n)
+	a := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * 2 * float64(i) / float64(n)
+		v[i] = 2 * math.Cos(ph)
+		a[i] = 5 * math.Cos(ph) // same phase: zero-lag correlation
+	}
+	res := id.Classify(v, a)
+	if res.Label != LabelInterference {
+		t.Fatalf("label = %v (offset %.4f C %.2f phase %v)", res.Label, res.Offset, res.C, res.PhaseOK)
+	}
+	if res.C <= 0 {
+		t.Logf("C = %v (rejected via C)", res.C)
+	} else if res.PhaseOK {
+		t.Error("in-phase signals must fail the phase test")
+	}
+}
+
+func TestClassifyDegenerateInput(t *testing.T) {
+	id := NewIdentifier(Config{}, 100)
+	if res := id.Classify(nil, nil); res.Label != LabelInterference {
+		t.Errorf("nil input label = %v", res.Label)
+	}
+	if res := id.Classify([]float64{1, 2, 3}, []float64{1, 2}); res.Label != LabelInterference {
+		t.Errorf("mismatched input label = %v", res.Label)
+	}
+	if id.Steps() != 0 {
+		t.Error("degenerate input must not add steps")
+	}
+}
+
+func TestIdentifierReset(t *testing.T) {
+	id := NewIdentifier(Config{}, 100)
+	v, a := makeWalkCycle(110)
+	id.Classify(v, a)
+	if id.Steps() == 0 {
+		t.Fatal("setup failed")
+	}
+	id.Reset()
+	if id.Steps() != 0 {
+		t.Error("reset did not clear steps")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.OffsetThreshold != 0.0325 {
+		t.Errorf("delta = %v", c.OffsetThreshold)
+	}
+	if c.ConfirmCount != 3 {
+		t.Errorf("confirm = %v", c.ConfirmCount)
+	}
+	// Explicit values survive.
+	c2 := Config{OffsetThreshold: 0.05, ConfirmCount: 5}.withDefaults()
+	if c2.OffsetThreshold != 0.05 || c2.ConfirmCount != 5 {
+		t.Errorf("explicit config overridden: %+v", c2)
+	}
+}
+
+func TestConfirmCountConfigurable(t *testing.T) {
+	id := NewIdentifier(Config{ConfirmCount: 2}, 100)
+	v, a := makeStepCycle(110)
+	id.Classify(v, a)
+	res := id.Classify(v, a)
+	if res.StepsAdded != 4 || id.Steps() != 4 {
+		t.Errorf("confirm=2: added %d total %d, want 4", res.StepsAdded, id.Steps())
+	}
+}
+
+func TestClassifyWindowMarginEquivalence(t *testing.T) {
+	// A rigid gesture classified with margins must still be interference.
+	id := NewIdentifier(Config{}, 100)
+	n, margin := 180, 35
+	v := make([]float64, n)
+	a := make([]float64, n)
+	core := float64(n - 2*margin)
+	for i := 0; i < n; i++ {
+		ph := 2 * math.Pi * float64(i-margin) / core
+		a[i] = 6 * math.Cos(ph)
+		v[i] = -2 * math.Cos(2*ph)
+	}
+	res := id.ClassifyWindow(v, a, margin)
+	if res.Label != LabelInterference {
+		t.Errorf("label = %v (offset %.4f)", res.Label, res.Offset)
+	}
+}

@@ -1,0 +1,214 @@
+package gaitsim
+
+import (
+	"math"
+	"math/rand"
+
+	"ptrack/internal/vecmath"
+)
+
+// stepEvent is a ground-truth step within a segment (times relative to the
+// segment start).
+type stepEvent struct {
+	t      float64
+	stride float64
+}
+
+// generator produces the wrist's world-frame acceleration for one activity
+// segment, in the walker's local frame: x anterior, y lateral, z vertical.
+// Heading rotation and sensor rendering happen in Simulate.
+type generator interface {
+	// accel returns the local-frame wrist acceleration at time tau from
+	// segment start.
+	accel(tau float64) vecmath.Vec3
+	// forwardSpeed returns the body's forward speed at tau, for true-path
+	// integration. Zero for non-pedestrian activities.
+	forwardSpeed(tau float64) float64
+	// steps returns the true steps taken in [0, duration).
+	steps(duration float64) []stepEvent
+}
+
+// gaitParams bundles the body-motion shape shared by walking, stepping and
+// jogging.
+type gaitParams struct {
+	heelAmp       float64
+	heelWidth     float64
+	forwardRipple float64
+	lateralSway   float64
+	cushion       float64
+	strideJitter  float64 // fractional std of per-cycle stride
+	armPhaseLag   float64 // arm swing phase lag behind the legs, rad
+	roughness     float64 // surface roughness in [0,1]
+}
+
+// cycleInfo holds the per-gait-cycle randomised parameters.
+type cycleInfo struct {
+	stride   float64
+	bounce   float64
+	speed    float64
+	heelGain [2]float64 // per-step heel-strike intensity factor
+}
+
+// gaitGen generates walking, stepping and jogging. armSwing=0 yields the
+// paper's "stepping" (device rides the torso); otherwise the arm pendulum
+// is superposed.
+type gaitGen struct {
+	p        Profile
+	params   gaitParams
+	armSwing float64 // swing half-angle; 0 = stepping
+	omega    float64 // gait-cycle angular frequency, rad/s
+	period   float64 // gait-cycle period, s
+	cycles   []cycleInfo
+}
+
+func newGaitGen(p Profile, params gaitParams, armSwing float64, duration float64, rng *rand.Rand) *gaitGen {
+	period := p.GaitCyclePeriod()
+	n := int(math.Ceil(duration/period)) + 2
+	cycles := make([]cycleInfo, n)
+	for i := range cycles {
+		// Slow sinusoidal drift plus white jitter, so per-step stride truth
+		// is non-trivial but the signal stays physically smooth.
+		mod := 1 + 0.03*math.Sin(2*math.Pi*float64(i)/9)
+		if params.strideJitter > 0 {
+			mod += params.strideJitter * rng.NormFloat64()
+		}
+		stride := p.StrideLength * mod
+		maxStride := 0.98 * p.K * p.LegLength
+		if stride > maxStride {
+			stride = maxStride
+		}
+		if stride < 0.2*p.StrideLength {
+			stride = 0.2 * p.StrideLength
+		}
+		ci := cycleInfo{
+			stride:   stride,
+			bounce:   p.BounceFor(stride),
+			speed:    stride * p.StepFrequency,
+			heelGain: [2]float64{1, 1},
+		}
+		if params.roughness > 0 {
+			// Rough ground randomises each footfall's impact.
+			for k := range ci.heelGain {
+				g := 1 + params.roughness*0.6*rng.NormFloat64()
+				if g < 0.2 {
+					g = 0.2
+				}
+				ci.heelGain[k] = g
+			}
+		}
+		cycles[i] = ci
+	}
+	return &gaitGen{
+		p:        p,
+		params:   params,
+		armSwing: armSwing,
+		omega:    2 * math.Pi / period,
+		period:   period,
+		cycles:   cycles,
+	}
+}
+
+func (g *gaitGen) cycleAt(tau float64) (cycleInfo, float64) {
+	c := int(tau / g.period)
+	if c < 0 {
+		c = 0
+	}
+	if c >= len(g.cycles) {
+		c = len(g.cycles) - 1
+	}
+	return g.cycles[c], tau - float64(c)*g.period
+}
+
+func (g *gaitGen) accel(tau float64) vecmath.Vec3 {
+	ci, tc := g.cycleAt(tau)
+
+	// Body: bounce + forward ripple + lateral sway + heel-strike wavelets.
+	az := bodyVerticalAccel(ci.bounce, g.omega, tc)
+	ax := bodyForwardAccel(g.params.forwardRipple, g.omega, tc)
+	ay := bodyLateralAccel(g.params.lateralSway, g.omega, tc)
+	az += g.heelStrikes(tau)
+
+	// Arm pendulum (walking/jogging only), trailing the legs by the
+	// configured phase lag.
+	if g.armSwing > 0 {
+		theta, thetaDot, thetaDDot := harmonicAngle(g.armSwing, g.omega, tau, -g.params.armPhaseLag)
+		rx, rz := pendulumAccel(g.p.ArmLength, theta, thetaDot, thetaDDot, g.params.cushion)
+		ax += rx
+		az += rz
+	}
+	return vecmath.V3(ax, ay, az)
+}
+
+// heelStrikes sums the Ricker-wavelet impact transients of the steps
+// nearest to global time tau. Steps land every half gait cycle.
+func (g *gaitGen) heelStrikes(tau float64) float64 {
+	if g.params.heelAmp == 0 {
+		return 0
+	}
+	half := g.period / 2
+	k := math.Round(tau / half)
+	var s float64
+	for dk := -1.0; dk <= 1; dk++ {
+		idx := int(k + dk)
+		gain := 1.0
+		if idx >= 0 {
+			ci := g.cycles[min(idx/2, len(g.cycles)-1)]
+			gain = ci.heelGain[idx%2]
+		}
+		s += gain * g.params.heelAmp * ricker(tau, (k+dk)*half, g.params.heelWidth)
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (g *gaitGen) forwardSpeed(tau float64) float64 {
+	ci, _ := g.cycleAt(tau)
+	return ci.speed
+}
+
+func (g *gaitGen) steps(duration float64) []stepEvent {
+	var out []stepEvent
+	half := g.period / 2
+	for i := 0; ; i++ {
+		t := float64(i) * half
+		if t >= duration {
+			break
+		}
+		ci, _ := g.cycleAt(t)
+		out = append(out, stepEvent{t: t, stride: ci.stride})
+	}
+	return out
+}
+
+// joggingProfile derives a faster, bouncier gait from a base profile.
+func joggingProfile(p Profile) Profile {
+	p.StepFrequency *= 1.45
+	p.StrideLength *= 1.35
+	p.SwingAmplitude = math.Min(p.SwingAmplitude*1.6, 1.2)
+	return p
+}
+
+// runningProfile derives a running gait: near the cadence and stride
+// ceiling of recreational runners.
+func runningProfile(p Profile) Profile {
+	p.StepFrequency *= 1.7
+	p.StrideLength *= 1.65
+	p.SwingAmplitude = math.Min(p.SwingAmplitude*1.9, 1.3)
+	return p
+}
+
+// swingAngle returns the arm swing angle at tau, for swing-coupled device
+// tilt. Stepping (no swing) returns 0.
+func (g *gaitGen) swingAngle(tau float64) float64 {
+	if g.armSwing == 0 {
+		return 0
+	}
+	theta, _, _ := harmonicAngle(g.armSwing, g.omega, tau, -g.params.armPhaseLag)
+	return theta
+}

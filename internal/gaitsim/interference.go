@@ -1,0 +1,197 @@
+package gaitsim
+
+import (
+	"math"
+	"math/rand"
+
+	"ptrack/internal/vecmath"
+)
+
+// gestureGen models rigid arm/hand interference activities: a lever of the
+// given length rotating through a (possibly amplitude-modulated) harmonic
+// angle, optionally with a second harmonic for asymmetric motions, plus
+// hand tremor. The body is stationary, so both projected axes derive from
+// a single degree of freedom — the synchronized-critical-point signature
+// PTrack rejects.
+type gestureGen struct {
+	length      float64 // lever arm, m
+	amp         float64 // angle half-amplitude, rad
+	freq        float64 // motion frequency, Hz
+	secondHarm  float64 // relative amplitude of a 2f harmonic (0 = pure)
+	burstPeriod float64 // s per activity burst (0 = continuous motion)
+	duty        float64 // active fraction of each burst
+	ramp        float64 // raised-cosine ramp fraction of the active window (default 0.15)
+	tremorStd   float64 // white hand tremor, m/s^2
+	planeTilt   float64 // rotation of the motion plane about the anterior axis, rad
+	cushion     float64
+	rng         *rand.Rand
+}
+
+func (g *gestureGen) accel(tau float64) vecmath.Vec3 {
+	env := g.envelope(tau)
+	var ax, az float64
+	if env > 0 {
+		omega := 2 * math.Pi * g.freq
+		theta, thetaDot, thetaDDot := harmonicAngle(g.amp*env, omega, tau, 0)
+		if g.secondHarm != 0 {
+			t2, d2, dd2 := harmonicAngle(g.amp*env*g.secondHarm, 2*omega, tau, math.Pi/3)
+			theta += t2
+			thetaDot += d2
+			thetaDDot += dd2
+		}
+		ax, az = pendulumAccel(g.length, theta, thetaDot, thetaDDot, g.cushion)
+	}
+	a := vecmath.V3(ax, 0, az)
+	if g.planeTilt != 0 {
+		a = vecmath.RotX(g.planeTilt).MulVec(a)
+	}
+	if g.tremorStd > 0 {
+		a = a.Add(vecmath.V3(
+			g.rng.NormFloat64()*g.tremorStd,
+			g.rng.NormFloat64()*g.tremorStd,
+			g.rng.NormFloat64()*g.tremorStd,
+		))
+	}
+	return a
+}
+
+// envelope returns the amplitude factor at tau: 1 while a burst is active,
+// 0 in pauses, with raised-cosine ramps over 15% of the active window so
+// the angle trajectory stays smooth (the motion remains single-DOF — the
+// envelope scales the same angle both axes derive from).
+func (g *gestureGen) envelope(tau float64) float64 {
+	if g.burstPeriod <= 0 || g.duty >= 1 {
+		return 1
+	}
+	phase := math.Mod(tau, g.burstPeriod)
+	active := g.duty * g.burstPeriod
+	if phase >= active {
+		return 0
+	}
+	rampFrac := g.ramp
+	if rampFrac == 0 {
+		rampFrac = 0.15
+	}
+	ramp := rampFrac * active
+	switch {
+	case phase < ramp:
+		return 0.5 * (1 - math.Cos(math.Pi*phase/ramp))
+	case phase > active-ramp:
+		return 0.5 * (1 - math.Cos(math.Pi*(active-phase)/ramp))
+	default:
+		return 1
+	}
+}
+
+func (g *gestureGen) forwardSpeed(float64) float64 { return 0 }
+
+func (g *gestureGen) steps(float64) []stepEvent { return nil }
+
+// idleGen is a stationary wrist: tremor only.
+type idleGen struct {
+	tremorStd float64
+	rng       *rand.Rand
+}
+
+func (g *idleGen) accel(float64) vecmath.Vec3 {
+	return vecmath.V3(
+		g.rng.NormFloat64()*g.tremorStd,
+		g.rng.NormFloat64()*g.tremorStd,
+		g.rng.NormFloat64()*g.tremorStd,
+	)
+}
+
+func (g *idleGen) forwardSpeed(float64) float64 { return 0 }
+func (g *idleGen) steps(float64) []stepEvent    { return nil }
+
+// newEatingGen: knife-and-fork arcs — forearm lever, ~1.1 Hz bites with
+// pauses, as in Fig. 1(a)/Fig. 7.
+func newEatingGen(rng *rand.Rand) generator {
+	return &gestureGen{
+		length:      0.30,
+		amp:         0.55,
+		freq:        1.1,
+		burstPeriod: 3.0,
+		duty:        0.65,
+		tremorStd:   0.08,
+		planeTilt:   0.3,
+		cushion:     0.1,
+		rng:         rng,
+	}
+}
+
+// newPokerGen: card-playing flicks — quicker, asymmetric (second harmonic)
+// wrist motion.
+func newPokerGen(rng *rand.Rand) generator {
+	return &gestureGen{
+		length:      0.26,
+		amp:         0.45,
+		freq:        1.4,
+		secondHarm:  0.15,
+		burstPeriod: 3.2,
+		duty:        0.75,
+		tremorStd:   0.06,
+		cushion:     0.1,
+		rng:         rng,
+	}
+}
+
+// newPhotoGen: camera hold — tremor plus occasional slower lift/steady
+// motions. Sporadic peaks, matching the lower mis-trigger rate of
+// Fig. 1(b).
+func newPhotoGen(rng *rand.Rand) generator {
+	return &gestureGen{
+		length:      0.38,
+		amp:         0.60,
+		freq:        0.8,
+		burstPeriod: 6.5,
+		duty:        0.6,
+		ramp:        0.12,
+		tremorStd:   0.06,
+		planeTilt:   -0.3,
+		cushion:     0.15,
+		rng:         rng,
+	}
+}
+
+// newGamingGen: phone-game wrist jitter — small, fast, continuous.
+func newGamingGen(rng *rand.Rand) generator {
+	return &gestureGen{
+		length:      0.15,
+		amp:         0.30,
+		freq:        1.3,
+		burstPeriod: 4.0,
+		duty:        0.55,
+		tremorStd:   0.10,
+		rng:         rng,
+	}
+}
+
+// newSwingingGen: arm swing with a stationary body — the pure pendulum of
+// Fig. 3(b). Uses the user's real arm so it is maximally confusable with
+// walking for designs that ignore composition.
+func newSwingingGen(p Profile, cushion float64, rng *rand.Rand) generator {
+	return &gestureGen{
+		length:    p.ArmLength,
+		amp:       p.SwingAmplitude,
+		freq:      p.StepFrequency / 2,
+		tremorStd: 0.05,
+		cushion:   cushion,
+		rng:       rng,
+	}
+}
+
+// newSpooferGen: the mechanical cradle of Fig. 7(c): perfectly regular
+// rocking at a step-like rate. Each rock produces two magnitude peaks
+// (the vertical channel oscillates at twice the rocking rate), so 0.65 Hz
+// reproduces the paper's ~48 ticks in 40 s / ~79 per minute on naive
+// counters.
+func newSpooferGen(rng *rand.Rand) generator {
+	return &gestureGen{
+		length:    0.30,
+		amp:       0.42,
+		freq:      0.65,
+		tremorStd: 0.01,
+		rng:       rng,
+	}
+}

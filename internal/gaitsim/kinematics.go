@@ -1,0 +1,85 @@
+package gaitsim
+
+import "math"
+
+// pendulumAccel returns the anterior (x) and vertical (z) acceleration of a
+// point at distance length from a pivot, for pivot-relative angle theta
+// (radians from straight down, positive forward) with derivatives thetaDot
+// and thetaDDot. cushion in [0,1) attenuates the centripetal (θ̇²) term,
+// modelling the elbow/knee cushioning the paper observes at points 5/9 of
+// Fig. 3.
+//
+// Geometry: position x = L·sinθ, z = −L·cosθ. Differentiating twice:
+//
+//	ẍ = L(θ̈·cosθ − θ̇²·sinθ)
+//	z̈ = L(θ̈·sinθ + θ̇²·cosθ)
+func pendulumAccel(length, theta, thetaDot, thetaDDot, cushion float64) (ax, az float64) {
+	cent := thetaDot * thetaDot * (1 - cushion)
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	ax = length * (thetaDDot*cos - cent*sin)
+	az = length * (thetaDDot*sin + cent*cos)
+	return ax, az
+}
+
+// harmonicAngle evaluates θ(t) = −amp·cos(ω·t + phase) and its first two
+// derivatives: the swing used for both the walking arm and rigid gesture
+// activities. The minus-cosine convention puts the hand at its backmost
+// position at t = 0 (phase = 0), matching the key-moment layout of
+// Fig. 5(b): backmost (i) at τ=0, vertical (ii) at τ=T/4, foremost (iii)
+// at τ=T/2.
+func harmonicAngle(amp, omega, t, phase float64) (theta, thetaDot, thetaDDot float64) {
+	arg := omega*t + phase
+	theta = -amp * math.Cos(arg)
+	thetaDot = amp * omega * math.Sin(arg)
+	thetaDDot = amp * omega * omega * math.Cos(arg)
+	return theta, thetaDot, thetaDDot
+}
+
+// ricker evaluates the Ricker ("Mexican hat") wavelet
+// (1 − u²)·exp(−u²/2), u = (t−centre)/width. It models the heel-strike
+// impact transient: both its integral and first moment vanish, so adding
+// it to an acceleration stream injects no spurious velocity or
+// displacement.
+func ricker(t, centre, width float64) float64 {
+	u := (t - centre) / width
+	return (1 - u*u) * math.Exp(-u*u/2)
+}
+
+// bodyVerticalAccel returns the inverted-pendulum bounce acceleration at
+// in-cycle time tau for bounce amplitude (peak-to-peak) b and gait
+// angular frequency omega (rad/s of the full cycle). The body oscillates
+// at twice the gait frequency — once per step:
+//
+//	z(τ) = −(b/2)·cos(2ωτ)  ⇒  z̈(τ) = (b/2)·(2ω)²·cos(2ωτ)
+//
+// Phase: the body is lowest at τ=0 (heel strike, hand backmost) and
+// highest at τ=T/4 (mid-stance, hand vertical) — the geometry Eqs. 3–4
+// rely on ("arm moves downward while the body moves upward").
+func bodyVerticalAccel(bounce, omega, tau float64) float64 {
+	w2 := 2 * omega
+	return bounce / 2 * w2 * w2 * math.Cos(w2*tau)
+}
+
+// bodyVerticalVel is the time derivative of the bounce position, used by
+// tests to verify the zero-velocity key moments.
+func bodyVerticalVel(bounce, omega, tau float64) float64 {
+	w2 := 2 * omega
+	return bounce / 2 * w2 * math.Sin(w2*tau)
+}
+
+// bodyForwardAccel returns the anterior ripple acceleration: the body
+// speeds up and slows down once per step. Its 2ω component is placed a
+// quarter period (of the step period) behind the vertical bounce —
+// the fixed phase difference of Kim et al. [22] that PTrack's stepping
+// test checks:
+//
+//	a_x(τ) = A·sin(2ωτ)   (vertical is ∝ cos(2ωτ))
+func bodyForwardAccel(amp, omega, tau float64) float64 {
+	return amp * math.Sin(2*omega*tau)
+}
+
+// bodyLateralAccel returns the lateral sway acceleration, one cycle per
+// full gait cycle (weight shifts left/right once per cycle).
+func bodyLateralAccel(amp, omega, tau float64) float64 {
+	return -amp * math.Sin(omega*tau)
+}

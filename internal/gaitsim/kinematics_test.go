@@ -1,0 +1,171 @@
+package gaitsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPendulumAccelSmallAngleLimit(t *testing.T) {
+	// For small angles the anterior acceleration is ~ L*thetaDDot and the
+	// vertical ~ L*thetaDot^2.
+	const L = 0.6
+	ax, az := pendulumAccel(L, 0.01, 0.5, 2.0, 0)
+	if math.Abs(ax-L*2.0) > 0.02 {
+		t.Errorf("ax = %v, want ~%v", ax, L*2.0)
+	}
+	if math.Abs(az-L*0.25) > 0.02 {
+		t.Errorf("az = %v, want ~%v", az, L*0.25)
+	}
+}
+
+func TestPendulumAccelMatchesNumericalDerivative(t *testing.T) {
+	// Differentiate the position x = L sin θ, z = -L cos θ numerically for
+	// a harmonic θ(t) and compare with the closed form.
+	const (
+		L     = 0.62
+		amp   = 0.35
+		omega = 5.65
+		h     = 1e-5
+	)
+	pos := func(tt float64) (x, z float64) {
+		th, _, _ := harmonicAngle(amp, omega, tt, 0)
+		return L * math.Sin(th), -L * math.Cos(th)
+	}
+	for _, tt := range []float64{0.1, 0.3, 0.77, 1.2} {
+		xm, zm := pos(tt - h)
+		x0, z0 := pos(tt)
+		xp, zp := pos(tt + h)
+		axNum := (xp - 2*x0 + xm) / (h * h)
+		azNum := (zp - 2*z0 + zm) / (h * h)
+		th, thd, thdd := harmonicAngle(amp, omega, tt, 0)
+		ax, az := pendulumAccel(L, th, thd, thdd, 0)
+		if math.Abs(ax-axNum) > 1e-3 {
+			t.Errorf("t=%v: ax = %v, numerical %v", tt, ax, axNum)
+		}
+		if math.Abs(az-azNum) > 1e-3 {
+			t.Errorf("t=%v: az = %v, numerical %v", tt, az, azNum)
+		}
+	}
+}
+
+func TestPendulumCushionReducesCentripetal(t *testing.T) {
+	_, azFull := pendulumAccel(0.6, 0, 2.0, 0, 0)
+	_, azCush := pendulumAccel(0.6, 0, 2.0, 0, 0.3)
+	if azCush >= azFull {
+		t.Errorf("cushion did not reduce centripetal term: %v vs %v", azCush, azFull)
+	}
+	if math.Abs(azCush-0.7*azFull) > 1e-12 {
+		t.Errorf("cushion scaling wrong: %v vs %v", azCush, 0.7*azFull)
+	}
+}
+
+func TestHarmonicAngleKeyMoments(t *testing.T) {
+	const (
+		amp   = 0.4
+		omega = 2 * math.Pi // period 1 s
+	)
+	// Backmost at t=0.
+	th, thd, _ := harmonicAngle(amp, omega, 0, 0)
+	if math.Abs(th+amp) > 1e-12 {
+		t.Errorf("theta(0) = %v, want %v", th, -amp)
+	}
+	if math.Abs(thd) > 1e-12 {
+		t.Errorf("thetaDot(0) = %v, want 0", thd)
+	}
+	// Vertical at t=T/4 with max speed.
+	th, thd, _ = harmonicAngle(amp, omega, 0.25, 0)
+	if math.Abs(th) > 1e-9 {
+		t.Errorf("theta(T/4) = %v, want 0", th)
+	}
+	if math.Abs(thd-amp*omega) > 1e-9 {
+		t.Errorf("thetaDot(T/4) = %v, want %v", thd, amp*omega)
+	}
+	// Foremost at t=T/2.
+	th, thd, _ = harmonicAngle(amp, omega, 0.5, 0)
+	if math.Abs(th-amp) > 1e-9 {
+		t.Errorf("theta(T/2) = %v, want %v", th, amp)
+	}
+	if math.Abs(thd) > 1e-9 {
+		t.Errorf("thetaDot(T/2) = %v, want 0", thd)
+	}
+}
+
+func TestRickerZeroMeanAndMoment(t *testing.T) {
+	// Integrate numerically over a wide window.
+	const (
+		centre = 0.5
+		width  = 0.025
+		dt     = 1e-4
+	)
+	var m0, m1 float64
+	for tt := 0.0; tt < 1.0; tt += dt {
+		v := ricker(tt, centre, width)
+		m0 += v * dt
+		m1 += v * (tt - centre) * dt
+	}
+	if math.Abs(m0) > 1e-6 {
+		t.Errorf("ricker integral = %v, want ~0", m0)
+	}
+	if math.Abs(m1) > 1e-6 {
+		t.Errorf("ricker first moment = %v, want ~0", m1)
+	}
+	if got := ricker(centre, centre, width); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ricker peak = %v, want 1", got)
+	}
+}
+
+func TestBodyBouncePhaseRelations(t *testing.T) {
+	const (
+		bounce = 0.05
+		omega  = math.Pi // gait period 2 s, step period 1 s
+	)
+	// Lowest at tau=0: acceleration maximal upward.
+	if a := bodyVerticalAccel(bounce, omega, 0); a <= 0 {
+		t.Errorf("accel at heel strike = %v, want > 0", a)
+	}
+	// Velocity zero at key moments tau = 0, T/4, T/2 (T = gait period).
+	T := 2 * math.Pi / omega
+	for _, tau := range []float64{0, T / 4, T / 2} {
+		if v := bodyVerticalVel(bounce, omega, tau); math.Abs(v) > 1e-9 {
+			t.Errorf("vertical velocity at tau=%v is %v, want 0", tau, v)
+		}
+	}
+	// Quarter-period phase difference between vertical and forward at the
+	// step frequency: vertical ∝ cos(2ωτ), forward ∝ sin(2ωτ).
+	stepPeriod := T / 2
+	quarter := stepPeriod / 4
+	av := bodyVerticalAccel(bounce, omega, quarter)
+	if math.Abs(av) > 1e-9 {
+		t.Errorf("vertical accel at quarter step period = %v, want 0", av)
+	}
+	af := bodyForwardAccel(1.0, omega, quarter)
+	if math.Abs(af-1.0) > 1e-9 {
+		t.Errorf("forward accel at quarter step period = %v, want 1", af)
+	}
+}
+
+func TestBodyBounceDisplacementAmplitude(t *testing.T) {
+	// Double-integrating the bounce acceleration over a quarter gait cycle
+	// (heel strike to mid-stance) must travel exactly the bounce b.
+	const (
+		bounce = 0.05
+		omega  = math.Pi
+		fs     = 1000.0
+	)
+	T := 2 * math.Pi / omega
+	n := int(T / 4 * fs)
+	dt := 1 / fs
+	vel := 0.0
+	posStart := -bounce / 2
+	pos := posStart
+	for i := 0; i < n; i++ {
+		tau := float64(i) * dt
+		a := bodyVerticalAccel(bounce, omega, tau)
+		vel += a * dt
+		pos += vel * dt
+	}
+	rise := pos - posStart
+	if math.Abs(rise-bounce) > 0.002 {
+		t.Errorf("quarter-cycle rise = %v, want %v", rise, bounce)
+	}
+}

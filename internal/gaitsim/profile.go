@@ -1,0 +1,95 @@
+// Package gaitsim synthesises wrist-worn accelerometer traces with ground
+// truth. It stands in for the paper's LG Urbane prototype and month of
+// user trials: a biomechanical model composes body motion (inverted
+// pendulum bounce, forward progression, lateral sway, heel-strike
+// transients) with arm motion (pendulum swing, pinned arm, rigid gesture
+// activities) and renders the result through the imu sensor model.
+//
+// The physics deliberately reproduces the structure PTrack keys on
+// (paper §III-B1): a rigid single-degree-of-freedom arm movement yields
+// accelerations a_x = L(θ̈cosθ − θ̇²sinθ), a_z = L(θ̈sinθ + θ̇²cosθ) whose
+// critical points on the two axes coincide, while walking superposes an
+// independent body bounce at twice the arm-swing frequency with a
+// quarter-period phase offset, desynchronising them.
+package gaitsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile describes one simulated user. All lengths are metres, the
+// cadence is steps per second.
+type Profile struct {
+	ArmLength      float64 // m: shoulder (pivot) to wrist (device)
+	LegLength      float64 // l: hip to ground
+	StrideLength   float64 // mean per-step stride
+	StepFrequency  float64 // cadence, steps/s (gait cycle rate is half this)
+	SwingAmplitude float64 // arm swing half-angle, radians
+	K              float64 // Eq. 2 calibration factor linking bounce to stride
+}
+
+// DefaultProfile returns a plausible adult profile (paper users are not
+// characterised; these values match published gait norms).
+func DefaultProfile() Profile {
+	return Profile{
+		ArmLength:      0.62,
+		LegLength:      0.90,
+		StrideLength:   0.70,
+		StepFrequency:  1.8,
+		SwingAmplitude: 0.35,
+		K:              2.35,
+	}
+}
+
+// Validate reports whether the profile is physically usable.
+func (p Profile) Validate() error {
+	switch {
+	case p.ArmLength <= 0:
+		return fmt.Errorf("gaitsim: arm length must be positive, got %v", p.ArmLength)
+	case p.LegLength <= 0:
+		return fmt.Errorf("gaitsim: leg length must be positive, got %v", p.LegLength)
+	case p.StrideLength <= 0:
+		return fmt.Errorf("gaitsim: stride length must be positive, got %v", p.StrideLength)
+	case p.StepFrequency <= 0:
+		return fmt.Errorf("gaitsim: step frequency must be positive, got %v", p.StepFrequency)
+	case p.K <= 0:
+		return fmt.Errorf("gaitsim: calibration factor K must be positive, got %v", p.K)
+	case p.StrideLength/p.K >= p.LegLength:
+		return fmt.Errorf("gaitsim: stride %v too long for leg %v with K %v (Eq. 2 has no solution)",
+			p.StrideLength, p.LegLength, p.K)
+	case p.SwingAmplitude < 0 || p.SwingAmplitude > math.Pi/2:
+		return fmt.Errorf("gaitsim: swing amplitude %v outside [0, pi/2]", p.SwingAmplitude)
+	}
+	return nil
+}
+
+// BounceFor inverts the paper's stride model (Eq. 2),
+// s = K·sqrt(l² − (l−b)²), giving the body bounce that produces the given
+// per-step stride for this user. It is the link that makes the simulator's
+// ground truth and PTrack's estimator mutually consistent.
+func (p Profile) BounceFor(stride float64) float64 {
+	x := stride / p.K
+	inner := p.LegLength*p.LegLength - x*x
+	if inner <= 0 {
+		// Unreachable for validated profiles; clamp to the maximal bounce.
+		return p.LegLength
+	}
+	return p.LegLength - math.Sqrt(inner)
+}
+
+// StrideFor applies Eq. 2 directly: the stride produced by bounce b.
+func (p Profile) StrideFor(bounce float64) float64 {
+	d := p.LegLength - bounce
+	inner := p.LegLength*p.LegLength - d*d
+	if inner <= 0 {
+		return 0
+	}
+	return p.K * math.Sqrt(inner)
+}
+
+// GaitCyclePeriod returns the duration of one gait cycle (two steps).
+func (p Profile) GaitCyclePeriod() float64 { return 2 / p.StepFrequency }
+
+// ForwardSpeed returns the mean walking speed implied by the profile.
+func (p Profile) ForwardSpeed() float64 { return p.StrideLength * p.StepFrequency }

@@ -1,0 +1,116 @@
+package gaitsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	base := DefaultProfile()
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero-arm", func(p *Profile) { p.ArmLength = 0 }},
+		{"negative-leg", func(p *Profile) { p.LegLength = -1 }},
+		{"zero-stride", func(p *Profile) { p.StrideLength = 0 }},
+		{"zero-cadence", func(p *Profile) { p.StepFrequency = 0 }},
+		{"zero-k", func(p *Profile) { p.K = 0 }},
+		{"impossible-stride", func(p *Profile) { p.StrideLength = 10 }},
+		{"negative-swing", func(p *Profile) { p.SwingAmplitude = -0.1 }},
+		{"huge-swing", func(p *Profile) { p.SwingAmplitude = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestBounceStrideRoundTrip(t *testing.T) {
+	p := DefaultProfile()
+	for _, stride := range []float64{0.4, 0.6, 0.7, 0.9, 1.2} {
+		b := p.BounceFor(stride)
+		if b <= 0 || b >= p.LegLength {
+			t.Errorf("bounce for stride %v out of range: %v", stride, b)
+		}
+		back := p.StrideFor(b)
+		if math.Abs(back-stride) > 1e-9 {
+			t.Errorf("round trip stride %v -> bounce %v -> %v", stride, b, back)
+		}
+	}
+}
+
+func TestBounceMagnitudeRealistic(t *testing.T) {
+	// Human vertical COM oscillation during walking is a few centimetres;
+	// the K calibration must land the default profile there.
+	p := DefaultProfile()
+	b := p.BounceFor(p.StrideLength)
+	if b < 0.02 || b > 0.10 {
+		t.Errorf("bounce %v m outside the plausible 2-10 cm band", b)
+	}
+}
+
+func TestBounceForClampsImpossible(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.BounceFor(p.K * p.LegLength * 2); got != p.LegLength {
+		t.Errorf("impossible stride bounce = %v, want clamp to leg %v", got, p.LegLength)
+	}
+}
+
+func TestStrideForEdges(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.StrideFor(0); got != 0 {
+		t.Errorf("zero bounce stride = %v, want 0", got)
+	}
+	// Bounce beyond leg length yields the degenerate geometry.
+	if got := p.StrideFor(3 * p.LegLength); got != 0 {
+		t.Errorf("overlarge bounce stride = %v, want 0", got)
+	}
+}
+
+func TestGaitCyclePeriodAndSpeed(t *testing.T) {
+	p := DefaultProfile()
+	if got := p.GaitCyclePeriod(); math.Abs(got-2/p.StepFrequency) > 1e-12 {
+		t.Errorf("period = %v", got)
+	}
+	if got := p.ForwardSpeed(); math.Abs(got-p.StrideLength*p.StepFrequency) > 1e-12 {
+		t.Errorf("speed = %v", got)
+	}
+}
+
+func TestBounceMonotoneInStrideProperty(t *testing.T) {
+	p := DefaultProfile()
+	f := func(a, b float64) bool {
+		lo := 0.3 + math.Mod(math.Abs(a), 0.5)
+		hi := lo + math.Mod(math.Abs(b), 0.5) + 1e-6
+		if hi/p.K >= p.LegLength {
+			return true // outside the model's domain
+		}
+		return p.BounceFor(lo) < p.BounceFor(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoggingProfileValid(t *testing.T) {
+	jp := joggingProfile(DefaultProfile())
+	if err := jp.Validate(); err != nil {
+		t.Fatalf("jogging profile invalid: %v", err)
+	}
+	if jp.StepFrequency <= DefaultProfile().StepFrequency {
+		t.Error("jogging should be faster")
+	}
+}

@@ -1,0 +1,135 @@
+package gaitsim
+
+// Property-based tests on simulator invariants: for arbitrary valid
+// profiles and seeds, the ground truth must be internally consistent and
+// the rendered signal physically sane.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ptrack/internal/imu"
+	"ptrack/internal/trace"
+)
+
+// arbProfile maps arbitrary uint32 draws onto a valid profile.
+func arbProfile(a, b, c, d uint32) Profile {
+	u := func(x uint32) float64 { return float64(x%1000) / 1000 }
+	p := Profile{
+		ArmLength:      0.45 + 0.35*u(a),
+		LegLength:      0.75 + 0.30*u(b),
+		StrideLength:   0.45 + 0.50*u(c),
+		StepFrequency:  1.4 + 0.8*u(d),
+		SwingAmplitude: 0.2 + 0.3*u(a^b),
+		K:              2.0 + 0.7*u(c^d),
+	}
+	return p
+}
+
+func TestPropertyTruthConsistency(t *testing.T) {
+	f := func(a, b, c, d uint32, seedRaw int64) bool {
+		p := arbProfile(a, b, c, d)
+		if p.Validate() != nil {
+			return true // outside the model's domain; nothing to check
+		}
+		cfg := DefaultConfig()
+		cfg.Seed = seedRaw
+		rec, err := SimulateActivity(p, cfg, trace.ActivityWalking, 10)
+		if err != nil {
+			return false
+		}
+		// Invariant 1: distance equals the sum of per-step strides.
+		var sum float64
+		for _, s := range rec.Truth.Steps {
+			sum += s.Stride
+		}
+		if math.Abs(sum-rec.Truth.Distance) > 1e-9 {
+			return false
+		}
+		// Invariant 2: step count = floor(duration * cadence) ± 1.
+		want := 10 * p.StepFrequency
+		if math.Abs(float64(rec.Truth.StepCount())-want) > 1.0 {
+			return false
+		}
+		// Invariant 3: step times strictly increasing within the trace.
+		for i := 1; i < len(rec.Truth.Steps); i++ {
+			if rec.Truth.Steps[i].T <= rec.Truth.Steps[i-1].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySignalSanity(t *testing.T) {
+	f := func(a, b, c, d uint32) bool {
+		p := arbProfile(a, b, c, d)
+		if p.Validate() != nil {
+			return true
+		}
+		rec, err := SimulateActivity(p, DefaultConfig(), trace.ActivityWalking, 6)
+		if err != nil {
+			return false
+		}
+		for _, s := range rec.Trace.Samples {
+			if !s.Accel.IsFinite() || !s.Gyro.IsFinite() {
+				return false
+			}
+			// |accel| stays within human+gravity bounds (< 6 g).
+			if s.Accel.Norm() > 6*imu.StandardGravity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBounceStrideInverse(t *testing.T) {
+	f := func(a, b, c, d uint32, strideRaw uint32) bool {
+		p := arbProfile(a, b, c, d)
+		if p.Validate() != nil {
+			return true
+		}
+		stride := 0.3 + 0.6*float64(strideRaw%1000)/1000
+		if stride/p.K >= p.LegLength {
+			return true
+		}
+		bounce := p.BounceFor(stride)
+		back := p.StrideFor(bounce)
+		return math.Abs(back-stride) < 1e-9 && bounce > 0 && bounce < p.LegLength
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeterministicBySeed(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		a, err := SimulateActivity(DefaultProfile(), cfg, trace.ActivityStepping, 3)
+		if err != nil {
+			return false
+		}
+		b, err := SimulateActivity(DefaultProfile(), cfg, trace.ActivityStepping, 3)
+		if err != nil {
+			return false
+		}
+		for i := range a.Trace.Samples {
+			if a.Trace.Samples[i] != b.Trace.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,258 @@
+package gaitsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ptrack/internal/imu"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// Segment is one scripted activity interval.
+type Segment struct {
+	Activity trace.Activity
+	Duration float64 // seconds; must be positive
+	TurnRate float64 // heading change, rad/s (meaningful for pedestrian activities)
+}
+
+// Config controls the simulation and sensing environment. The zero value
+// is not useful; start from DefaultConfig.
+type Config struct {
+	SampleRate float64 // Hz
+	Seed       int64   // master seed; all randomness derives from it
+
+	Sensor imu.SensorConfig // accelerometer error model (Seed is overridden)
+	Gyro   imu.GyroConfig   // gyroscope error model
+
+	// Body-motion shape.
+	HeelStrikeAmp    float64 // Ricker wavelet amplitude at each step, m/s^2
+	HeelStrikeWidth  float64 // wavelet width, s
+	ForwardRippleAmp float64 // anterior per-step speed ripple accel amplitude, m/s^2
+	LateralSwayAmp   float64 // lateral sway accel amplitude, m/s^2
+	Cushion          float64 // elbow/knee cushioning factor in [0,1)
+	StrideJitter     float64 // fractional per-cycle stride std
+	// SurfaceRoughness in [0,1] models the walking surface (paper §IV:
+	// "different types of road surfaces"): it randomises per-step
+	// heel-strike intensity and adds stride irregularity. 0 = smooth
+	// indoor floor; ~0.3 = pavement; ~0.7 = trail.
+	SurfaceRoughness float64
+	ArmPhaseLag      float64 // arm swing phase lag behind the legs, rad.
+	// Real arm swing trails the contralateral leg by ~5-10% of the gait
+	// cycle; this is the "concurrent but relatively independent" timing
+	// the paper's step counter exploits — it desynchronises the wrist's
+	// critical points during walking but is absent in stepping (no arm
+	// swing) and in rigid gestures (single motion source).
+
+	// Device mounting and platform outputs.
+	MountTilt       float64 // fixed wrist tilt, rad
+	MountWobbleAmp  float64 // slow mount wobble amplitude, rad
+	MountWobbleFreq float64 // wobble frequency, Hz
+	// SwingTiltFactor couples the device orientation to the arm swing:
+	// the watch pitches by factor × swing angle. Zero (the default) keeps
+	// the mount quasi-static — the documented simplification under which
+	// the low-pass gravity projector is exact. Non-zero values model a
+	// loosely-held wrist and require the gyro-fused projection
+	// (project.DecomposeFused) for accurate vertical extraction.
+	SwingTiltFactor float64
+	YawNoiseStd     float64 // fused-heading noise, rad
+	InitialHeading  float64 // rad CCW from world +X
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation:
+// 100 Hz smartwatch-grade sensing with realistic motion shape parameters.
+func DefaultConfig() Config {
+	return Config{
+		SampleRate:       100,
+		Seed:             1,
+		Sensor:           imu.DefaultSensorConfig(),
+		Gyro:             imu.DefaultGyroConfig(),
+		HeelStrikeAmp:    2.0,
+		HeelStrikeWidth:  0.025,
+		ForwardRippleAmp: 1.2,
+		LateralSwayAmp:   0.5,
+		Cushion:          0.25,
+		StrideJitter:     0.02,
+		ArmPhaseLag:      0.35,
+		MountTilt:        0.26,
+		MountWobbleAmp:   0.05,
+		MountWobbleFreq:  0.05,
+		YawNoiseStd:      0.02,
+	}
+}
+
+// Simulate renders the scripted activities into a sensor trace with ground
+// truth. The profile describes the simulated user; cfg the environment.
+func Simulate(p Profile, cfg Config, script []Segment) (*trace.Recording, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("gaitsim: sample rate must be positive, got %v", cfg.SampleRate)
+	}
+	if len(script) == 0 {
+		return nil, fmt.Errorf("gaitsim: empty script")
+	}
+	for i, seg := range script {
+		if seg.Duration <= 0 {
+			return nil, fmt.Errorf("gaitsim: segment %d has non-positive duration %v", i, seg.Duration)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sensorCfg := cfg.Sensor
+	sensorCfg.SampleRate = cfg.SampleRate
+	sensorCfg.Seed = rng.Int63()
+	sensor := imu.NewSensor(sensorCfg)
+
+	dt := 1 / cfg.SampleRate
+	tr := &trace.Trace{SampleRate: cfg.SampleRate}
+	truth := &trace.GroundTruth{ArmLength: p.ArmLength, LegLength: p.LegLength}
+
+	heading := cfg.InitialHeading
+	pos := vecmath.Vec3{}
+	sampleIdx := 0 // global sample counter; time derives from it to avoid float drift
+
+	singleLabel := script[0].Activity
+	for _, seg := range script[1:] {
+		if seg.Activity != singleLabel {
+			singleLabel = trace.ActivityUnknown
+		}
+	}
+	tr.Label = singleLabel
+
+	for segIdx, seg := range script {
+		gen, err := newGenerator(p, cfg, seg.Activity, seg.Duration, rng)
+		if err != nil {
+			return nil, fmt.Errorf("gaitsim: segment %d: %w", segIdx, err)
+		}
+		segStart := float64(sampleIdx) * dt
+		truth.Activities = append(truth.Activities, trace.LabeledSpan{
+			Start:    segStart,
+			End:      segStart + seg.Duration,
+			Activity: seg.Activity,
+		})
+		for _, ev := range gen.steps(seg.Duration) {
+			truth.Steps = append(truth.Steps, trace.StepTruth{T: segStart + ev.t, Stride: ev.stride})
+			truth.Distance += ev.stride
+		}
+
+		n := int(math.Round(seg.Duration * cfg.SampleRate))
+		for i := 0; i < n; i++ {
+			tau := float64(i) * dt
+			tGlobal := float64(sampleIdx) * dt
+			local := gen.accel(tau)
+
+			// Centripetal acceleration while turning.
+			speed := gen.forwardSpeed(tau)
+			if seg.TurnRate != 0 && speed > 0 {
+				local.Y += speed * seg.TurnRate
+			}
+
+			world := vecmath.RotZ(heading).MulVec(local)
+			swing, swingNext := 0.0, 0.0
+			if sw, ok := gen.(swinger); ok && cfg.SwingTiltFactor != 0 {
+				swing = sw.swingAngle(tau)
+				swingNext = sw.swingAngle(tau + dt)
+			}
+			attitude := deviceAttitude(cfg, heading, tGlobal, swing)
+			accel := sensor.Read(world, attitude)
+			// Gyroscope: the device-frame angular velocity that carries
+			// this sample's attitude into the next one.
+			nextAttitude := deviceAttitude(cfg, heading+seg.TurnRate*dt, tGlobal+dt, swingNext)
+			omega := imu.AngularVelocity(attitude, nextAttitude, dt)
+			gyro := sensor.ReadGyro(omega, cfg.Gyro)
+			yaw := sensor.ReadYaw(heading, cfg.YawNoiseStd)
+			tr.Samples = append(tr.Samples, trace.Sample{T: tGlobal, Accel: accel, Gyro: gyro, Yaw: yaw})
+
+			// True path integration.
+			vel := vecmath.RotZ(heading).MulVec(vecmath.V3(speed, 0, 0))
+			pos = pos.Add(vel.Scale(dt))
+			truth.Path = append(truth.Path, pos)
+
+			heading += seg.TurnRate * dt
+			sampleIdx++
+		}
+	}
+	return &trace.Recording{Trace: tr, Truth: truth}, nil
+}
+
+// SimulateActivity is a convenience wrapper for a single-activity script.
+func SimulateActivity(p Profile, cfg Config, a trace.Activity, duration float64) (*trace.Recording, error) {
+	return Simulate(p, cfg, []Segment{{Activity: a, Duration: duration}})
+}
+
+// deviceAttitude composes the watch orientation: heading yaw, a fixed
+// wrist tilt, a slow mount wobble that exercises the gravity tracker, and
+// (when SwingTiltFactor is set) a pitch coupled to the arm swing angle.
+func deviceAttitude(cfg Config, heading, t, swingAngle float64) vecmath.Quat {
+	qYaw := vecmath.AxisAngle(vecmath.V3(0, 0, 1), heading)
+	qTilt := vecmath.AxisAngle(vecmath.V3(1, 0, 0), cfg.MountTilt)
+	wobble := cfg.MountWobbleAmp * math.Sin(2*math.Pi*cfg.MountWobbleFreq*t)
+	qWobble := vecmath.AxisAngle(vecmath.V3(0, 1, 0), wobble)
+	att := qYaw.Mul(qTilt).Mul(qWobble)
+	if cfg.SwingTiltFactor != 0 && swingAngle != 0 {
+		att = att.Mul(vecmath.AxisAngle(vecmath.V3(0, 1, 0), cfg.SwingTiltFactor*swingAngle))
+	}
+	return att
+}
+
+// swinger is implemented by generators whose device orientation follows a
+// swing angle.
+type swinger interface {
+	swingAngle(tau float64) float64
+}
+
+// newGenerator builds the generator for one activity.
+func newGenerator(p Profile, cfg Config, a trace.Activity, duration float64, rng *rand.Rand) (generator, error) {
+	params := gaitParams{
+		heelAmp:       cfg.HeelStrikeAmp,
+		heelWidth:     cfg.HeelStrikeWidth,
+		forwardRipple: cfg.ForwardRippleAmp,
+		lateralSway:   cfg.LateralSwayAmp,
+		cushion:       cfg.Cushion,
+		strideJitter:  cfg.StrideJitter + 0.04*cfg.SurfaceRoughness,
+		armPhaseLag:   cfg.ArmPhaseLag,
+		roughness:     cfg.SurfaceRoughness,
+	}
+	sub := rand.New(rand.NewSource(rng.Int63()))
+	switch a {
+	case trace.ActivityWalking:
+		return newGaitGen(p, params, p.SwingAmplitude, duration, sub), nil
+	case trace.ActivityStepping:
+		return newGaitGen(p, params, 0, duration, sub), nil
+	case trace.ActivityJogging:
+		jp := joggingProfile(p)
+		if err := jp.Validate(); err != nil {
+			return nil, err
+		}
+		jparams := params
+		jparams.heelAmp *= 1.6
+		return newGaitGen(jp, jparams, jp.SwingAmplitude, duration, sub), nil
+	case trace.ActivityRunning:
+		rp := runningProfile(p)
+		if err := rp.Validate(); err != nil {
+			return nil, err
+		}
+		rparams := params
+		rparams.heelAmp *= 2.2
+		return newGaitGen(rp, rparams, rp.SwingAmplitude, duration, sub), nil
+	case trace.ActivityIdle:
+		return &idleGen{tremorStd: 0.03, rng: sub}, nil
+	case trace.ActivityEating:
+		return newEatingGen(sub), nil
+	case trace.ActivityPoker:
+		return newPokerGen(sub), nil
+	case trace.ActivityPhoto:
+		return newPhotoGen(sub), nil
+	case trace.ActivityGaming:
+		return newGamingGen(sub), nil
+	case trace.ActivitySwinging:
+		return newSwingingGen(p, cfg.Cushion, sub), nil
+	case trace.ActivitySpoofing:
+		return newSpooferGen(sub), nil
+	default:
+		return nil, fmt.Errorf("no generator for activity %v", a)
+	}
+}

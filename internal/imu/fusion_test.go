@@ -1,0 +1,142 @@
+package imu
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/vecmath"
+)
+
+func TestAngularVelocityRecoversRotation(t *testing.T) {
+	// A known rotation over dt must invert exactly.
+	prev := vecmath.AxisAngle(vecmath.V3(0, 0, 1), 0.3)
+	omega := vecmath.V3(0.5, -0.2, 1.1)
+	dt := 0.01
+	dq := vecmath.AxisAngle(omega.Unit(), omega.Norm()*dt)
+	next := prev.Mul(dq)
+	got := AngularVelocity(prev, next, dt)
+	if got.Sub(omega).Norm() > 1e-9 {
+		t.Errorf("omega = %v, want %v", got, omega)
+	}
+}
+
+func TestAngularVelocityDegenerate(t *testing.T) {
+	q := vecmath.IdentityQuat()
+	if got := AngularVelocity(q, q, 0.01); got.Norm() != 0 {
+		t.Errorf("no rotation gave %v", got)
+	}
+	if got := AngularVelocity(q, q, 0); got.Norm() != 0 {
+		t.Errorf("zero dt gave %v", got)
+	}
+}
+
+func TestReadGyroBiasAndNoise(t *testing.T) {
+	s := NewSensor(SensorConfig{SampleRate: 100, Seed: 4})
+	cfg := GyroConfig{NoiseStd: 0.01, Bias: vecmath.V3(0.05, 0, 0)}
+	var sum vecmath.Vec3
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum = sum.Add(s.ReadGyro(vecmath.Vec3{}, cfg))
+	}
+	mean := sum.Scale(1.0 / n)
+	if mean.Sub(cfg.Bias).Norm() > 0.002 {
+		t.Errorf("mean gyro = %v, want bias %v", mean, cfg.Bias)
+	}
+}
+
+func TestComplementaryFilterStaticConvergence(t *testing.T) {
+	// Device at a fixed tilt, no rotation: the filter must converge to the
+	// attitude whose Vertical() output is ~0 for the static reading.
+	const fs = 100.0
+	att := vecmath.AxisAngle(vecmath.V3(1, 0, 0), 0.4)
+	s := NewSensor(SensorConfig{SampleRate: fs, NoiseStd: 0.02, Seed: 5})
+	f := NewComplementaryFilter(0.5, fs)
+	var v float64
+	for i := 0; i < 2000; i++ {
+		raw := s.Read(vecmath.Vec3{}, att)
+		f.Update(vecmath.Vec3{}, raw, 1/fs)
+		v = f.Vertical(raw)
+	}
+	if math.Abs(v) > 0.05 {
+		t.Errorf("static vertical residue = %v", v)
+	}
+}
+
+func TestComplementaryFilterTracksRotation(t *testing.T) {
+	// The device swings through a large, fast tilt oscillation (like a
+	// wrist during gait). Attitude from gyro+accel fusion must keep the
+	// vertical extraction accurate where a 0.04 Hz low-pass gravity
+	// estimate could not follow at all.
+	const fs = 100.0
+	s := NewSensor(SensorConfig{SampleRate: fs, NoiseStd: 0.02, Seed: 6})
+	f := NewComplementaryFilter(1.0, fs)
+	gyroCfg := GyroConfig{NoiseStd: 0.005}
+
+	att := func(ti float64) vecmath.Quat {
+		return vecmath.AxisAngle(vecmath.V3(0, 1, 0), 0.5*math.Sin(2*math.Pi*0.9*ti))
+	}
+	var worst float64
+	for i := 0; i < 3000; i++ {
+		ti := float64(i) / fs
+		a := att(ti)
+		aNext := att(ti + 1/fs)
+		omega := AngularVelocity(a, aNext, 1/fs)
+		// True world vertical acceleration is a 1.8 Hz sine.
+		truth := 1.5 * math.Sin(2*math.Pi*1.8*ti)
+		raw := s.Read(vecmath.V3(0, 0, truth), a)
+		f.Update(s.ReadGyro(omega, gyroCfg), raw, 1/fs)
+		if i > 500 {
+			if d := math.Abs(f.Vertical(raw) - truth); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.5 {
+		t.Errorf("worst fused vertical error = %v under fast tilt", worst)
+	}
+}
+
+func TestComplementaryFilterGyroOnlyDrifts(t *testing.T) {
+	// With a biased gyro and a long time constant, drift accumulates; the
+	// accelerometer correction must bound it.
+	const fs = 100.0
+	s := NewSensor(SensorConfig{SampleRate: fs, Seed: 7})
+	f := NewComplementaryFilter(1.0, fs)
+	gyroCfg := GyroConfig{Bias: vecmath.V3(0.02, 0.01, 0)}
+	att := vecmath.IdentityQuat()
+	var v float64
+	for i := 0; i < 6000; i++ {
+		raw := s.Read(vecmath.Vec3{}, att)
+		f.Update(s.ReadGyro(vecmath.Vec3{}, gyroCfg), raw, 1/fs)
+		v = f.Vertical(raw)
+	}
+	// 60 s of 0.02 rad/s bias = 1.2 rad uncorrected; corrected, the
+	// vertical residue stays small.
+	if math.Abs(v) > 0.1 {
+		t.Errorf("drift not bounded: vertical residue %v", v)
+	}
+}
+
+func TestTiltFromAccelCases(t *testing.T) {
+	// Straight up: identity.
+	q := tiltFromAccel(vecmath.V3(0, 0, StandardGravity))
+	if got := q.Rotate(vecmath.V3(0, 0, 1)); got.Sub(vecmath.V3(0, 0, 1)).Norm() > 1e-9 {
+		t.Errorf("upright tilt wrong: %v", got)
+	}
+	// Upside down: maps device -z to world up.
+	q = tiltFromAccel(vecmath.V3(0, 0, -StandardGravity))
+	if got := q.Rotate(vecmath.V3(0, 0, -1)); got.Sub(vecmath.V3(0, 0, 1)).Norm() > 1e-9 {
+		t.Errorf("inverted tilt wrong: %v", got)
+	}
+	// Zero accel: identity fallback.
+	if q := tiltFromAccel(vecmath.Vec3{}); q != vecmath.IdentityQuat() {
+		t.Errorf("zero accel tilt = %v", q)
+	}
+	// Arbitrary tilt: measured gravity maps to world up.
+	att := vecmath.AxisAngle(vecmath.V3(1, 2, 0), 0.7)
+	meas := att.Conj().Rotate(vecmath.V3(0, 0, StandardGravity))
+	q = tiltFromAccel(meas)
+	if got := q.Rotate(meas.Unit()); got.Sub(vecmath.V3(0, 0, 1)).Norm() > 1e-9 {
+		t.Errorf("arbitrary tilt wrong: %v", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Package imu models the wearable's inertial sensing path: converting true
+// (world-frame) device motion into noisy device-frame accelerometer
+// readings, and the inverse estimation problem — recovering gravity,
+// attitude and linear acceleration from those readings, the way platform
+// sensor APIs do (paper §III-B2, citing [25]).
+package imu
+
+import (
+	"math/rand"
+
+	"ptrack/internal/vecmath"
+)
+
+// StandardGravity is the gravitational acceleration used throughout, m/s^2.
+const StandardGravity = 9.80665
+
+// SensorConfig describes an accelerometer's error model.
+type SensorConfig struct {
+	SampleRate float64      // Hz; must be positive
+	NoiseStd   float64      // white-noise standard deviation per axis, m/s^2
+	Bias       vecmath.Vec3 // constant bias per axis, m/s^2
+	Seed       int64        // PRNG seed for reproducible noise
+}
+
+// DefaultSensorConfig returns an error model typical of a consumer
+// smartwatch MEMS accelerometer sampled at 100 Hz.
+func DefaultSensorConfig() SensorConfig {
+	return SensorConfig{
+		SampleRate: 100,
+		NoiseStd:   0.03,
+		Bias:       vecmath.V3(0.02, -0.015, 0.01),
+		Seed:       1,
+	}
+}
+
+// Sensor converts true world-frame kinematics into device-frame
+// accelerometer readings. Create with NewSensor.
+type Sensor struct {
+	cfg SensorConfig
+	rng *rand.Rand
+}
+
+// NewSensor returns a Sensor with the given configuration. A non-positive
+// sample rate is normalised to 100 Hz so a zero-value config still works.
+func NewSensor(cfg SensorConfig) *Sensor {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 100
+	}
+	return &Sensor{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SampleRate returns the configured rate in Hz.
+func (s *Sensor) SampleRate() float64 { return s.cfg.SampleRate }
+
+// Read produces one accelerometer sample: the specific force for a device
+// with world-frame linear acceleration accelWorld and orientation attitude
+// (device-to-world rotation), corrupted by bias and white noise.
+//
+// An accelerometer measures specific force f = a - g with g = (0,0,-G), so
+// a device at rest reads +G on its up axis.
+func (s *Sensor) Read(accelWorld vecmath.Vec3, attitude vecmath.Quat) vecmath.Vec3 {
+	fWorld := accelWorld.Add(vecmath.V3(0, 0, StandardGravity))
+	fDev := attitude.Conj().Rotate(fWorld)
+	noise := vecmath.V3(
+		s.rng.NormFloat64()*s.cfg.NoiseStd,
+		s.rng.NormFloat64()*s.cfg.NoiseStd,
+		s.rng.NormFloat64()*s.cfg.NoiseStd,
+	)
+	return fDev.Add(s.cfg.Bias).Add(noise)
+}
+
+// ReadYaw models the platform's fused heading output: the true yaw plus
+// slowly accumulating Gaussian error of the given std (radians).
+func (s *Sensor) ReadYaw(trueYaw, errStd float64) float64 {
+	return trueYaw + s.rng.NormFloat64()*errStd
+}

@@ -1,0 +1,85 @@
+package project
+
+import (
+	"testing"
+
+	"ptrack/internal/dsp"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/trace"
+)
+
+func TestDecomposeFusedEmpty(t *testing.T) {
+	if s := DecomposeFused(nil); len(s.Vertical) != 0 {
+		t.Error("nil trace should decompose to nothing")
+	}
+	if s := DecomposeFused(&trace.Trace{SampleRate: 100}); len(s.Vertical) != 0 {
+		t.Error("empty trace should decompose to nothing")
+	}
+}
+
+func TestDecomposeFusedMatchesLowPassOnQuasiStaticMount(t *testing.T) {
+	// With the default (quasi-static) mount both projections must agree
+	// on the vertical channel.
+	rec, err := gaitsim.SimulateActivity(gaitsim.DefaultProfile(), gaitsim.DefaultConfig(), trace.ActivityWalking, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := Decompose(rec.Trace)
+	fu := DecomposeFused(rec.Trace)
+	// Skip the fusion settle-in.
+	corr := dsp.Pearson(lp.Vertical[500:], fu.Vertical[500:])
+	if corr < 0.97 {
+		t.Errorf("fused vs low-pass vertical correlation = %v", corr)
+	}
+}
+
+func TestDecomposeFusedHandlesSwingCoupledTilt(t *testing.T) {
+	// With the watch pitching along the arm swing, the low-pass gravity
+	// estimate smears gravity into the horizontal channels while the
+	// fused attitude tracks the rotation. Reference: the same walk with a
+	// rigid mount.
+	cfg := gaitsim.DefaultConfig()
+	rigid, err := gaitsim.SimulateActivity(gaitsim.DefaultProfile(), cfg, trace.ActivityWalking, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SwingTiltFactor = 0.5
+	loose, err := gaitsim.SimulateActivity(gaitsim.DefaultProfile(), cfg, trace.ActivityWalking, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := Decompose(rigid.Trace) // ground-truth-ish vertical (rigid mount)
+	lp := Decompose(loose.Trace)
+	fu := DecomposeFused(loose.Trace)
+
+	corrLP := dsp.Pearson(ref.Vertical[500:], lp.Vertical[500:])
+	corrFU := dsp.Pearson(ref.Vertical[500:], fu.Vertical[500:])
+	t.Logf("vertical correlation vs rigid-mount reference: low-pass %.3f, fused %.3f", corrLP, corrFU)
+	if corrFU <= corrLP {
+		t.Errorf("fusion (%.3f) should beat the low-pass (%.3f) under swing-coupled tilt", corrFU, corrLP)
+	}
+	if corrFU < 0.9 {
+		t.Errorf("fused vertical degraded: corr %.3f", corrFU)
+	}
+}
+
+func TestSwingTiltZeroGyroStillHasTurnRate(t *testing.T) {
+	// Even with a rigid mount, turning walks must show yaw-rate on the
+	// gyro channel.
+	cfg := gaitsim.DefaultConfig()
+	rec, err := gaitsim.Simulate(gaitsim.DefaultProfile(), cfg, []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 10, TurnRate: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumZ float64
+	for _, s := range rec.Trace.Samples {
+		sumZ += s.Gyro.Z
+	}
+	mean := sumZ / float64(len(rec.Trace.Samples))
+	if mean < 0.3 || mean > 0.7 {
+		t.Errorf("mean gyro yaw rate = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,163 @@
+// Package project implements PTrack's acceleration projection (§III-B2):
+// decomposing raw device-frame accelerometer samples into vertical linear
+// acceleration (via the platform gravity estimate, [25]) and anterior
+// acceleration (via least-squares fitting of the dominant horizontal
+// direction — the back-and-forth arm/body motion spreads energy along the
+// walking direction).
+package project
+
+import (
+	"ptrack/internal/dsp"
+	"ptrack/internal/imu"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// Series holds the full-trace projection: per-sample vertical linear
+// acceleration plus the two horizontal components in the gravity-referenced
+// basis. Anterior extraction happens per window with ProjectWindow.
+type Series struct {
+	SampleRate float64
+	Vertical   []float64
+	H1, H2     []float64
+
+	lastAxis vecmath.Vec3 // sign-stabilisation state across windows
+}
+
+// Decompose runs the gravity estimator over the whole trace and returns
+// the per-sample decomposition. The gravity low-pass is pre-settled on the
+// first sample so short traces do not pay a start-up transient.
+func Decompose(tr *trace.Trace) *Series {
+	s := &Series{}
+	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
+		return s
+	}
+	s.SampleRate = tr.SampleRate
+	n := len(tr.Samples)
+	s.Vertical = make([]float64, n)
+	s.H1 = make([]float64, n)
+	s.H2 = make([]float64, n)
+
+	// The gravity cutoff must sit far below the gait band: the low-pass
+	// leaks a phase-lagged copy of the motion into the gravity estimate
+	// proportional to cutoff/f, and phase-lagged cross-axis leakage would
+	// desynchronise the critical points of perfectly rigid motions. A
+	// static tilt error, by contrast, only mixes the axes synchronously
+	// and is harmless to the offset metric.
+	const gravityCutoffHz = 0.04
+	p := imu.NewProjector(gravityCutoffHz, tr.SampleRate)
+	// Prime the gravity filter on the mean over the first seconds: motion
+	// acceleration averages out over whole movement cycles, so the mean is
+	// an unbiased gravity estimate, whereas priming on a single sample
+	// would inject that sample's full motion acceleration and poison the
+	// first few seconds of vertical extraction.
+	primeN := int(3 * tr.SampleRate)
+	if primeN > n {
+		primeN = n
+	}
+	var primeSum vecmath.Vec3
+	for _, smp := range tr.Samples[:primeN] {
+		primeSum = primeSum.Add(smp.Accel)
+	}
+	p.Warmup(primeSum.Scale(1/float64(primeN)), int(120*tr.SampleRate))
+	for i, smp := range tr.Samples {
+		proj := p.Project(smp.Accel)
+		s.Vertical[i] = proj.Vertical
+		s.H1[i] = proj.H1
+		s.H2[i] = proj.H2
+	}
+	return s
+}
+
+// DecomposeFused is Decompose with the vertical channel extracted via
+// gyro+accelerometer complementary attitude fusion instead of the
+// low-pass gravity estimate. The fused attitude follows fast wrist
+// re-orientation (e.g. the watch rotating with the swinging forearm),
+// which a low-pass cannot track; use it when traces carry a gyroscope
+// channel and the mount is not quasi-static.
+func DecomposeFused(tr *trace.Trace) *Series {
+	s := &Series{}
+	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
+		return s
+	}
+	s.SampleRate = tr.SampleRate
+	n := len(tr.Samples)
+	s.Vertical = make([]float64, n)
+	s.H1 = make([]float64, n)
+	s.H2 = make([]float64, n)
+
+	f := imu.NewComplementaryFilter(1.0, tr.SampleRate)
+	dt := 1 / tr.SampleRate
+	for i, smp := range tr.Samples {
+		att := f.Update(smp.Gyro, smp.Accel, dt)
+		world := att.Rotate(smp.Accel)
+		s.Vertical[i] = world.Z - imu.StandardGravity
+		// The fused attitude's yaw is arbitrary (gravity observes tilt
+		// only), so the horizontal pair is a consistent but unoriented
+		// basis — exactly what the PCA anterior fit needs.
+		s.H1[i] = world.X
+		s.H2[i] = world.Y
+	}
+	return s
+}
+
+// Window is a projected gait-cycle candidate: the vertical and anterior
+// acceleration series over one window.
+type Window struct {
+	Vertical []float64
+	Anterior []float64
+	Axis     vecmath.Vec3 // horizontal unit axis (in the H1/H2 basis) used for Anterior
+	OK       bool         // false when no anterior axis could be fitted
+}
+
+// ProjectWindow extracts the [start, end) window and fits the anterior
+// axis to its horizontal scatter. The axis sign is stabilised against the
+// previous window's axis so consecutive cycles keep a consistent anterior
+// polarity (the absolute sign is unobservable without a compass, and no
+// downstream consumer needs it).
+func (s *Series) ProjectWindow(start, end int) Window {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(s.Vertical) {
+		end = len(s.Vertical)
+	}
+	if start >= end {
+		return Window{}
+	}
+	n := end - start
+	w := Window{
+		Vertical: make([]float64, n),
+		Anterior: make([]float64, n),
+	}
+	copy(w.Vertical, s.Vertical[start:end])
+
+	pts := make([]vecmath.Vec3, n)
+	for i := 0; i < n; i++ {
+		pts[i] = vecmath.V3(s.H1[start+i], s.H2[start+i], 0)
+	}
+	axis, ok := vecmath.PrincipalAxis2D(pts)
+	if !ok {
+		// No horizontal energy: anterior stays zero; vertical is still
+		// valid so the caller can decide what to do.
+		return w
+	}
+	if s.lastAxis.NormSq() > 0 && axis.Dot(s.lastAxis) < 0 {
+		axis = axis.Neg()
+	}
+	s.lastAxis = axis
+	for i := 0; i < n; i++ {
+		w.Anterior[i] = pts[i].Dot(axis)
+	}
+	w.Axis = axis
+	w.OK = true
+	return w
+}
+
+// Smooth returns copies of the window's series zero-phase low-passed at
+// cutoffHz — the phase-preserving smoothing the critical-point analysis
+// needs.
+func (w Window) Smooth(cutoffHz, sampleRate float64) (vertical, anterior []float64) {
+	return dsp.FiltFilt(w.Vertical, cutoffHz, sampleRate),
+		dsp.FiltFilt(w.Anterior, cutoffHz, sampleRate)
+}

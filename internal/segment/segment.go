@@ -1,0 +1,154 @@
+// Package segment implements the front end PTrack inherits from existing
+// pedestrian-tracking systems (the grayed boxes of Fig. 2): low-pass
+// filtering of the accelerometer magnitude, peak detection, and
+// segmentation of the stream into gait-cycle candidates. Everything this
+// package emits is only a *candidate* — rigid interference produces
+// candidates too; telling them apart is gaitid's job.
+package segment
+
+import (
+	"math"
+
+	"ptrack/internal/dsp"
+	"ptrack/internal/imu"
+	"ptrack/internal/trace"
+)
+
+// Config tunes the candidate detector. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// LowPassCutoffHz smooths the magnitude before peak detection.
+	// Default 5 Hz — keeps the step impacts, drops sensor noise.
+	LowPassCutoffHz float64
+	// MinPeakProminence rejects ripples, m/s^2. Default 0.8.
+	MinPeakProminence float64
+	// MinPeakDistanceS enforces a refractory period between step peaks,
+	// seconds. Default 0.25 (max 4 steps/s).
+	MinPeakDistanceS float64
+	// MinCycleS / MaxCycleS bound a plausible gait cycle (two steps).
+	// Defaults 0.6 and 2.8 s.
+	MinCycleS float64
+	MaxCycleS float64
+	// MaxPeriodRatio bounds how unequal the two step intervals within one
+	// candidate cycle may be. Default 1.8.
+	MaxPeriodRatio float64
+	// MaxAmplitudeRatio bounds how unequal the peak heights within one
+	// candidate cycle may be — steady gait produces near-equal step
+	// impacts, while the ramp-up of a sporadic gesture does not.
+	// Default 1.8.
+	MaxAmplitudeRatio float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LowPassCutoffHz == 0 {
+		c.LowPassCutoffHz = 5
+	}
+	if c.MinPeakProminence == 0 {
+		c.MinPeakProminence = 0.8
+	}
+	if c.MinPeakDistanceS == 0 {
+		c.MinPeakDistanceS = 0.25
+	}
+	if c.MinCycleS == 0 {
+		c.MinCycleS = 0.6
+	}
+	if c.MaxCycleS == 0 {
+		c.MaxCycleS = 2.8
+	}
+	if c.MaxPeriodRatio == 0 {
+		c.MaxPeriodRatio = 1.8
+	}
+	if c.MaxAmplitudeRatio == 0 {
+		c.MaxAmplitudeRatio = 1.8
+	}
+	return c
+}
+
+// Cycle is one gait-cycle candidate: two consecutive peak-to-peak
+// intervals of the magnitude signal, i.e. two candidate steps.
+type Cycle struct {
+	Start, End int    // sample range [Start, End)
+	Peaks      [2]int // the two step-peak sample indices inside the cycle
+}
+
+// Len returns the candidate length in samples.
+func (c Cycle) Len() int { return c.End - c.Start }
+
+// Result carries the candidate cycles along with the intermediate signals
+// downstream stages reuse.
+type Result struct {
+	Magnitude []float64 // |accel| - G, low-passed (the peak-detection signal)
+	Peaks     []int     // all retained step-peak indices
+	Cycles    []Cycle   // gait-cycle candidates, non-overlapping, in order
+}
+
+// Segment runs the front end over a trace.
+func Segment(tr *trace.Trace, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
+		return res
+	}
+
+	// Magnitude channel: orientation-free step energy.
+	mag := make([]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		mag[i] = s.Accel.Norm() - imu.StandardGravity
+	}
+	mag = dsp.FiltFilt(mag, cfg.LowPassCutoffHz, tr.SampleRate)
+	res.Magnitude = mag
+
+	res.Peaks = dsp.FindPeaks(mag, dsp.PeakOptions{
+		MinProminence: cfg.MinPeakProminence,
+		MinDistance:   int(math.Round(cfg.MinPeakDistanceS * tr.SampleRate)),
+	})
+
+	res.Cycles = pairCycles(res.Peaks, mag, tr.SampleRate, cfg)
+	return res
+}
+
+// pairCycles groups step peaks into non-overlapping two-step candidates.
+// A candidate is accepted when its total duration is a plausible gait
+// cycle and its two step intervals are not wildly unequal; otherwise the
+// window advances one peak, so a single spurious peak cannot poison the
+// whole stream.
+func pairCycles(peaks []int, mag []float64, sampleRate float64, cfg Config) []Cycle {
+	var cycles []Cycle
+	i := 0
+	for i+2 < len(peaks) {
+		p0, p1, p2 := peaks[i], peaks[i+1], peaks[i+2]
+		d1 := float64(p1-p0) / sampleRate
+		d2 := float64(p2-p1) / sampleRate
+		total := d1 + d2
+		ratio := math.Max(d1, d2) / math.Max(math.Min(d1, d2), 1e-9)
+		if total >= cfg.MinCycleS && total <= cfg.MaxCycleS &&
+			ratio <= cfg.MaxPeriodRatio &&
+			amplitudeConsistent(mag, p0, p1, p2, cfg.MaxAmplitudeRatio) {
+			cycles = append(cycles, Cycle{Start: p0, End: p2, Peaks: [2]int{p0, p1}})
+			i += 2 // non-overlapping: next cycle starts at p2
+		} else {
+			i++
+		}
+	}
+	return cycles
+}
+
+// amplitudeConsistent reports whether the three step-peak heights are
+// within the allowed ratio of each other.
+func amplitudeConsistent(mag []float64, p0, p1, p2 int, maxRatio float64) bool {
+	const floor = 1e-3
+	lo, hi := math.Inf(1), 0.0
+	for _, p := range [3]int{p0, p1, p2} {
+		h := mag[p]
+		if h < floor {
+			h = floor
+		}
+		if h < lo {
+			lo = h
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return hi/lo <= maxRatio
+}

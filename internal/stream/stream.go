@@ -1,0 +1,411 @@
+// Package stream provides the online (sample-by-sample) variant of the
+// PTrack pipeline. A wearable does not see a finished trace: samples
+// arrive one at a time and steps must be reported with bounded latency.
+//
+// The online tracker buffers a sliding window, projects incrementally,
+// and classifies a gait-cycle candidate as soon as its trailing context
+// margin is available — the same computation as the batch pipeline in
+// internal/core, at a reporting latency of roughly one gait cycle plus
+// the margin (≈1.5 s at normal cadence).
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"ptrack/internal/dsp"
+	"ptrack/internal/gaitid"
+	"ptrack/internal/imu"
+	"ptrack/internal/segment"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// Event is emitted when one gait-cycle candidate has been classified.
+type Event struct {
+	T          float64 // time of the cycle's end, seconds
+	Label      gaitid.Label
+	StepsAdded int       // steps credited by this cycle (after confirmation logic)
+	Strides    []float64 // per-step stride estimates for the credited steps
+	TotalSteps int       // running step count after this event
+	Offset     float64   // Eq. (1) diagnostic
+}
+
+// Config tunes the online tracker.
+type Config struct {
+	SampleRate float64 // Hz; required
+	Segment    segment.Config
+	Identify   gaitid.Config
+	// Profile enables stride estimation when non-nil.
+	Profile *stride.Config
+	// MarginFraction is the classification context per side, as a fraction
+	// of the cycle length. Default 0.25.
+	MarginFraction float64
+	// BufferS bounds the sliding window. Default 12 s; must comfortably
+	// exceed the longest cycle plus margins.
+	BufferS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MarginFraction == 0 {
+		c.MarginFraction = 0.25
+	}
+	if c.BufferS == 0 {
+		c.BufferS = 12
+	}
+	return c
+}
+
+// Tracker is the online pipeline. Construct with New. Not safe for
+// concurrent use.
+type Tracker struct {
+	cfg     Config
+	segCfg  segment.Config
+	id      *gaitid.Identifier
+	est     *stride.Estimator // nil when no profile
+	grav    *imu.Projector
+	gravSet bool
+
+	// Sliding buffers, all indexed by absolute sample number minus base.
+	base     int // absolute index of buffer[0]
+	absCount int // total samples consumed
+	mag      []float64
+	vertical []float64
+	h1, h2   []float64
+
+	lastPeak     int // absolute index of the last consumed cycle end peak
+	lastCycleLen int
+	prevCycleEnd int // for gap detection
+	sinceScan    int // samples since the last buffer scan
+
+	// Stepping cycles pending confirmation, for stride back-fill.
+	pendingStepping []pendingCycle
+
+	lastAxis vecmath.Vec3
+}
+
+type pendingCycle struct {
+	endT    float64
+	strides []float64
+}
+
+// New returns an online tracker.
+func New(cfg Config) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("stream: sample rate must be positive, got %v", cfg.SampleRate)
+	}
+	t := &Tracker{
+		cfg:      cfg,
+		segCfg:   cfg.Segment, // defaults applied by segment on use; we use fields directly below
+		id:       gaitid.NewIdentifier(cfg.Identify, cfg.SampleRate),
+		grav:     imu.NewProjector(0.04, cfg.SampleRate),
+		lastPeak: -1,
+	}
+	if cfg.Profile != nil {
+		est, err := stride.New(*cfg.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		t.est = est
+	}
+	return t, nil
+}
+
+// Steps returns the running step count.
+func (t *Tracker) Steps() int { return t.id.Steps() }
+
+// Push consumes one sample and returns any events that became decidable.
+func (t *Tracker) Push(s trace.Sample) []Event {
+	if !t.gravSet {
+		// Prime the gravity filter on the first sample; it refines as the
+		// stream proceeds (a real device carries its estimate over).
+		t.grav.Warmup(s.Accel, int(120*t.cfg.SampleRate))
+		t.gravSet = true
+	}
+	proj := t.grav.Project(s.Accel)
+	t.vertical = append(t.vertical, proj.Vertical)
+	t.h1 = append(t.h1, proj.H1)
+	t.h2 = append(t.h2, proj.H2)
+	t.mag = append(t.mag, s.Accel.Norm()-imu.StandardGravity)
+	t.absCount++
+
+	// Peak detection over the buffer is the expensive part; amortise it by
+	// scanning every decimation interval (0.1 s). Decisions are delayed by
+	// at most that much on top of the margin latency.
+	t.sinceScan++
+	if t.sinceScan < int(0.1*t.cfg.SampleRate) {
+		return nil
+	}
+	t.sinceScan = 0
+	events := t.drain()
+	t.compact()
+	return events
+}
+
+// Flush reports any cycles that were still waiting for trailing context,
+// accepting reduced margins. Call at end of stream.
+func (t *Tracker) Flush() []Event {
+	return t.drainWith(true)
+}
+
+func (t *Tracker) drain() []Event { return t.drainWith(false) }
+
+// drainWith finds decidable gait-cycle candidates in the buffer and
+// classifies them.
+func (t *Tracker) drainWith(flush bool) []Event {
+	var events []Event
+	segCfg := t.cfg.Segment
+	// Re-apply the same defaulting segment.Segment would.
+	lp := segCfg.LowPassCutoffHz
+	if lp == 0 {
+		lp = 5
+	}
+	prom := segCfg.MinPeakProminence
+	if prom == 0 {
+		prom = 0.8
+	}
+	minDist := segCfg.MinPeakDistanceS
+	if minDist == 0 {
+		minDist = 0.25
+	}
+	minCycle := segCfg.MinCycleS
+	if minCycle == 0 {
+		minCycle = 0.6
+	}
+	maxCycle := segCfg.MaxCycleS
+	if maxCycle == 0 {
+		maxCycle = 2.8
+	}
+	maxRatio := segCfg.MaxPeriodRatio
+	if maxRatio == 0 {
+		maxRatio = 1.8
+	}
+	maxAmpRatio := segCfg.MaxAmplitudeRatio
+	if maxAmpRatio == 0 {
+		maxAmpRatio = 1.8
+	}
+
+	for {
+		if len(t.mag) < 8 {
+			return events
+		}
+		smooth := dsp.FiltFilt(t.mag, lp, t.cfg.SampleRate)
+		peaks := dsp.FindPeaks(smooth, dsp.PeakOptions{
+			MinProminence: prom,
+			MinDistance:   int(math.Round(minDist * t.cfg.SampleRate)),
+		})
+		// Absolute peak indices after the last consumed peak.
+		var cand []int
+		for _, p := range peaks {
+			abs := p + t.base
+			// Consecutive cycles share their boundary peak, as in the
+			// batch segmenter's (p0,p2),(p2,p4),... pairing.
+			if abs >= t.lastPeak {
+				cand = append(cand, abs)
+			}
+		}
+		if len(cand) < 3 {
+			return events
+		}
+		p0, p1, p2 := cand[0], cand[1], cand[2]
+		d1 := float64(p1-p0) / t.cfg.SampleRate
+		d2 := float64(p2-p1) / t.cfg.SampleRate
+		total := d1 + d2
+		ratio := math.Max(d1, d2) / math.Max(math.Min(d1, d2), 1e-9)
+		ampOK := t.peakAmplitudesConsistent(smooth, p0, p1, p2, maxAmpRatio)
+		if total < minCycle || total > maxCycle || ratio > maxRatio || !ampOK {
+			// Not a plausible cycle: advance one peak, as the batch
+			// segmenter does (the next triple starts at p1).
+			t.lastPeak = p1
+			continue
+		}
+		cycLen := p2 - p0
+		margin := int(t.cfg.MarginFraction * float64(cycLen))
+		// Decide only when the trailing margin is buffered (or flushing).
+		have := t.base + len(t.mag)
+		if p2+margin >= have {
+			if !flush {
+				return events
+			}
+			margin = have - 1 - p2
+			if margin < 0 {
+				margin = 0
+			}
+		}
+		leadMargin := margin
+		if p0-leadMargin < t.base {
+			leadMargin = p0 - t.base
+		}
+		m := min2(leadMargin, margin)
+		ev := t.classifyCycle(p0, p2, m)
+		events = append(events, ev...)
+		t.lastPeak = p2
+		t.lastCycleLen = cycLen
+	}
+}
+
+func (t *Tracker) peakAmplitudesConsistent(smooth []float64, p0, p1, p2 int, maxRatio float64) bool {
+	const floor = 1e-3
+	lo, hi := math.Inf(1), 0.0
+	for _, p := range [3]int{p0, p1, p2} {
+		h := smooth[p-t.base]
+		if h < floor {
+			h = floor
+		}
+		lo = math.Min(lo, h)
+		hi = math.Max(hi, h)
+	}
+	return hi/lo <= maxRatio
+}
+
+// classifyCycle runs identification and stride estimation over the cycle
+// [startAbs, endAbs) with the given symmetric margin.
+func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
+	// Gap detection: break the stepping streak across silence.
+	if t.prevCycleEnd > 0 && startAbs-t.prevCycleEnd > (endAbs-startAbs)/4 {
+		t.id.BreakStreak()
+		t.pendingStepping = t.pendingStepping[:0]
+	}
+	t.prevCycleEnd = endAbs
+
+	lo := startAbs - margin - t.base
+	hi := endAbs + margin - t.base
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.vertical) {
+		hi = len(t.vertical)
+	}
+	vertical := append([]float64(nil), t.vertical[lo:hi]...)
+	anterior, ok := t.anterior(lo, hi)
+	endT := float64(endAbs) / t.cfg.SampleRate
+	if !ok {
+		return []Event{{T: endT, Label: gaitid.LabelInterference, TotalSteps: t.id.Steps()}}
+	}
+
+	cr := t.id.ClassifyWindow(vertical, anterior, margin)
+	ev := Event{
+		T:          endT,
+		Label:      cr.Label,
+		StepsAdded: cr.StepsAdded,
+		TotalSteps: t.id.Steps(),
+		Offset:     cr.Offset,
+	}
+
+	switch cr.Label {
+	case gaitid.LabelWalking:
+		t.pendingStepping = t.pendingStepping[:0]
+		ev.Strides = t.strides(vertical, anterior, margin, cr.StepsAdded, true)
+		return []Event{ev}
+	case gaitid.LabelStepping:
+		strides := t.strides(vertical, anterior, margin, 2, false)
+		if cr.StepsAdded == 0 {
+			t.pendingStepping = append(t.pendingStepping, pendingCycle{endT: endT, strides: strides})
+			return []Event{ev}
+		}
+		// Confirmation: emit back-fill events for the pending cycles.
+		var out []Event
+		for _, p := range t.pendingStepping {
+			out = append(out, Event{
+				T: p.endT, Label: gaitid.LabelStepping,
+				StepsAdded: 2, Strides: p.strides,
+				TotalSteps: t.id.Steps(),
+			})
+		}
+		t.pendingStepping = t.pendingStepping[:0]
+		ev.StepsAdded = 2
+		ev.Strides = strides
+		out = append(out, ev)
+		return out
+	default:
+		t.pendingStepping = t.pendingStepping[:0]
+		return []Event{ev}
+	}
+}
+
+// anterior fits the principal horizontal axis over [lo, hi) and projects.
+func (t *Tracker) anterior(lo, hi int) ([]float64, bool) {
+	pts := make([]vecmath.Vec3, hi-lo)
+	for i := range pts {
+		pts[i] = vecmath.V3(t.h1[lo+i], t.h2[lo+i], 0)
+	}
+	axis, ok := vecmath.PrincipalAxis2D(pts)
+	if !ok {
+		return nil, false
+	}
+	if t.lastAxis.NormSq() > 0 && axis.Dot(t.lastAxis) < 0 {
+		axis = axis.Neg()
+	}
+	t.lastAxis = axis
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Dot(axis)
+	}
+	return out, true
+}
+
+// strides estimates up to count strides for a window, averaging within the
+// cycle as the batch pipeline does.
+func (t *Tracker) strides(vertical, anterior []float64, margin, count int, walking bool) []float64 {
+	if t.est == nil || count <= 0 {
+		return nil
+	}
+	var steps []stride.Step
+	if walking {
+		steps = t.est.EstimateWalking(vertical, anterior, margin, t.cfg.SampleRate)
+	} else {
+		steps = t.est.EstimateStepping(vertical, margin, t.cfg.SampleRate)
+	}
+	if len(steps) == 0 {
+		return nil
+	}
+	var sum float64
+	n := 0
+	for _, s := range steps {
+		if n == count {
+			break
+		}
+		sum += s.Stride
+		n++
+	}
+	mean := sum / float64(n)
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = mean
+	}
+	return out
+}
+
+// compact drops buffered samples that can no longer participate in any
+// future decision.
+func (t *Tracker) compact() {
+	maxLen := int(t.cfg.BufferS * t.cfg.SampleRate)
+	if len(t.mag) <= maxLen {
+		return
+	}
+	drop := len(t.mag) - maxLen
+	// Never drop past the last consumed peak's context.
+	if t.lastPeak >= 0 {
+		keepFrom := t.lastPeak - t.base - t.lastCycleLen
+		if keepFrom < drop {
+			drop = keepFrom
+		}
+	}
+	if drop <= 0 {
+		return
+	}
+	t.base += drop
+	t.mag = t.mag[drop:]
+	t.vertical = t.vertical[drop:]
+	t.h1 = t.h1[drop:]
+	t.h2 = t.h2[drop:]
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/core"
+	"ptrack/internal/gaitid"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+func onlineConfig(p gaitsim.Profile) Config {
+	return Config{
+		SampleRate: 100,
+		Profile: &stride.Config{
+			ArmLength: p.ArmLength,
+			LegLength: p.LegLength,
+			K:         p.K,
+		},
+	}
+}
+
+// runOnline feeds a trace sample by sample and collects all events.
+func runOnline(t *testing.T, tk *Tracker, tr *trace.Trace) []Event {
+	t.Helper()
+	var events []Event
+	for _, s := range tr.Samples {
+		events = append(events, tk.Push(s)...)
+	}
+	events = append(events, tk.Flush()...)
+	return events
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero sample rate should fail")
+	}
+	if _, err := New(Config{SampleRate: 100, Profile: &stride.Config{ArmLength: -1}}); err == nil {
+		t.Error("invalid profile should fail")
+	}
+}
+
+func TestOnlineWalkingMatchesBatch(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tk, err := New(onlineConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := runOnline(t, tk, rec.Trace)
+
+	batch, err := core.Process(rec.Trace, core.Config{Profile: &stride.Config{
+		ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("online steps %d, batch steps %d, truth %d, events %d",
+		tk.Steps(), batch.Steps, rec.Truth.StepCount(), len(events))
+	if d := tk.Steps() - batch.Steps; d < -6 || d > 6 {
+		t.Errorf("online %d vs batch %d steps", tk.Steps(), batch.Steps)
+	}
+	// Online distance via events.
+	var dist float64
+	for _, ev := range events {
+		for _, s := range ev.Strides {
+			dist += s
+		}
+	}
+	rel := math.Abs(dist-rec.Truth.Distance) / rec.Truth.Distance
+	if rel > 0.2 {
+		t.Errorf("online distance %.1f vs truth %.1f", dist, rec.Truth.Distance)
+	}
+}
+
+func TestOnlineLatencyBounded(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(onlineConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i, s := range rec.Trace.Samples {
+		now := float64(i) / rec.Trace.SampleRate
+		for _, ev := range tk.Push(s) {
+			if lag := now - ev.T; lag > worst {
+				worst = lag
+			}
+		}
+	}
+	// Latency budget: one cycle margin (~0.28 s) + scan interval (0.1 s)
+	// + detection slack. Anything beyond ~1.5 cycles means buffering bugs.
+	if worst > 1.2 {
+		t.Errorf("worst event latency %.2f s", worst)
+	}
+	t.Logf("worst event latency %.2f s", worst)
+}
+
+func TestOnlineInterferenceRejected(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	for _, a := range []trace.Activity{trace.ActivityEating, trace.ActivitySpoofing, trace.ActivityPoker} {
+		rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), a, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := New(Config{SampleRate: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOnline(t, tk, rec.Trace)
+		if tk.Steps() > 4 {
+			t.Errorf("%v: online counted %d steps", a, tk.Steps())
+		}
+	}
+}
+
+func TestOnlineSteppingConfirmsWithBackfill(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityStepping, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(onlineConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := runOnline(t, tk, rec.Trace)
+	truth := rec.Truth.StepCount()
+	if d := math.Abs(float64(tk.Steps() - truth)); d > 0.15*float64(truth) {
+		t.Errorf("stepping steps %d, truth %d", tk.Steps(), truth)
+	}
+	// The confirmation back-fill means some early events precede a later
+	// event's time or share StepsAdded=2 after zero-step pending events.
+	var pendingSeen, backfillSeen bool
+	for _, ev := range events {
+		if ev.Label == gaitid.LabelStepping && ev.StepsAdded == 0 {
+			pendingSeen = true
+		}
+		if ev.Label == gaitid.LabelStepping && ev.StepsAdded == 2 && pendingSeen {
+			backfillSeen = true
+		}
+	}
+	if !pendingSeen || !backfillSeen {
+		t.Errorf("confirmation flow not observed (pending=%v backfill=%v)", pendingSeen, backfillSeen)
+	}
+}
+
+func TestOnlineMixedActivity(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.Simulate(p, gaitsim.DefaultConfig(), []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 30},
+		{Activity: trace.ActivityEating, Duration: 20},
+		{Activity: trace.ActivityStepping, Duration: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(onlineConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, tk, rec.Trace)
+	truth := rec.Truth.StepCount()
+	if d := math.Abs(float64(tk.Steps() - truth)); d > 0.15*float64(truth) {
+		t.Errorf("mixed steps %d, truth %d", tk.Steps(), truth)
+	}
+}
+
+func TestOnlineBufferCompaction(t *testing.T) {
+	// A long stream must not grow the buffer without bound.
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(Config{SampleRate: 100, BufferS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBuf := 0
+	for _, s := range rec.Trace.Samples {
+		tk.Push(s)
+		if len(tk.mag) > maxBuf {
+			maxBuf = len(tk.mag)
+		}
+	}
+	// Allow some slack over the nominal 8 s (compaction runs after scans
+	// and respects cycle context).
+	if maxBuf > 1100 {
+		t.Errorf("buffer grew to %d samples", maxBuf)
+	}
+	if tk.Steps() == 0 {
+		t.Error("no steps counted on long stream")
+	}
+}
+
+func TestOnlineIdleProducesNothing(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityIdle, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(Config{SampleRate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := runOnline(t, tk, rec.Trace)
+	if len(events) != 0 || tk.Steps() != 0 {
+		t.Errorf("idle produced %d events, %d steps", len(events), tk.Steps())
+	}
+}
+
+func TestOnlineEventTotalsMonotone(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(Config{SampleRate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, ev := range runOnline(t, tk, rec.Trace) {
+		if ev.TotalSteps < prev {
+			t.Fatalf("TotalSteps decreased: %d -> %d", prev, ev.TotalSteps)
+		}
+		prev = ev.TotalSteps
+	}
+}

@@ -1,0 +1,91 @@
+package stride
+
+// Property tests on the Eqs. (3)-(5) bounce solve and the Eq. (2) stride
+// model.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPropertySolveBounceMonotoneInD(t *testing.T) {
+	// For fixed (h1, h2, m), the solved bounce grows with the measured
+	// anterior travel d: more horizontal arm movement at the same vertical
+	// drop means the drop was masked by a larger body rise.
+	const m = 0.62
+	f := func(h1Raw, h2Raw, dRaw uint32) bool {
+		h1 := -0.02 + 0.06*float64(h1Raw%1000)/1000
+		h2 := -0.02 + 0.06*float64(h2Raw%1000)/1000
+		dLo := 0.15 + 0.3*float64(dRaw%1000)/1000
+		dHi := dLo + 0.1
+		bLo, okLo := SolveBounce(h1, h2, dLo, m)
+		bHi, okHi := SolveBounce(h1, h2, dHi, m)
+		if !okLo || !okHi {
+			return true // outside the solvable region; nothing to compare
+		}
+		return bHi >= bLo-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySolveBounceMonotoneInArm(t *testing.T) {
+	// For fixed measurements, a longer assumed arm explains more of d and
+	// leaves less bounce — the monotonicity the self-training bisection
+	// relies on.
+	f := func(h1Raw, dRaw, mRaw uint32) bool {
+		h1 := -0.01 + 0.04*float64(h1Raw%1000)/1000
+		d := 0.25 + 0.25*float64(dRaw%1000)/1000
+		mLo := 0.45 + 0.25*float64(mRaw%1000)/1000
+		mHi := mLo + 0.1
+		bLo, okLo := SolveBounce(h1, h1, d, mLo)
+		bHi, okHi := SolveBounce(h1, h1, d, mHi)
+		if !okLo || !okHi {
+			return true
+		}
+		return bHi <= bLo+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStrideMonotoneInBounce(t *testing.T) {
+	f := func(bRaw, lRaw uint32) bool {
+		l := 0.75 + 0.3*float64(lRaw%1000)/1000
+		b1 := 0.01 + 0.08*float64(bRaw%1000)/1000
+		b2 := b1 + 0.01
+		return StrideFromBounce(b2, l, 2.3) >= StrideFromBounce(b1, l, 2.3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStrideLinearInK(t *testing.T) {
+	f := func(bRaw, kRaw uint32) bool {
+		b := 0.01 + 0.08*float64(bRaw%1000)/1000
+		k := 1.5 + 1.5*float64(kRaw%1000)/1000
+		s1 := StrideFromBounce(b, 0.9, k)
+		s2 := StrideFromBounce(b, 0.9, 2*k)
+		return math.Abs(s2-2*s1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyChordBounds(t *testing.T) {
+	// 0 <= chord(r, m) <= m for any inputs (with clamping).
+	f := func(rRaw, mRaw uint32) bool {
+		r := -1 + 3*float64(rRaw%1000)/1000
+		m := 0.3 + 0.7*float64(mRaw%1000)/1000
+		c := chord(r, m)
+		return c >= 0 && c <= m+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

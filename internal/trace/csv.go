@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout used by WriteCSV. ReadCSV also accepts
+// the legacy 5-column layout without the gyroscope channels.
+var csvHeader = []string{"t", "ax", "ay", "az", "gx", "gy", "gz", "yaw"}
+
+// legacyHeader is the pre-gyroscope layout, still readable.
+var legacyHeader = []string{"t", "ax", "ay", "az", "yaw"}
+
+// WriteCSV writes the trace as CSV with a header row and two leading
+// metadata rows encoded as ordinary records ("#rate", value) and
+// ("#label", name), keeping the format parseable by encoding/csv.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#rate", formatFloat(tr.SampleRate)}); err != nil {
+		return fmt.Errorf("trace: writing rate: %w", err)
+	}
+	if err := cw.Write([]string{"#label", tr.Label.String()}); err != nil {
+		return fmt.Errorf("trace: writing label: %w", err)
+	}
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	rec := make([]string, len(csvHeader))
+	for i, s := range tr.Samples {
+		rec[0] = formatFloat(s.T)
+		rec[1] = formatFloat(s.Accel.X)
+		rec[2] = formatFloat(s.Accel.Y)
+		rec[3] = formatFloat(s.Accel.Z)
+		rec[4] = formatFloat(s.Gyro.X)
+		rec[5] = formatFloat(s.Gyro.Y)
+		rec[6] = formatFloat(s.Gyro.Z)
+		rec[7] = formatFloat(s.Yaw)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing sample %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace previously written by WriteCSV, accepting both
+// the current 8-column and the legacy 5-column data layout.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // metadata rows have 2 fields
+
+	tr := &Trace{}
+	columns := 0 // data columns expected; set by the header row
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		line++
+		if len(rec) == 2 && len(rec[0]) > 0 && rec[0][0] == '#' {
+			switch rec[0] {
+			case "#rate":
+				v, err := strconv.ParseFloat(rec[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: bad rate %q: %w", rec[1], err)
+				}
+				tr.SampleRate = v
+			case "#label":
+				a, err := ParseActivity(rec[1])
+				if err != nil {
+					return nil, err
+				}
+				tr.Label = a
+			default:
+				return nil, fmt.Errorf("trace: unknown metadata key %q", rec[0])
+			}
+			continue
+		}
+		if columns == 0 {
+			switch {
+			case matchHeader(rec, csvHeader):
+				columns = len(csvHeader)
+			case matchHeader(rec, legacyHeader):
+				columns = len(legacyHeader)
+			default:
+				return nil, fmt.Errorf("trace: line %d: unrecognised header %v", line, rec)
+			}
+			continue
+		}
+		if len(rec) != columns {
+			return nil, fmt.Errorf("trace: line %d: expected %d fields, got %d", line, columns, len(rec))
+		}
+		vals := make([]float64, len(rec))
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		s := Sample{T: vals[0]}
+		s.Accel.X, s.Accel.Y, s.Accel.Z = vals[1], vals[2], vals[3]
+		if columns == len(csvHeader) {
+			s.Gyro.X, s.Gyro.Y, s.Gyro.Z = vals[4], vals[5], vals[6]
+			s.Yaw = vals[7]
+		} else {
+			s.Yaw = vals[4]
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	if columns == 0 && len(tr.Samples) == 0 && tr.SampleRate == 0 {
+		return nil, fmt.Errorf("trace: empty or unrecognised CSV input")
+	}
+	return tr, nil
+}
+
+func matchHeader(rec, want []string) bool {
+	if len(rec) != len(want) {
+		return false
+	}
+	for i := range want {
+		if rec[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary input to the CSV parser: it must never
+// panic, and anything it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteCSV(&seed, makeTrace(100, 5, ActivityWalking))
+	f.Add(seed.String())
+	f.Add("#rate,100\nt,ax,ay,az,yaw\n0,1,2,3,0.5\n")
+	f.Add("")
+	f.Add("#rate,abc\n")
+	f.Add("t,ax,ay,az,gx,gy,gz,yaw\n0,1,2,3,4,5,6,7\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteCSV(&buf, tr); werr != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", werr)
+		}
+		back, rerr := ReadCSV(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(back.Samples) != len(tr.Samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(tr.Samples), len(back.Samples))
+		}
+	})
+}
+
+// FuzzReadGroundTruthJSON: the JSON parser must never panic and accepted
+// truths must re-serialise.
+func FuzzReadGroundTruthJSON(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteGroundTruthJSON(&seed, &GroundTruth{
+		Steps:    []StepTruth{{T: 1, Stride: 0.7}},
+		Distance: 0.7,
+	})
+	f.Add(seed.String())
+	f.Add("{}")
+	f.Add(`{"activities":[{"activity":"walking"}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGroundTruthJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteGroundTruthJSON(&buf, g); werr != nil {
+			t.Fatalf("accepted truth failed to serialise: %v", werr)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ptrack/internal/vecmath"
+)
+
+// jsonTruth is the serialised form of GroundTruth. Activities use names
+// rather than enum values so files stay readable and stable across enum
+// changes.
+type jsonTruth struct {
+	Steps      []StepTruth  `json:"steps"`
+	Distance   float64      `json:"distance_m"`
+	ArmLength  float64      `json:"arm_length_m"`
+	LegLength  float64      `json:"leg_length_m"`
+	Activities []jsonSpan   `json:"activities,omitempty"`
+	Path       [][3]float64 `json:"path,omitempty"`
+}
+
+type jsonSpan struct {
+	Start    float64 `json:"start_s"`
+	End      float64 `json:"end_s"`
+	Activity string  `json:"activity"`
+}
+
+// WriteGroundTruthJSON serialises the ground truth as indented JSON.
+func WriteGroundTruthJSON(w io.Writer, g *GroundTruth) error {
+	if g == nil {
+		return fmt.Errorf("trace: nil ground truth")
+	}
+	jt := jsonTruth{
+		Steps:     g.Steps,
+		Distance:  g.Distance,
+		ArmLength: g.ArmLength,
+		LegLength: g.LegLength,
+	}
+	for _, s := range g.Activities {
+		jt.Activities = append(jt.Activities, jsonSpan{Start: s.Start, End: s.End, Activity: s.Activity.String()})
+	}
+	for _, p := range g.Path {
+		jt.Path = append(jt.Path, [3]float64{p.X, p.Y, p.Z})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jt); err != nil {
+		return fmt.Errorf("trace: encoding ground truth: %w", err)
+	}
+	return nil
+}
+
+// ReadGroundTruthJSON parses ground truth written by WriteGroundTruthJSON.
+func ReadGroundTruthJSON(r io.Reader) (*GroundTruth, error) {
+	var jt jsonTruth
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding ground truth: %w", err)
+	}
+	g := &GroundTruth{
+		Steps:     jt.Steps,
+		Distance:  jt.Distance,
+		ArmLength: jt.ArmLength,
+		LegLength: jt.LegLength,
+	}
+	for _, s := range jt.Activities {
+		a, err := ParseActivity(s.Activity)
+		if err != nil {
+			return nil, err
+		}
+		g.Activities = append(g.Activities, LabeledSpan{Start: s.Start, End: s.End, Activity: a})
+	}
+	for _, p := range jt.Path {
+		g.Path = append(g.Path, vecmath.V3(p[0], p[1], p[2]))
+	}
+	return g, nil
+}

@@ -1,0 +1,84 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func matAlmostEq(a, b Mat3, tol float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(a.M[i][j], b.M[i][j], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity()
+	v := V3(1, 2, 3)
+	if got := id.MulVec(v); !vecAlmostEq(got, v, eps) {
+		t.Errorf("I*v = %v, want %v", got, v)
+	}
+	if got := id.Det(); !almostEq(got, 1, eps) {
+		t.Errorf("det(I) = %v, want 1", got)
+	}
+}
+
+func TestRotZ(t *testing.T) {
+	// 90 degrees about Z maps +X to +Y.
+	r := RotZ(math.Pi / 2)
+	if got := r.MulVec(V3(1, 0, 0)); !vecAlmostEq(got, V3(0, 1, 0), eps) {
+		t.Errorf("RotZ(90)*x = %v, want +y", got)
+	}
+	// Z axis unchanged.
+	if got := r.MulVec(V3(0, 0, 1)); !vecAlmostEq(got, V3(0, 0, 1), eps) {
+		t.Errorf("RotZ(90)*z = %v, want +z", got)
+	}
+}
+
+func TestRotXAndRotY(t *testing.T) {
+	// 90 degrees about X maps +Y to +Z.
+	if got := RotX(math.Pi / 2).MulVec(V3(0, 1, 0)); !vecAlmostEq(got, V3(0, 0, 1), eps) {
+		t.Errorf("RotX(90)*y = %v, want +z", got)
+	}
+	// 90 degrees about Y maps +Z to +X.
+	if got := RotY(math.Pi / 2).MulVec(V3(0, 0, 1)); !vecAlmostEq(got, V3(1, 0, 0), eps) {
+		t.Errorf("RotY(90)*z = %v, want +x", got)
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	a, b := 0.3, 0.7
+	combined := RotZ(a).Mul(RotZ(b))
+	direct := RotZ(a + b)
+	if !matAlmostEq(combined, direct, eps) {
+		t.Error("RotZ(a)*RotZ(b) != RotZ(a+b)")
+	}
+}
+
+func TestTransposeIsInverseForRotations(t *testing.T) {
+	r := RotZ(0.4).Mul(RotY(1.1)).Mul(RotX(-0.6))
+	prod := r.Mul(r.Transpose())
+	if !matAlmostEq(prod, Identity(), 1e-12) {
+		t.Error("R * R^T != I for a rotation matrix")
+	}
+	if got := r.Det(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("det(R) = %v, want 1", got)
+	}
+}
+
+func TestRotationPreservesNormProperty(t *testing.T) {
+	f := func(angle float64, v Vec3) bool {
+		angle = clamp(angle)
+		v = clampVec(v)
+		r := RotZ(angle).Mul(RotY(angle / 2)).Mul(RotX(angle / 3))
+		return almostEq(r.MulVec(v).Norm(), v.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package vecmath provides the small 3-D linear-algebra toolkit used by the
+// PTrack signal chain: vectors, 3x3 matrices, quaternions and 2-D
+// least-squares principal-axis fitting.
+//
+// Conventions: world frame is right-handed with X anterior (direction of
+// travel), Y lateral (to the walker's left) and Z vertical (up). Angles are
+// radians.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-D vector. The zero value is the zero vector.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 is shorthand for constructing a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// Unit returns v normalised to unit length. The zero vector is returned
+// unchanged so callers need not special-case it.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v (t=0) and w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return v.Add(w.Sub(v).Scale(t))
+}
+
+// AngleTo returns the angle between v and w in [0, pi]. It returns 0 when
+// either vector is zero.
+func (v Vec3) AngleTo(w Vec3) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	// Clamp against rounding drift before acos.
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c)
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.6g, %.6g, %.6g)", v.X, v.Y, v.Z)
+}
+
+// Horizontal returns v with the vertical (Z) component removed.
+func (v Vec3) Horizontal() Vec3 { return Vec3{v.X, v.Y, 0} }
+
+// ProjectOnto returns the component of v along unit direction u. If u is not
+// unit length the projection is still along u's direction.
+func (v Vec3) ProjectOnto(u Vec3) Vec3 {
+	d := u.NormSq()
+	if d == 0 {
+		return Vec3{}
+	}
+	return u.Scale(v.Dot(u) / d)
+}
+
+// Reject returns v minus its projection onto u (the component of v
+// perpendicular to u).
+func (v Vec3) Reject(u Vec3) Vec3 { return v.Sub(v.ProjectOnto(u)) }

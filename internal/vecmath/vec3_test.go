@@ -1,0 +1,164 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec3
+		want Vec3
+	}{
+		{"add", V3(1, 2, 3).Add(V3(4, 5, 6)), V3(5, 7, 9)},
+		{"sub", V3(1, 2, 3).Sub(V3(4, 5, 6)), V3(-3, -3, -3)},
+		{"scale", V3(1, -2, 3).Scale(2), V3(2, -4, 6)},
+		{"neg", V3(1, -2, 3).Neg(), V3(-1, 2, -3)},
+		{"cross-xy", V3(1, 0, 0).Cross(V3(0, 1, 0)), V3(0, 0, 1)},
+		{"cross-yz", V3(0, 1, 0).Cross(V3(0, 0, 1)), V3(1, 0, 0)},
+		{"horizontal", V3(1, 2, 3).Horizontal(), V3(1, 2, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !vecAlmostEq(tt.got, tt.want, eps) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec3Dot(t *testing.T) {
+	if got := V3(1, 2, 3).Dot(V3(4, -5, 6)); !almostEq(got, 12, eps) {
+		t.Errorf("dot = %v, want 12", got)
+	}
+}
+
+func TestVec3NormUnit(t *testing.T) {
+	v := V3(3, 4, 0)
+	if got := v.Norm(); !almostEq(got, 5, eps) {
+		t.Errorf("norm = %v, want 5", got)
+	}
+	u := v.Unit()
+	if !almostEq(u.Norm(), 1, eps) {
+		t.Errorf("unit norm = %v, want 1", u.Norm())
+	}
+	// Zero vector passes through unchanged.
+	if got := (Vec3{}).Unit(); got != (Vec3{}) {
+		t.Errorf("zero unit = %v, want zero", got)
+	}
+}
+
+func TestVec3AngleTo(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vec3
+		want float64
+	}{
+		{"orthogonal", V3(1, 0, 0), V3(0, 1, 0), math.Pi / 2},
+		{"parallel", V3(1, 1, 0), V3(2, 2, 0), 0},
+		{"opposite", V3(1, 0, 0), V3(-1, 0, 0), math.Pi},
+		{"zero", Vec3{}, V3(1, 0, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			// acos is ill-conditioned near ±1, so allow a looser tolerance.
+			if got := tt.a.AngleTo(tt.b); !almostEq(got, tt.want, 1e-6) {
+				t.Errorf("angle = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec3ProjectReject(t *testing.T) {
+	v := V3(3, 4, 5)
+	u := V3(0, 0, 2) // non-unit on purpose
+	p := v.ProjectOnto(u)
+	if !vecAlmostEq(p, V3(0, 0, 5), eps) {
+		t.Errorf("project = %v, want (0,0,5)", p)
+	}
+	r := v.Reject(u)
+	if !vecAlmostEq(r, V3(3, 4, 0), eps) {
+		t.Errorf("reject = %v, want (3,4,0)", r)
+	}
+	if got := v.ProjectOnto(Vec3{}); got != (Vec3{}) {
+		t.Errorf("project onto zero = %v, want zero", got)
+	}
+}
+
+func TestVec3Lerp(t *testing.T) {
+	a, b := V3(0, 0, 0), V3(2, 4, 6)
+	if got := a.Lerp(b, 0.5); !vecAlmostEq(got, V3(1, 2, 3), eps) {
+		t.Errorf("lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); !vecAlmostEq(got, a, eps) {
+		t.Errorf("lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); !vecAlmostEq(got, b, eps) {
+		t.Errorf("lerp(1) = %v", got)
+	}
+}
+
+func TestVec3IsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V3(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V3(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// clamp keeps quick-generated values in a numerically sane range.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e3)
+}
+
+func clampVec(v Vec3) Vec3 { return V3(clamp(v.X), clamp(v.Y), clamp(v.Z)) }
+
+func TestVec3CrossOrthogonalProperty(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		a, b = clampVec(a), clampVec(b)
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Norm()*b.Norm())
+		return almostEq(c.Dot(a), 0, tol) && almostEq(c.Dot(b), 0, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3TriangleInequalityProperty(t *testing.T) {
+	f := func(a, b Vec3) bool {
+		a, b = clampVec(a), clampVec(b)
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3ProjectRejectDecompositionProperty(t *testing.T) {
+	f := func(v, u Vec3) bool {
+		v, u = clampVec(v), clampVec(u)
+		sum := v.ProjectOnto(u).Add(v.Reject(u))
+		return vecAlmostEq(sum, v, 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package ptrack is a Go implementation of PTrack (Jiang, Li, Wang —
+// "PTrack: Enhancing the Applicability of Pedestrian Tracking with
+// Wearables", IEEE ICDCS 2017): interference-robust step counting and
+// stride estimation from wrist-worn accelerometers.
+//
+// The package exposes the full system the paper describes:
+//
+//   - Tracker: the PTrack pipeline — front-end gait-cycle segmentation,
+//     vertical/anterior projection, critical-point gait-type
+//     identification (walking / stepping / interference), step counting
+//     and per-step stride estimation.
+//   - TrainProfile: the self-training mechanism that learns the user's
+//     arm/leg profile and Eq. (2) calibration without manual measurement.
+//   - Simulate and the activity constants: the biomechanical wrist-IMU
+//     simulator used as the evaluation substrate (walking, stepping,
+//     jogging, and the interference activities of the paper: eating,
+//     poker, photo, gaming, swinging, plus a mechanical spoofer).
+//   - ReadTraceCSV / WriteTraceCSV: trace persistence.
+//
+// A minimal session:
+//
+//	rec, _ := ptrack.Simulate(ptrack.DefaultSimProfile(), ptrack.DefaultSimConfig(),
+//	    []ptrack.SimSegment{{Activity: ptrack.ActivityWalking, Duration: 60}})
+//	tk, _ := ptrack.New(ptrack.WithProfile(0.62, 0.90, 2.35))
+//	res, _ := tk.Process(rec.Trace)
+//	fmt.Println(res.Steps, res.Distance)
+package ptrack
+
+import (
+	"fmt"
+	"io"
+
+	"ptrack/internal/core"
+	"ptrack/internal/fitness"
+	"ptrack/internal/gaitid"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/selftrain"
+	"ptrack/internal/stream"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+// Re-exported data types. The aliases give library users access to the
+// shared trace model without reaching into internal packages.
+type (
+	// Trace is a uniformly sampled wrist accelerometer recording.
+	Trace = trace.Trace
+	// Sample is one device-frame accelerometer reading plus fused yaw.
+	Sample = trace.Sample
+	// Activity labels a motion type.
+	Activity = trace.Activity
+	// Recording bundles a trace with simulation ground truth.
+	Recording = trace.Recording
+	// GroundTruth is the simulator's per-trace ground truth.
+	GroundTruth = trace.GroundTruth
+	// StepTruth is one true step with its stride.
+	StepTruth = trace.StepTruth
+
+	// SimProfile describes a simulated user.
+	SimProfile = gaitsim.Profile
+	// SimConfig controls the simulation environment.
+	SimConfig = gaitsim.Config
+	// SimSegment is one scripted activity interval.
+	SimSegment = gaitsim.Segment
+
+	// Result is the pipeline output for a trace.
+	Result = core.Result
+	// CycleOutcome is one classified gait-cycle candidate.
+	CycleOutcome = core.CycleOutcome
+	// StepEstimate is one counted step with its stride estimate.
+	StepEstimate = core.StepEstimate
+	// Label is a per-cycle gait classification.
+	Label = gaitid.Label
+)
+
+// Activity constants (see the paper's evaluation, §II and §IV).
+const (
+	ActivityUnknown  = trace.ActivityUnknown
+	ActivityWalking  = trace.ActivityWalking
+	ActivityStepping = trace.ActivityStepping
+	ActivityJogging  = trace.ActivityJogging
+	ActivityIdle     = trace.ActivityIdle
+	ActivityEating   = trace.ActivityEating
+	ActivityPoker    = trace.ActivityPoker
+	ActivityPhoto    = trace.ActivityPhoto
+	ActivityGaming   = trace.ActivityGaming
+	ActivitySwinging = trace.ActivitySwinging
+	ActivitySpoofing = trace.ActivitySpoofing
+	ActivityRunning  = trace.ActivityRunning
+)
+
+// Gait-cycle labels (Fig. 6(b)'s breakdown).
+const (
+	LabelInterference = gaitid.LabelInterference
+	LabelWalking      = gaitid.LabelWalking
+	LabelStepping     = gaitid.LabelStepping
+)
+
+// Profile is a user's stride-estimation profile: the arm length m of
+// Eqs. (3)-(5), the leg length l and calibration factor k of Eq. (2).
+type Profile struct {
+	ArmLength float64 // metres, shoulder to wrist
+	LegLength float64 // metres, hip to ground
+	K         float64 // Eq. (2) calibration factor
+}
+
+// options collects Tracker configuration.
+type options struct {
+	profile         *Profile
+	offsetThreshold float64
+	confirmCount    int
+	marginFraction  float64
+	adaptiveDelta   bool
+}
+
+// Option configures a Tracker.
+type Option func(*options)
+
+// WithProfile enables stride estimation with the given user profile.
+func WithProfile(armLength, legLength, k float64) Option {
+	return func(o *options) {
+		o.profile = &Profile{ArmLength: armLength, LegLength: legLength, K: k}
+	}
+}
+
+// WithTrainedProfile enables stride estimation with a profile returned by
+// TrainProfile.
+func WithTrainedProfile(p Profile) Option {
+	return func(o *options) { o.profile = &p }
+}
+
+// WithOffsetThreshold overrides the gait-identification threshold δ
+// (default 0.0325, the paper's empirical setting).
+func WithOffsetThreshold(delta float64) Option {
+	return func(o *options) { o.offsetThreshold = delta }
+}
+
+// WithConfirmCount overrides how many consecutive qualifying cycles
+// confirm stepping (default 3, Fig. 4).
+func WithConfirmCount(n int) Option {
+	return func(o *options) { o.confirmCount = n }
+}
+
+// WithMarginFraction overrides the classification context margin as a
+// fraction of the cycle length (default 0.25).
+func WithMarginFraction(f float64) Option {
+	return func(o *options) { o.marginFraction = f }
+}
+
+// WithAdaptiveThreshold replaces the fixed δ with the adaptive threshold
+// (the paper's stated future work): δ follows the two-mode split of the
+// recent offset distribution, falling back to the paper value whenever
+// the history is not convincingly bimodal.
+func WithAdaptiveThreshold() Option {
+	return func(o *options) { o.adaptiveDelta = true }
+}
+
+// Tracker is the PTrack pipeline. Construct with New; safe to reuse
+// across traces, not safe for concurrent use.
+type Tracker struct {
+	cfg core.Config
+}
+
+// New builds a Tracker. Without WithProfile it counts steps only.
+func New(opts ...Option) (*Tracker, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := core.Config{
+		Identify: gaitid.Config{
+			OffsetThreshold: o.offsetThreshold,
+			ConfirmCount:    o.confirmCount,
+		},
+		MarginFraction: o.marginFraction,
+		AdaptiveDelta:  o.adaptiveDelta,
+	}
+	if o.profile != nil {
+		sc := stride.Config{
+			ArmLength: o.profile.ArmLength,
+			LegLength: o.profile.LegLength,
+			K:         o.profile.K,
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("ptrack: %w", err)
+		}
+		cfg.Profile = &sc
+	}
+	return &Tracker{cfg: cfg}, nil
+}
+
+// Process runs the pipeline over a trace, returning steps, per-step
+// strides (when a profile is configured) and per-cycle diagnostics.
+func (t *Tracker) Process(tr *Trace) (*Result, error) {
+	res, err := core.Process(tr, t.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return res, nil
+}
+
+// TrainProfile runs the paper's self-training (§III-C2) over a recording
+// that contains natural walking (ideally with some still-arm "stepping"
+// intervals). knownDistance, when positive, is the true distance covered
+// and calibrates the Eq. (2) factor k — the paper's initialization phase;
+// pass 0 to keep a population prior for k.
+func TrainProfile(tr *Trace, knownDistance float64) (Profile, error) {
+	cfg, _, err := selftrain.Train(tr, knownDistance, selftrain.Options{})
+	if err != nil {
+		return Profile{}, fmt.Errorf("ptrack: %w", err)
+	}
+	return Profile{ArmLength: cfg.ArmLength, LegLength: cfg.LegLength, K: cfg.K}, nil
+}
+
+// CalibrateK refits only the calibration factor k of an existing profile
+// against a recording with a known distance.
+func CalibrateK(tr *Trace, p Profile, knownDistance float64) (float64, error) {
+	k, err := selftrain.CalibrateK(tr, stride.Config{
+		ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K,
+	}, knownDistance, selftrain.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("ptrack: %w", err)
+	}
+	return k, nil
+}
+
+// DefaultSimProfile returns a plausible adult user for simulation.
+func DefaultSimProfile() SimProfile { return gaitsim.DefaultProfile() }
+
+// DefaultSimConfig returns the standard 100 Hz smartwatch simulation
+// environment.
+func DefaultSimConfig() SimConfig { return gaitsim.DefaultConfig() }
+
+// Simulate renders a scripted activity sequence into a sensor trace with
+// ground truth — the synthetic substrate standing in for the paper's LG
+// Urbane prototype (see DESIGN.md for the substitution rationale).
+func Simulate(p SimProfile, cfg SimConfig, script []SimSegment) (*Recording, error) {
+	rec, err := gaitsim.Simulate(p, cfg, script)
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return rec, nil
+}
+
+// Event is one online classification report (see NewOnline).
+type Event = stream.Event
+
+// Online is the streaming variant of the pipeline: feed samples one at a
+// time with Push and receive classification events with bounded latency
+// (about one gait cycle plus the context margin). Construct with
+// NewOnline; not safe for concurrent use.
+type Online struct {
+	tk *stream.Tracker
+}
+
+// NewOnline builds a streaming tracker for samples at the given rate,
+// accepting the same options as New.
+func NewOnline(sampleRate float64, opts ...Option) (*Online, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := stream.Config{
+		SampleRate: sampleRate,
+		Identify: gaitid.Config{
+			OffsetThreshold: o.offsetThreshold,
+			ConfirmCount:    o.confirmCount,
+		},
+		MarginFraction: o.marginFraction,
+	}
+	if o.profile != nil {
+		cfg.Profile = &stride.Config{
+			ArmLength: o.profile.ArmLength,
+			LegLength: o.profile.LegLength,
+			K:         o.profile.K,
+		}
+	}
+	tk, err := stream.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return &Online{tk: tk}, nil
+}
+
+// Push consumes one sample and returns any newly decidable events.
+func (o *Online) Push(s Sample) []Event { return o.tk.Push(s) }
+
+// Flush decides any cycles still waiting for trailing context; call at
+// end of stream.
+func (o *Online) Flush() []Event { return o.tk.Flush() }
+
+// Steps returns the running step count.
+func (o *Online) Steps() int { return o.tk.Steps() }
+
+// Fitness types: the healthcare layer of the paper's motivation.
+type (
+	// UserBody carries the anthropometrics the energy model needs.
+	UserBody = fitness.UserBody
+	// FitnessSummary aggregates a processed trace into activity metrics.
+	FitnessSummary = fitness.Summary
+	// FitnessInterval is one reporting window of a summary.
+	FitnessInterval = fitness.Interval
+)
+
+// GaitQuality carries clinical-style gait metrics (cadence, stride
+// variability, timing regularity, left/right symmetry).
+type GaitQuality = fitness.GaitQuality
+
+// AnalyzeGait computes gait-quality metrics from a processed trace. It
+// needs at least minSteps counted steps (<= 0 selects 10).
+func AnalyzeGait(res *Result, minSteps int) (*GaitQuality, error) {
+	g, err := fitness.AnalyzeGait(res, minSteps)
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return g, nil
+}
+
+// Summarize converts a pipeline result into steps/distance/speed/energy
+// metrics over fixed reporting windows (windowS seconds; <= 0 selects
+// 60 s). traceDuration bounds the interval grid; pass the trace's
+// duration, or <= 0 to derive it from the last counted step.
+func Summarize(res *Result, body UserBody, traceDuration, windowS float64) (*FitnessSummary, error) {
+	sum, err := fitness.Summarize(res, body, traceDuration, windowS)
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return sum, nil
+}
+
+// WriteTraceCSV writes a trace in the library's CSV format.
+func WriteTraceCSV(w io.Writer, tr *Trace) error { return trace.WriteCSV(w, tr) }
+
+// ReadTraceCSV parses a trace previously written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteGroundTruthJSON serialises a recording's ground truth as JSON, for
+// storing alongside the trace CSV.
+func WriteGroundTruthJSON(w io.Writer, g *GroundTruth) error {
+	return trace.WriteGroundTruthJSON(w, g)
+}
+
+// ReadGroundTruthJSON parses ground truth written by WriteGroundTruthJSON.
+func ReadGroundTruthJSON(r io.Reader) (*GroundTruth, error) {
+	return trace.ReadGroundTruthJSON(r)
+}
