@@ -1,0 +1,33 @@
+# Development targets. `make check` is the pre-commit gate; it matches
+# what the tier-1 verification runs plus formatting, vet and the race
+# detector. `make bench-guard` re-checks the observability contract: the
+# nil-hook pipeline must not allocate more than the uninstrumented seed.
+
+GO ?= go
+
+.PHONY: check fmt vet test bench-guard bench build
+
+check: fmt vet test bench-guard
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# The alloc-parity tests fail if instrumentation leaks allocations onto
+# the hot path; the benchmark prints the current allocs/op and ns/op for
+# the nil-hooks and hooks-enabled variants side by side.
+bench-guard:
+	$(GO) test ./internal/core -run 'TestProcessNilHooksAllocGuard|TestHooksAllocFree' -count=1 -v
+	$(GO) test ./internal/core -run NONE -bench 'BenchmarkProcess$$' -benchmem -benchtime 10x
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./...

@@ -16,7 +16,9 @@ import (
 	"os"
 	"strings"
 
+	"ptrack/internal/buildinfo"
 	"ptrack/internal/eval"
+	"ptrack/internal/obs"
 )
 
 // experiment binds a figure id to its runner.
@@ -74,8 +76,30 @@ func run(args []string, stdout io.Writer) error {
 	fs.Var(&figs, "fig", "figure id to run (repeatable; default: all)")
 	dataDir := fs.String("data", "", "also write plot-ready figure data CSVs to this directory")
 	mdOut := fs.String("md", "", "write the tables as a Markdown report to this file instead of text to stdout")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the experiments run")
+	logLevel := fs.String("log-level", "warn", "slog level: debug|info|warn|error")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("ptrack-eval"))
+		return nil
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	if *debugAddr != "" {
+		// Experiments run for minutes at paper scale; the pprof and
+		// runtime-metrics endpoints make those runs profilable live.
+		srv, err := obs.Serve(*debugAddr, obs.NewRegistry())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		logger.Info("debug server listening", "addr", srv.Addr())
 	}
 
 	opt := eval.Options{Seed: *seed, Users: *users, DurationScale: *scale}

@@ -76,3 +76,13 @@ func TestRunMarkdownReport(t *testing.T) {
 		t.Errorf("markdown table missing:\n%s", s)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "ptrack-eval ") {
+		t.Errorf("version banner = %q", out.String())
+	}
+}

@@ -7,6 +7,7 @@
 //	ptrack -profile 0.62,0.90,2.35 trace.csv
 //	tracegen -activity walking | ptrack
 //	ptrack -train calibration.csv -train-distance 180 trace.csv
+//	ptrack -debug-addr localhost:6060 -log-level debug trace.csv
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"ptrack"
+	"ptrack/internal/buildinfo"
 )
 
 func main() {
@@ -36,12 +38,35 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		delta       = fs.Float64("delta", 0, "override the gait-identification threshold (0 = paper default 0.0325)")
 		truthFile   = fs.String("truth", "", "ground-truth JSON (from tracegen -truth) for scoring")
 		verbose     = fs.Bool("v", false, "print per-cycle diagnostics")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while processing")
+		logLevel    = fs.String("log-level", "warn", "slog level: debug|info|warn|error (debug logs every classified cycle)")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("ptrack"))
+		return nil
+	}
+	level, err := ptrack.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := ptrack.NewLogger(os.Stderr, level)
 
-	var opts []ptrack.Option
+	metrics := ptrack.NewMetrics()
+	observer := ptrack.NewObserver(metrics).WithCycleLogger(logger)
+	if *debugAddr != "" {
+		srv, err := ptrack.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		logger.Info("debug server listening", "addr", srv.Addr())
+	}
+
+	opts := []ptrack.Option{ptrack.WithObserver(observer)}
 	if *delta != 0 {
 		opts = append(opts, ptrack.WithOffsetThreshold(*delta))
 	}

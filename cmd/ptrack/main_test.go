@@ -150,3 +150,20 @@ func TestRunErrors(t *testing.T) {
 func formatFloatForTest(v float64) string {
 	return strconv.FormatFloat(v, 'f', 2, 64)
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "ptrack ") {
+		t.Errorf("version banner = %q", out.String())
+	}
+}
+
+func TestBadLogLevelRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-log-level", "loud"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}

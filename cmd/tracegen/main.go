@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"ptrack"
+	"ptrack/internal/buildinfo"
 )
 
 func main() {
@@ -39,9 +40,14 @@ func run(args []string, stdout io.Writer) error {
 		truthOut = fs.String("truth", "", "also write the ground truth as JSON to this file")
 		stride   = fs.Float64("stride", 0, "user stride length in metres (0 = default)")
 		cadence  = fs.Float64("cadence", 0, "user cadence in steps/s (0 = default)")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("tracegen"))
+		return nil
 	}
 
 	segments, err := parseScript(*script, *activity, *duration)

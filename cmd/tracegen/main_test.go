@@ -99,3 +99,13 @@ func TestProfileFlags(t *testing.T) {
 		t.Error("no samples")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "tracegen ") {
+		t.Errorf("version banner = %q", out.String())
+	}
+}

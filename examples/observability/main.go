@@ -1,0 +1,75 @@
+// Command observability demonstrates the instrumented streaming
+// pipeline: it runs the online tracker over a simulated mixed-activity
+// stream with the debug server enabled, logs every classified cycle at
+// debug level, and prints a Prometheus metrics snapshot at exit.
+//
+// While it runs (pass -hold to keep it alive), poke the endpoints:
+//
+//	curl localhost:6060/metrics
+//	curl localhost:6060/debug/vars
+//	go tool pprof localhost:6060/debug/pprof/profile?seconds=5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"ptrack"
+)
+
+func main() {
+	addr := flag.String("debug-addr", "localhost:6060", "debug server address")
+	hold := flag.Duration("hold", 0, "keep the debug server up this long after processing (e.g. 1m)")
+	flag.Parse()
+
+	// A stream with all three regimes: genuine walking, walking with a
+	// still arm ("stepping"), and non-locomotive interference.
+	rec, err := ptrack.Simulate(ptrack.DefaultSimProfile(), ptrack.DefaultSimConfig(),
+		[]ptrack.SimSegment{
+			{Activity: ptrack.ActivityWalking, Duration: 40},
+			{Activity: ptrack.ActivityEating, Duration: 20},
+			{Activity: ptrack.ActivityStepping, Duration: 40},
+		})
+	if err != nil {
+		panic(err)
+	}
+
+	metrics := ptrack.NewMetrics()
+	logger := ptrack.NewLogger(os.Stderr, slog.LevelDebug)
+	observer := ptrack.NewObserver(metrics).WithCycleLogger(logger)
+
+	srv, err := ptrack.ServeDebug(*addr, metrics)
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("debug server on http://%s (metrics, /debug/vars, /debug/pprof)\n\n", srv.Addr())
+
+	on, err := ptrack.NewOnline(rec.Trace.SampleRate,
+		ptrack.WithProfile(0.62, 0.90, 2.35),
+		ptrack.WithObserver(observer))
+	if err != nil {
+		panic(err)
+	}
+	events := 0
+	for _, s := range rec.Trace.Samples {
+		events += len(on.Push(s))
+	}
+	events += len(on.Flush())
+
+	fmt.Printf("\nprocessed %d samples, %d events, %d steps (truth %d)\n\n",
+		len(rec.Trace.Samples), events, on.Steps(), rec.Truth.StepCount())
+
+	fmt.Println("--- metrics snapshot ---")
+	if err := metrics.WritePrometheus(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	if *hold > 0 {
+		fmt.Printf("\nholding debug server for %v...\n", *hold)
+		time.Sleep(*hold)
+	}
+}

@@ -1,0 +1,45 @@
+// Package buildinfo renders the shared -version banner for the ptrack
+// command-line tools from the information the Go toolchain embeds in
+// every binary.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line version banner for tool, e.g.
+//
+//	ptrack (devel) rev 1a2b3c4d5e6f go1.22.1
+//
+// Module version, VCS revision and dirty-tree marker come from
+// runtime/debug.ReadBuildInfo and are omitted when the binary carries no
+// such metadata (e.g. test builds).
+func String(tool string) string {
+	parts := []string{tool}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			parts = append(parts, v)
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			parts = append(parts, "rev "+rev+dirty)
+		}
+	}
+	parts = append(parts, runtime.Version())
+	return strings.Join(parts, " ")
+}

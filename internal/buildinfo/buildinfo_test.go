@@ -1,0 +1,20 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	s := String("ptrack")
+	if !strings.HasPrefix(s, "ptrack") {
+		t.Errorf("banner %q does not start with the tool name", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("banner %q missing Go version %s", s, runtime.Version())
+	}
+	if strings.ContainsAny(s, "\n\r") {
+		t.Errorf("banner %q must be one line", s)
+	}
+}

@@ -6,8 +6,11 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"ptrack/internal/gaitid"
+	"ptrack/internal/obs"
 	"ptrack/internal/project"
 	"ptrack/internal/segment"
 	"ptrack/internal/stride"
@@ -30,6 +33,10 @@ type Config struct {
 	// stated future work): δ tracks the widest gap of the recent offset
 	// distribution instead of staying fixed.
 	AdaptiveDelta bool
+	// Hooks receives per-stage timings, per-cycle classifications and
+	// step credits. Nil (the default) disables instrumentation entirely;
+	// the nil path adds no allocations and no timer reads.
+	Hooks *obs.Hooks
 }
 
 func (c Config) withDefaults() Config {
@@ -90,8 +97,11 @@ func Process(tr *trace.Trace, cfg Config) (*Result, error) {
 // ProcessWithProjection runs the pipeline with a custom projection stage.
 func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*Result, error) {
 	cfg = cfg.withDefaults()
-	if tr == nil || tr.SampleRate <= 0 {
-		return nil, fmt.Errorf("core: trace with a positive sample rate required")
+	// NaN fails every comparison, so `<= 0` alone would let a NaN sample
+	// rate through and poison cycle lengths downstream; test positivity
+	// and finiteness explicitly.
+	if tr == nil || !(tr.SampleRate > 0) || math.IsInf(tr.SampleRate, 1) {
+		return nil, fmt.Errorf("core: trace with a positive finite sample rate required")
 	}
 	if decompose == nil {
 		decompose = project.Decompose
@@ -106,8 +116,22 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 		}
 	}
 
+	h := cfg.Hooks
+	var t0 time.Time
+	var identifyDur, strideDur time.Duration
+	if h != nil {
+		h.TraceProcessed()
+		t0 = time.Now()
+	}
 	seg := segment.Segment(tr, cfg.Segment)
+	if h != nil {
+		h.StageDone(obs.StageSegment, time.Since(t0))
+		t0 = time.Now()
+	}
 	series := decompose(tr)
+	if h != nil {
+		h.StageDone(obs.StageProject, time.Since(t0))
+	}
 	id := gaitid.NewIdentifier(cfg.Identify, tr.SampleRate)
 	var adaptive *gaitid.AdaptiveThreshold
 	if cfg.AdaptiveDelta {
@@ -156,7 +180,13 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 		if adaptive != nil {
 			id.SetThreshold(adaptive.Threshold())
 		}
+		if h != nil {
+			t0 = time.Now()
+		}
 		cr := id.ClassifyWindow(w.Vertical, w.Anterior, margin)
+		if h != nil {
+			identifyDur += time.Since(t0)
+		}
 		if adaptive != nil && cr.OffsetOK {
 			adaptive.Observe(cr.Offset)
 		}
@@ -168,6 +198,10 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 			StepsAdded: cr.StepsAdded,
 		}
 
+		if h != nil {
+			h.Cycle(int(cr.Label), out.T, cr.Offset, cr.C, cr.OffsetOK, cr.StepsAdded)
+			t0 = time.Now()
+		}
 		switch cr.Label {
 		case gaitid.LabelWalking:
 			out.Strides = cycleStrides(est, w, margin, tr.SampleRate, cr.StepsAdded, true)
@@ -193,9 +227,17 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 		default:
 			pendingStepping = pendingStepping[:0]
 		}
+		if h != nil {
+			strideDur += time.Since(t0)
+		}
 		res.Cycles = append(res.Cycles, out)
 	}
 	res.Steps = id.Steps()
+	if h != nil {
+		h.StageDone(obs.StageIdentify, identifyDur)
+		h.StageDone(obs.StageStride, strideDur)
+		h.AddSteps(res.Steps)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its shadow
+// bookkeeping perturbs allocation counts, so the alloc-parity guards
+// skip themselves under -race (make bench-guard runs them without).
+const raceEnabled = true

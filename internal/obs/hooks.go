@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// Stage identifies one pipeline stage for the per-stage timers.
+type Stage uint8
+
+// Pipeline stages, in Fig. 2 order.
+const (
+	StageSegment Stage = iota
+	StageProject
+	StageIdentify
+	StageStride
+	numStages
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageSegment:
+		return "segment"
+	case StageProject:
+		return "project"
+	case StageIdentify:
+		return "identify"
+	case StageStride:
+		return "stride"
+	default:
+		return "unknown"
+	}
+}
+
+// cycleLabelNames maps gaitid.Label values (1..3) to metric label
+// values. Index 0 catches out-of-range labels. The ordering mirrors the
+// gaitid constants; internal/core has a test pinning the two together.
+var cycleLabelNames = [...]string{"unknown", "interference", "walking", "stepping"}
+
+// Histogram bucket layouts. Offsets cluster around the paper's δ=0.0325
+// decision threshold, so the buckets resolve that region finely; C is a
+// signed correlation-like statistic of order 1; stream latency is the
+// cycle-plus-margin reporting delay (≈1.5 s at normal cadence).
+var (
+	OffsetBuckets  = []float64{0.005, 0.01, 0.02, 0.0325, 0.05, 0.08, 0.12, 0.2, 0.5}
+	CBuckets       = []float64{-2, -1, -0.5, -0.2, 0, 0.2, 0.5, 1, 2, 5}
+	LatencyBuckets = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5, 10}
+)
+
+// Hooks is the instrumentation surface the batch (internal/core) and
+// streaming (internal/stream) pipelines report into. All methods are
+// safe on a nil receiver — a nil *Hooks is the documented "observability
+// off" state and adds no work to the hot path — and safe for concurrent
+// use, so one Hooks may be shared by many trackers.
+type Hooks struct {
+	stageSeconds [numStages]*Counter
+	stageCalls   [numStages]*Counter
+	cycles       [len(cycleLabelNames)]*Counter
+	steps        *Counter
+	traces       *Counter
+	offsetHist   *Histogram
+	cHist        *Histogram
+
+	samplesIn   *Counter
+	samplesDrop *Counter
+	bufferLen   *Gauge
+	latencyHist *Histogram
+
+	logger *slog.Logger
+}
+
+// NewHooks registers the full PTrack metric set in reg and returns hooks
+// feeding it. Registration is idempotent, so several Hooks may share a
+// registry (their updates then accumulate into the same series).
+func NewHooks(reg *Registry) *Hooks {
+	h := &Hooks{}
+	for s := Stage(0); s < numStages; s++ {
+		h.stageSeconds[s] = reg.Counter("ptrack_stage_seconds_total",
+			"Cumulative wall time spent in each pipeline stage.", "stage", s.String())
+		h.stageCalls[s] = reg.Counter("ptrack_stage_calls_total",
+			"Invocations of each pipeline stage.", "stage", s.String())
+	}
+	for i := 1; i < len(cycleLabelNames); i++ {
+		h.cycles[i] = reg.Counter("ptrack_cycles_total",
+			"Gait-cycle candidates classified, by label.", "label", cycleLabelNames[i])
+	}
+	h.cycles[0] = reg.Counter("ptrack_cycles_total",
+		"Gait-cycle candidates classified, by label.", "label", cycleLabelNames[0])
+	h.steps = reg.Counter("ptrack_steps_total", "Steps credited by the pipeline.")
+	h.traces = reg.Counter("ptrack_traces_total", "Traces processed by the batch pipeline.")
+	h.offsetHist = reg.Histogram("ptrack_cycle_offset",
+		"Eq. (1) offset metric per classified cycle.", OffsetBuckets)
+	h.cHist = reg.Histogram("ptrack_cycle_c",
+		"C statistic (vertical/anterior correlation) per classified cycle.", CBuckets)
+	h.samplesIn = reg.Counter("ptrack_stream_samples_total",
+		"Samples ingested by streaming trackers.")
+	h.samplesDrop = reg.Counter("ptrack_stream_dropped_samples_total",
+		"Buffered samples evicted by streaming-tracker compaction.")
+	h.bufferLen = reg.Gauge("ptrack_stream_buffer_samples",
+		"Current streaming-tracker sliding-window occupancy, in samples.")
+	h.latencyHist = reg.Histogram("ptrack_stream_event_latency_seconds",
+		"Delay from gait-cycle end to event emission.", LatencyBuckets)
+	return h
+}
+
+// WithCycleLogger attaches a structured logger; every classified cycle
+// then emits one slog record at Debug level. Returns h for chaining.
+func (h *Hooks) WithCycleLogger(l *slog.Logger) *Hooks {
+	if h != nil {
+		h.logger = l
+	}
+	return h
+}
+
+// StageDone records one completed stage invocation.
+func (h *Hooks) StageDone(s Stage, d time.Duration) {
+	if h == nil || s >= numStages {
+		return
+	}
+	h.stageSeconds[s].Add(d.Seconds())
+	h.stageCalls[s].Inc()
+}
+
+// Cycle records one classified gait-cycle candidate: its label counter,
+// the offset and C histograms (offset only when the offset metric was
+// computable), and — when a cycle logger is attached — one structured
+// log record.
+func (h *Hooks) Cycle(label int, t, offset, c float64, offsetOK bool, stepsAdded int) {
+	if h == nil {
+		return
+	}
+	if label < 0 || label >= len(h.cycles) {
+		label = 0
+	}
+	h.cycles[label].Inc()
+	if offsetOK {
+		h.offsetHist.Observe(offset)
+		h.cHist.Observe(c)
+	}
+	if h.logger != nil && h.logger.Enabled(context.Background(), slog.LevelDebug) {
+		h.logger.LogAttrs(context.Background(), slog.LevelDebug, "cycle",
+			slog.Float64("t", t),
+			slog.String("label", cycleLabelNames[label]),
+			slog.Float64("offset", offset),
+			slog.Float64("c", c),
+			slog.Bool("offset_ok", offsetOK),
+			slog.Int("steps_added", stepsAdded),
+		)
+	}
+}
+
+// AddSteps credits n counted steps.
+func (h *Hooks) AddSteps(n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.steps.Add(float64(n))
+}
+
+// TraceProcessed records one batch pipeline run.
+func (h *Hooks) TraceProcessed() {
+	if h == nil {
+		return
+	}
+	h.traces.Inc()
+}
+
+// SampleIngested records one streaming sample and the resulting buffer
+// occupancy.
+func (h *Hooks) SampleIngested(buffered int) {
+	if h == nil {
+		return
+	}
+	h.samplesIn.Inc()
+	h.bufferLen.Set(float64(buffered))
+}
+
+// SamplesDropped records n samples evicted by buffer compaction.
+func (h *Hooks) SamplesDropped(n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.samplesDrop.Add(float64(n))
+}
+
+// EventEmitted records the cycle-end-to-emission latency of one
+// streaming event.
+func (h *Hooks) EventEmitted(latencyS float64) {
+	if h == nil {
+		return
+	}
+	if latencyS < 0 {
+		latencyS = 0
+	}
+	h.latencyHist.Observe(latencyS)
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+
+	g := reg.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v, want 6", got)
+	}
+
+	h := reg.Histogram("h", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("hist sum = %v, want 106", h.Sum())
+	}
+	_, cum := h.Snapshot()
+	want := []uint64{2, 3, 4, 5} // le=1, le=2, le=4, +Inf (cumulative)
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x", "k", "v")
+	b := reg.Counter("x_total", "x", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	other := reg.Counter("x_total", "x", "k", "w")
+	if a == other {
+		t.Fatal("different labels should return a distinct counter")
+	}
+	h1 := reg.Histogram("hh", "h", []float64{1, 2})
+	h2 := reg.Histogram("hh", "h", []float64{1, 2})
+	if h1 != h2 {
+		t.Fatal("histogram registration should be idempotent")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.GoRuntime = false
+	reg.Counter("ptrack_cycles_total", "Cycles.", "label", "walking").Add(7)
+	reg.Counter("ptrack_cycles_total", "Cycles.", "label", "stepping").Add(2)
+	reg.Gauge("ptrack_buf", "Buffer.").Set(128)
+	h := reg.Histogram("ptrack_offset", "Offset.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ptrack_cycles_total counter",
+		`ptrack_cycles_total{label="walking"} 7`,
+		`ptrack_cycles_total{label="stepping"} 2`,
+		"# TYPE ptrack_buf gauge",
+		"ptrack_buf 128",
+		"# TYPE ptrack_offset histogram",
+		`ptrack_offset_bucket{le="0.01"} 1`,
+		`ptrack_offset_bucket{le="0.1"} 2`,
+		`ptrack_offset_bucket{le="+Inf"} 3`,
+		"ptrack_offset_sum 3.055",
+		"ptrack_offset_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", want, out)
+		}
+	}
+	// The TYPE header for a family must appear exactly once even with
+	// several labeled series.
+	if n := strings.Count(out, "# TYPE ptrack_cycles_total counter"); n != 1 {
+		t.Errorf("family TYPE line appears %d times, want 1", n)
+	}
+}
+
+func TestGoRuntimeExposition(t *testing.T) {
+	reg := NewRegistry()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines", "go_heap_objects_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("runtime exposition missing %q", want)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "a").Add(3)
+	reg.Histogram("h", "h", []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	if snap["a_total"] != 3.0 {
+		t.Errorf("snapshot a_total = %v, want 3", snap["a_total"])
+	}
+	hv, ok := snap["h"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot h = %T, want map", snap["h"])
+	}
+	if hv["count"] != uint64(1) {
+		t.Errorf("snapshot h count = %v, want 1", hv["count"])
+	}
+}
+
+// TestConcurrentUpdates exercises the atomic paths under the race
+// detector.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "c")
+	g := reg.Gauge("g", "g")
+	h := reg.Histogram("h", "h", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(i * j % 150))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("hist count = %d, want 8000", h.Count())
+	}
+}

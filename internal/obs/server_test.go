@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ptrack_steps_total", "Steps.").Add(42)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "ptrack_steps_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "go_goroutines") {
+		t.Errorf("/metrics missing runtime metrics")
+	}
+
+	code, body = get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	pt, ok := vars["ptrack"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing ptrack section: %v", vars)
+	}
+	if pt["ptrack_steps_total"] != 42.0 {
+		t.Errorf("expvar steps = %v, want 42", pt["ptrack_steps_total"])
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars missing global expvar memstats")
+	}
+
+	code, body = get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	code, _ = get(t, srv.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := get(t, "http://"+s.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Errorf("live /metrics status = %d", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/obs"
+	"ptrack/internal/trace"
+)
+
+func walkRecording(t testing.TB, seconds float64, seed int64) *trace.Recording {
+	t.Helper()
+	cfg := gaitsim.DefaultConfig()
+	cfg.Seed = seed
+	rec, err := gaitsim.SimulateActivity(gaitsim.DefaultProfile(), cfg, trace.ActivityWalking, seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestNewRejectsBadSampleRate(t *testing.T) {
+	for _, rate := range []float64{0, -50, math.NaN(), math.Inf(1)} {
+		if _, err := New(Config{SampleRate: rate}); err == nil {
+			t.Errorf("New accepted sample rate %v", rate)
+		}
+	}
+}
+
+// TestEventOrderingAndMonotonicity pins the streaming contract that was
+// previously only asserted indirectly: within every Push/Flush batch
+// event times are non-decreasing (back-fill precedes the confirming
+// cycle), TotalSteps never decreases across the whole stream, and the
+// per-event StepsAdded increments sum to the final step count.
+func TestEventOrderingAndMonotonicity(t *testing.T) {
+	rec := walkRecording(t, 60, 1)
+	tk, err := New(Config{SampleRate: rec.Trace.SampleRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastTotal := 0
+	stepsSum := 0
+	nEvents := 0
+	check := func(events []Event) {
+		lastT := math.Inf(-1)
+		for _, ev := range events {
+			nEvents++
+			if ev.T < lastT {
+				t.Fatalf("event times regress within a batch: %v after %v", ev.T, lastT)
+			}
+			lastT = ev.T
+			if ev.TotalSteps < lastTotal {
+				t.Fatalf("TotalSteps regressed: %d after %d", ev.TotalSteps, lastTotal)
+			}
+			lastTotal = ev.TotalSteps
+			stepsSum += ev.StepsAdded
+		}
+	}
+	for _, s := range rec.Trace.Samples {
+		check(tk.Push(s))
+	}
+	check(tk.Flush())
+	if nEvents == 0 {
+		t.Fatal("walking stream emitted no events")
+	}
+	if stepsSum != tk.Steps() {
+		t.Errorf("sum of StepsAdded = %d, want final Steps() = %d", stepsSum, tk.Steps())
+	}
+	if lastTotal != tk.Steps() {
+		t.Errorf("last TotalSteps = %d, want %d", lastTotal, tk.Steps())
+	}
+}
+
+// TestStreamPopulatesMetrics checks the streaming instrumentation:
+// ingest counters, buffer occupancy, event latency and step credits.
+func TestStreamPopulatesMetrics(t *testing.T) {
+	rec := walkRecording(t, 60, 1)
+	reg := obs.NewRegistry()
+	reg.GoRuntime = false
+	hooks := obs.NewHooks(reg)
+	tk, err := New(Config{SampleRate: rec.Trace.SampleRate, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for _, s := range rec.Trace.Samples {
+		events += len(tk.Push(s))
+	}
+	events += len(tk.Flush())
+
+	snap := reg.Snapshot()
+	if got := snap["ptrack_stream_samples_total"]; got != float64(len(rec.Trace.Samples)) {
+		t.Errorf("samples ingested = %v, want %d", got, len(rec.Trace.Samples))
+	}
+	if got := snap["ptrack_stream_buffer_samples"].(float64); got <= 0 {
+		t.Errorf("buffer occupancy gauge = %v, want > 0", got)
+	}
+	lat := snap["ptrack_stream_event_latency_seconds"].(map[string]any)
+	if lat["count"].(uint64) != uint64(events) {
+		t.Errorf("latency observations = %v, want %d", lat["count"], events)
+	}
+	// The design latency bound is roughly one cycle plus margin plus the
+	// 0.1 s scan decimation; mean latency must sit well under the 12 s
+	// buffer horizon.
+	if events > 0 {
+		mean := lat["sum"].(float64) / float64(events)
+		if mean <= 0 || mean > 5 {
+			t.Errorf("mean event latency = %.2f s, want within (0, 5]", mean)
+		}
+	}
+	if got := snap["ptrack_steps_total"]; got != float64(tk.Steps()) {
+		t.Errorf("steps metric = %v, want %d", got, tk.Steps())
+	}
+	if got := snap[`ptrack_cycles_total{label="walking"}`].(float64); got <= 0 {
+		t.Errorf("walking cycles metric = %v, want > 0", got)
+	}
+}
+
+// TestStreamDropMetric forces compaction with a small buffer and checks
+// the dropped-samples counter.
+func TestStreamDropMetric(t *testing.T) {
+	rec := walkRecording(t, 60, 2)
+	reg := obs.NewRegistry()
+	hooks := obs.NewHooks(reg)
+	tk, err := New(Config{SampleRate: rec.Trace.SampleRate, BufferS: 4, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Trace.Samples {
+		tk.Push(s)
+	}
+	if got := reg.Snapshot()["ptrack_stream_dropped_samples_total"].(float64); got <= 0 {
+		t.Errorf("dropped samples = %v, want > 0 with a 4 s buffer on a 60 s stream", got)
+	}
+}
+
+// TestConcurrentTrackersSharedHooks runs several independent trackers
+// feeding one shared Hooks/Registry — the deployment shape for a fleet
+// of wearables in one process — under the race detector.
+func TestConcurrentTrackersSharedHooks(t *testing.T) {
+	reg := obs.NewRegistry()
+	hooks := obs.NewHooks(reg)
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rec := walkRecording(t, 30, seed)
+			tk, err := New(Config{SampleRate: rec.Trace.SampleRate, Hooks: hooks})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, s := range rec.Trace.Samples {
+				tk.Push(s)
+			}
+			tk.Flush()
+			mu.Lock()
+			total += len(rec.Trace.Samples)
+			mu.Unlock()
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	if got := reg.Snapshot()["ptrack_stream_samples_total"].(float64); got != float64(total) {
+		t.Errorf("shared samples counter = %v, want %d", got, total)
+	}
+}

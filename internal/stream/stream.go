@@ -16,6 +16,7 @@ import (
 	"ptrack/internal/dsp"
 	"ptrack/internal/gaitid"
 	"ptrack/internal/imu"
+	"ptrack/internal/obs"
 	"ptrack/internal/segment"
 	"ptrack/internal/stride"
 	"ptrack/internal/trace"
@@ -45,6 +46,11 @@ type Config struct {
 	// BufferS bounds the sliding window. Default 12 s; must comfortably
 	// exceed the longest cycle plus margins.
 	BufferS float64
+	// Hooks receives ingest/drop counts, buffer occupancy, per-cycle
+	// classifications and event latencies. Nil disables instrumentation.
+	// Hook updates are atomic, so one Hooks may be shared by concurrent
+	// trackers.
+	Hooks *obs.Hooks
 }
 
 func (c Config) withDefaults() Config {
@@ -93,8 +99,11 @@ type pendingCycle struct {
 // New returns an online tracker.
 func New(cfg Config) (*Tracker, error) {
 	cfg = cfg.withDefaults()
-	if cfg.SampleRate <= 0 {
-		return nil, fmt.Errorf("stream: sample rate must be positive, got %v", cfg.SampleRate)
+	// `<= 0` alone would pass NaN (every comparison with NaN is false)
+	// and produce NaN cycle lengths downstream; require a positive
+	// finite rate explicitly.
+	if !(cfg.SampleRate > 0) || math.IsInf(cfg.SampleRate, 1) {
+		return nil, fmt.Errorf("stream: sample rate must be positive and finite, got %v", cfg.SampleRate)
 	}
 	t := &Tracker{
 		cfg:      cfg,
@@ -130,6 +139,7 @@ func (t *Tracker) Push(s trace.Sample) []Event {
 	t.h2 = append(t.h2, proj.H2)
 	t.mag = append(t.mag, s.Accel.Norm()-imu.StandardGravity)
 	t.absCount++
+	t.cfg.Hooks.SampleIngested(len(t.mag))
 
 	// Peak detection over the buffer is the expensive part; amortise it by
 	// scanning every decimation interval (0.1 s). Decisions are delayed by
@@ -141,13 +151,30 @@ func (t *Tracker) Push(s trace.Sample) []Event {
 	t.sinceScan = 0
 	events := t.drain()
 	t.compact()
+	t.observeEvents(events)
 	return events
 }
 
 // Flush reports any cycles that were still waiting for trailing context,
 // accepting reduced margins. Call at end of stream.
 func (t *Tracker) Flush() []Event {
-	return t.drainWith(true)
+	events := t.drainWith(true)
+	t.observeEvents(events)
+	return events
+}
+
+// observeEvents reports emission latency (cycle end to now, in stream
+// time) and credited steps for a batch of events.
+func (t *Tracker) observeEvents(events []Event) {
+	h := t.cfg.Hooks
+	if h == nil || len(events) == 0 {
+		return
+	}
+	now := float64(t.absCount) / t.cfg.SampleRate
+	for i := range events {
+		h.EventEmitted(now - events[i].T)
+		h.AddSteps(events[i].StepsAdded)
+	}
 }
 
 func (t *Tracker) drain() []Event { return t.drainWith(false) }
@@ -282,10 +309,12 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 	anterior, ok := t.anterior(lo, hi)
 	endT := float64(endAbs) / t.cfg.SampleRate
 	if !ok {
+		t.cfg.Hooks.Cycle(int(gaitid.LabelInterference), endT, 0, 0, false, 0)
 		return []Event{{T: endT, Label: gaitid.LabelInterference, TotalSteps: t.id.Steps()}}
 	}
 
 	cr := t.id.ClassifyWindow(vertical, anterior, margin)
+	t.cfg.Hooks.Cycle(int(cr.Label), endT, cr.Offset, cr.C, cr.OffsetOK, cr.StepsAdded)
 	ev := Event{
 		T:          endT,
 		Label:      cr.Label,
@@ -396,6 +425,7 @@ func (t *Tracker) compact() {
 	if drop <= 0 {
 		return
 	}
+	t.cfg.Hooks.SamplesDropped(drop)
 	t.base += drop
 	t.mag = t.mag[drop:]
 	t.vertical = t.vertical[drop:]

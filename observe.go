@@ -1,0 +1,65 @@
+package ptrack
+
+import (
+	"io"
+	"log/slog"
+
+	"ptrack/internal/obs"
+)
+
+// Observability layer. The type aliases expose the internal/obs
+// implementation without a second import path:
+//
+//	m := ptrack.NewMetrics()
+//	o := ptrack.NewObserver(m)
+//	tk, _ := ptrack.New(ptrack.WithObserver(o))
+//	srv, _ := ptrack.ServeDebug("localhost:6060", m)
+//	defer srv.Close()
+//
+// The debug server exposes Prometheus text at /metrics, expvar JSON at
+// /debug/vars and the standard profiles under /debug/pprof/. See
+// docs/METRICS.md for the full metric list.
+type (
+	// Metrics is a registry of counters, gauges and histograms with
+	// atomic updates and Prometheus/expvar exposition.
+	Metrics = obs.Registry
+	// Observer receives pipeline instrumentation: per-stage wall time,
+	// per-label cycle counts, offset/C histograms, step credits, and the
+	// streaming tracker's ingest/latency/buffer metrics. A nil *Observer
+	// disables instrumentation at zero cost; a non-nil Observer is safe
+	// to share across concurrent trackers.
+	Observer = obs.Hooks
+	// DebugServer is a running debug HTTP endpoint; see ServeDebug.
+	DebugServer = obs.Server
+)
+
+// NewMetrics returns an empty metrics registry (with Go runtime gauges
+// included in the exposition).
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewObserver registers the PTrack metric set in m and returns an
+// observer feeding it. Attach a debug-level slog.Logger with
+// Observer.WithCycleLogger to additionally emit one structured record
+// per classified gait cycle.
+func NewObserver(m *Metrics) *Observer { return obs.NewHooks(m) }
+
+// WithObserver instruments the tracker (batch or streaming) with o.
+// Pass the same observer to several trackers to aggregate their metrics.
+func WithObserver(o *Observer) Option {
+	return func(opts *options) { opts.observer = o }
+}
+
+// ServeDebug starts an HTTP server on addr exposing /metrics,
+// /debug/vars and /debug/pprof/* for m. Close the returned server when
+// done.
+func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
+	return obs.Serve(addr, m)
+}
+
+// ParseLogLevel converts "debug", "info", "warn" or "error" into a
+// slog.Level, for -log-level style flags.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLevel(s) }
+
+// NewLogger returns a text-format slog.Logger writing to w at the given
+// level, matching the CLI tools' -log-level output.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger { return obs.NewLogger(w, level) }

@@ -1,0 +1,78 @@
+package ptrack
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPublicObservability exercises the exported observability surface
+// end to end: one observer shared by a batch Tracker and a streaming
+// Online tracker, with the debug server reporting the combined metrics.
+func TestPublicObservability(t *testing.T) {
+	rec, err := Simulate(DefaultSimProfile(), DefaultSimConfig(),
+		[]SimSegment{{Activity: ActivityWalking, Duration: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMetrics()
+	o := NewObserver(m)
+
+	tk, err := New(WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Process(rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatal("no steps counted")
+	}
+
+	on, err := NewOnline(rec.Trace.SampleRate, WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Trace.Samples {
+		on.Push(s)
+	}
+	on.Flush()
+	if on.Steps() == 0 {
+		t.Fatal("online tracker counted no steps")
+	}
+
+	snap := m.Snapshot()
+	wantSteps := float64(res.Steps + on.Steps())
+	if got := snap["ptrack_steps_total"]; got != wantSteps {
+		t.Errorf("combined steps metric = %v, want %v", got, wantSteps)
+	}
+	if got := snap["ptrack_stream_samples_total"]; got != float64(len(rec.Trace.Samples)) {
+		t.Errorf("stream samples = %v, want %d", got, len(rec.Trace.Samples))
+	}
+
+	srv, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "ptrack_steps_total") {
+		t.Error("debug server /metrics missing ptrack_steps_total")
+	}
+}
+
+// TestNewOnlineRejectsBadRate mirrors the stream-level validation at the
+// public constructor.
+func TestNewOnlineRejectsBadRate(t *testing.T) {
+	if _, err := NewOnline(0); err == nil {
+		t.Error("NewOnline(0) accepted")
+	}
+}

@@ -111,6 +111,7 @@ type options struct {
 	confirmCount    int
 	marginFraction  float64
 	adaptiveDelta   bool
+	observer        *Observer
 }
 
 // Option configures a Tracker.
@@ -174,6 +175,7 @@ func New(opts ...Option) (*Tracker, error) {
 		},
 		MarginFraction: o.marginFraction,
 		AdaptiveDelta:  o.adaptiveDelta,
+		Hooks:          o.observer,
 	}
 	if o.profile != nil {
 		sc := stride.Config{
@@ -267,6 +269,7 @@ func NewOnline(sampleRate float64, opts ...Option) (*Online, error) {
 			ConfirmCount:    o.confirmCount,
 		},
 		MarginFraction: o.marginFraction,
+		Hooks:          o.observer,
 	}
 	if o.profile != nil {
 		cfg.Profile = &stride.Config{
