@@ -1,11 +1,13 @@
 # Development targets. `make check` is the pre-commit gate; it matches
 # what the tier-1 verification runs plus formatting, vet and the race
-# detector. `make bench-guard` re-checks the observability contract: the
-# nil-hook pipeline must not allocate more than the uninstrumented seed.
+# detector. `make bench-guard` re-checks the allocation contract: the
+# nil-hook pipeline must stay strictly below the uninstrumented seed's
+# 2664 allocs/op (current ceilings live in internal/core/observe_test.go).
+# `make bench-batch` compares serial vs pooled batch processing.
 
 GO ?= go
 
-.PHONY: check fmt vet test bench-guard bench build
+.PHONY: check fmt vet test bench-guard bench bench-batch build
 
 check: fmt vet test bench-guard
 
@@ -22,12 +24,19 @@ vet:
 test:
 	$(GO) test -race ./...
 
-# The alloc-parity tests fail if instrumentation leaks allocations onto
-# the hot path; the benchmark prints the current allocs/op and ns/op for
-# the nil-hooks and hooks-enabled variants side by side.
+# The alloc-ceiling tests fail if the hot path regresses: the one-shot
+# and hook-enabled paths must stay under the post-recycling ceiling
+# (strictly below the 2664 allocs/op seed), and the reused-Pipeline path
+# under its tighter one. The benchmark prints the current allocs/op and
+# ns/op for all three variants side by side.
 bench-guard:
-	$(GO) test ./internal/core -run 'TestProcessNilHooksAllocGuard|TestHooksAllocFree' -count=1 -v
+	$(GO) test ./internal/core -run 'TestProcessNilHooksAllocGuard|TestHooksAllocFree|TestPipelineReuseAllocGuard' -count=1 -v
 	$(GO) test ./internal/core -run NONE -bench 'BenchmarkProcess$$' -benchmem -benchtime 10x
+
+# Serial vs pooled batch throughput on the 60 s reference trace ×16
+# (speedup only shows on multicore hosts; workers=1 bounds overhead).
+bench-batch:
+	$(GO) test . -run NONE -bench 'BenchmarkBatchProcess$$' -benchmem -benchtime 5x
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem ./...

@@ -1,0 +1,86 @@
+package ptrack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ptrack/internal/engine"
+)
+
+// BatchItem is the outcome for one trace of a batch: exactly one of
+// Result and Err is set. Err wraps the package sentinels (ErrEmptyTrace,
+// ErrInvalidSampleRate) or, for traces a cancelled batch never reached,
+// the context's error.
+type BatchItem struct {
+	Result *Result
+	Err    error
+}
+
+// Pool processes batches of traces concurrently across a bounded set of
+// workers, recycling pipeline scratch between traces and between
+// batches. A Pool is safe for concurrent use. Prefer a Pool over
+// repeated BatchProcess calls when processing several batches.
+type Pool struct {
+	ep *engine.Pool
+}
+
+// NewPool builds a worker pool with the given parallelism (<= 0 selects
+// GOMAXPROCS) accepting the same options as New. Configuration errors
+// wrap ErrInvalidProfile.
+func NewPool(workers int, opts ...Option) (*Pool, error) {
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := engine.NewPool(workers, o.coreConfig())
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return &Pool{ep: ep}, nil
+}
+
+// Workers returns the pool's parallelism bound.
+func (p *Pool) Workers() int { return p.ep.Workers() }
+
+// Process runs one batch. items[i] always belongs to traces[i], whatever
+// order the workers finish in, and each trace's failure is isolated to
+// its own item. When ctx is cancelled mid-batch, in-flight traces
+// finish, unstarted ones carry ctx.Err(), and ctx.Err() is also
+// returned; otherwise the returned error is nil even if individual
+// traces failed.
+func (p *Pool) Process(ctx context.Context, traces []*Trace) ([]BatchItem, error) {
+	items, err := p.ep.Process(ctx, traces)
+	out := make([]BatchItem, len(items))
+	for i, it := range items {
+		out[i] = BatchItem{Result: it.Result, Err: wrapBatchErr(traces[i], it.Err)}
+	}
+	return out, err
+}
+
+// wrapBatchErr maps a per-trace engine error onto the package's error
+// contract: context errors pass through, trace defects are classified
+// against the sentinels, anything else is wrapped as-is.
+func wrapBatchErr(tr *Trace, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return err
+	}
+	if verr := validTrace(tr); verr != nil {
+		return fmt.Errorf("ptrack: %w", verr)
+	}
+	return fmt.Errorf("ptrack: %w", err)
+}
+
+// BatchProcess processes many traces concurrently with a one-shot pool
+// at GOMAXPROCS parallelism. It accepts the same options as New; see
+// Pool.Process for the result contract.
+func BatchProcess(ctx context.Context, traces []*Trace, opts ...Option) ([]BatchItem, error) {
+	p, err := NewPool(0, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return p.Process(ctx, traces)
+}

@@ -11,6 +11,7 @@ package ptrack
 // themselves are printed by cmd/ptrack-eval.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"ptrack/internal/core"
 	"ptrack/internal/deadreckon"
 	"ptrack/internal/dsp"
+	"ptrack/internal/engine"
 	"ptrack/internal/eval"
 	"ptrack/internal/gaitid"
 	"ptrack/internal/gaitsim"
@@ -364,6 +366,64 @@ func BenchmarkAblationAdaptiveDelta(b *testing.B) {
 			}
 			b.ReportMetric(float64(steps), "steps")
 			b.ReportMetric(float64(rec.Truth.StepCount()), "truth")
+		})
+	}
+}
+
+// BenchmarkBatchProcess measures the batch engine against serial
+// processing on the acceptance workload: the 60 s reference walking
+// trace replicated 16×. The serial baseline reuses one Tracker (the
+// strongest fair baseline — it already recycles pipeline scratch);
+// the parallel variants fan the same batch across pool workers. On a
+// multicore host the 8-worker variant's ns/op should undercut serial
+// by the worker count (modulo core count); the workers=1 variant
+// bounds the engine's coordination overhead.
+func BenchmarkBatchProcess(b *testing.B) {
+	user := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(user, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	traces := make([]*trace.Trace, 16)
+	for i := range traces {
+		traces[i] = rec.Trace
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		p, err := core.NewPipeline(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, tr := range traces {
+				if _, err := p.Process(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 8} {
+		b.Run(fmtInt("workers", workers), func(b *testing.B) {
+			pool, err := engine.NewPool(workers, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				items, err := pool.Process(ctx, traces)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, it := range items {
+					if it.Err != nil {
+						b.Fatal(it.Err)
+					}
+				}
+			}
 		})
 	}
 }

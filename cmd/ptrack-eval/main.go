@@ -69,9 +69,10 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ptrack-eval", flag.ContinueOnError)
 	var figs figList
 	var (
-		seed  = fs.Int64("seed", 1, "experiment seed")
-		users = fs.Int("users", 5, "simulated users")
-		scale = fs.Float64("scale", 1, "duration scale (1 = paper-like)")
+		seed    = fs.Int64("seed", 1, "experiment seed")
+		users   = fs.Int("users", 5, "simulated users")
+		scale   = fs.Float64("scale", 1, "duration scale (1 = paper-like)")
+		workers = fs.Int("workers", 0, "batch-engine workers for trial loops (0 = GOMAXPROCS)")
 	)
 	fs.Var(&figs, "fig", "figure id to run (repeatable; default: all)")
 	dataDir := fs.String("data", "", "also write plot-ready figure data CSVs to this directory")
@@ -102,7 +103,7 @@ func run(args []string, stdout io.Writer) error {
 		logger.Info("debug server listening", "addr", srv.Addr())
 	}
 
-	opt := eval.Options{Seed: *seed, Users: *users, DurationScale: *scale}
+	opt := eval.Options{Seed: *seed, Users: *users, DurationScale: *scale, Workers: *workers}
 	selected := map[string]bool{}
 	for _, f := range figs {
 		selected[strings.TrimPrefix(strings.ToLower(f), "fig")] = true

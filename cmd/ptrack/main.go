@@ -8,9 +8,14 @@
 //	tracegen -activity walking | ptrack
 //	ptrack -train calibration.csv -train-distance 180 trace.csv
 //	ptrack -debug-addr localhost:6060 -log-level debug trace.csv
+//	ptrack -workers 8 day1.csv day2.csv day3.csv   # concurrent batch
+//
+// With several trace arguments the traces are processed concurrently
+// through the batch engine and reported one line per file.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		delta       = fs.Float64("delta", 0, "override the gait-identification threshold (0 = paper default 0.0325)")
 		truthFile   = fs.String("truth", "", "ground-truth JSON (from tracegen -truth) for scoring")
 		verbose     = fs.Bool("v", false, "print per-cycle diagnostics")
+		workers     = fs.Int("workers", 0, "worker count for multi-file batches (0 = GOMAXPROCS)")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while processing")
 		logLevel    = fs.String("log-level", "warn", "slog level: debug|info|warn|error (debug logs every classified cycle)")
 		version     = fs.Bool("version", false, "print version and exit")
@@ -94,6 +100,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		opts = append(opts, ptrack.WithProfile(arm, leg, k))
+	}
+
+	if fs.NArg() > 1 {
+		return runBatch(fs.Args(), *workers, opts, stdout)
 	}
 
 	in := stdin
@@ -154,6 +164,62 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  cycle %3d t=%6.2fs label=%-12s offset=%.4f C=%+.2f steps+%d\n",
 				i, c.T, c.Label, c.Offset, c.C, c.StepsAdded)
 		}
+	}
+	return nil
+}
+
+// runBatch processes several trace files concurrently through the batch
+// engine and prints one summary line per file plus totals. Per-file
+// failures are reported inline without aborting the batch.
+func runBatch(files []string, workers int, opts []ptrack.Option, stdout io.Writer) error {
+	traces := make([]*ptrack.Trace, len(files))
+	readErrs := make([]error, len(files))
+	for i, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			readErrs[i] = err
+			continue
+		}
+		traces[i], readErrs[i] = ptrack.ReadTraceCSV(f)
+		f.Close()
+	}
+
+	pool, err := ptrack.NewPool(workers, opts...)
+	if err != nil {
+		return err
+	}
+	items, err := pool.Process(context.Background(), traces)
+	if err != nil {
+		return err
+	}
+
+	var totalSteps, failed int
+	var totalDist float64
+	for i, it := range items {
+		switch {
+		case readErrs[i] != nil:
+			failed++
+			fmt.Fprintf(stdout, "%s: error: %v\n", files[i], readErrs[i])
+		case it.Err != nil:
+			failed++
+			fmt.Fprintf(stdout, "%s: error: %v\n", files[i], it.Err)
+		default:
+			totalSteps += it.Result.Steps
+			totalDist += it.Result.Distance
+			line := fmt.Sprintf("%s: %d steps", files[i], it.Result.Steps)
+			if it.Result.Distance > 0 {
+				line += fmt.Sprintf(", %.2f m", it.Result.Distance)
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	fmt.Fprintf(stdout, "total: %d files (%d failed), %d steps", len(files), failed, totalSteps)
+	if totalDist > 0 {
+		fmt.Fprintf(stdout, ", %.2f m", totalDist)
+	}
+	fmt.Fprintln(stdout)
+	if failed == len(files) {
+		return fmt.Errorf("all %d traces failed", failed)
 	}
 	return nil
 }

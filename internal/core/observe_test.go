@@ -116,35 +116,44 @@ func TestCycleLabelMappingMatchesGaitid(t *testing.T) {
 	}
 }
 
-// TestProcessNilHooksAllocGuard is the benchmark guard of the
-// observability PR: with no hooks configured the instrumented pipeline
-// must allocate exactly what the uninstrumented seed did (2664 allocs/op
-// on this fixed trace, measured at the seed commit). Any increase means
-// instrumentation leaked onto the zero-config hot path.
+// Allocation ceilings for the 60 s reference walking trace. The
+// uninstrumented seed measured 2664 allocs/op; the scratch-recycling
+// work (identifier filter buffers, projection point-cloud reuse)
+// brought the one-shot path to ~2195, and ceilingAllocs pins the win
+// with modest headroom. A reused Pipeline drops further — it keeps its
+// series/filter scratch across traces — which reuseCeilingAllocs pins.
+const (
+	seedAllocs         = 2664.0
+	ceilingAllocs      = 2400.0
+	reuseCeilingAllocs = 2200.0
+)
+
+// TestProcessNilHooksAllocGuard guards the zero-config hot path: with no
+// hooks configured, Process must stay strictly below the uninstrumented
+// seed's allocation count (instrumentation must not leak onto the path,
+// and the buffer-recycling work must not regress).
 func TestProcessNilHooksAllocGuard(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector perturbs allocation counts")
 	}
-	const seedAllocs = 2664.0
 	tr := simulateWalk(t, 60)
 	allocs := testing.AllocsPerRun(10, func() {
 		if _, err := Process(tr, Config{}); err != nil {
 			t.Fatal(err)
 		}
 	})
-	if allocs > seedAllocs+0.5 {
-		t.Errorf("nil-hook Process allocates %.1f allocs/op, seed was %.0f — instrumentation leaked onto the hot path", allocs, seedAllocs)
+	if allocs > ceilingAllocs+0.5 {
+		t.Errorf("nil-hook Process allocates %.1f allocs/op, ceiling %.0f (seed %.0f)", allocs, ceilingAllocs, seedAllocs)
 	}
 }
 
 // TestHooksAllocFree verifies the instrumented path itself adds no
-// allocations beyond the seed baseline (atomic metric updates only; the
+// allocations beyond the ceiling (atomic metric updates only; the
 // cycle logger is off).
 func TestHooksAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector perturbs allocation counts")
 	}
-	const seedAllocs = 2664.0
 	tr := simulateWalk(t, 60)
 	reg := obs.NewRegistry()
 	hooks := obs.NewHooks(reg)
@@ -154,8 +163,33 @@ func TestHooksAllocFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs > seedAllocs+0.5 {
-		t.Errorf("hook-enabled Process allocates %.1f allocs/op, seed was %.0f — hooks must not allocate", allocs, seedAllocs)
+	if allocs > ceilingAllocs+0.5 {
+		t.Errorf("hook-enabled Process allocates %.1f allocs/op, ceiling %.0f — hooks must not allocate", allocs, ceilingAllocs)
+	}
+}
+
+// TestPipelineReuseAllocGuard pins the steady-state batch path: a
+// reused Pipeline recycles its projection and filter scratch, so
+// per-trace allocations must undercut even the one-shot ceiling.
+func TestPipelineReuseAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs allocation counts")
+	}
+	tr := simulateWalk(t, 60)
+	p, err := NewPipeline(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process(tr); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := p.Process(tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > reuseCeilingAllocs+0.5 {
+		t.Errorf("reused Pipeline allocates %.1f allocs/op, ceiling %.0f", allocs, reuseCeilingAllocs)
 	}
 }
 
@@ -211,6 +245,19 @@ func BenchmarkProcess(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := Process(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-pipeline", func(b *testing.B) {
+		p, err := NewPipeline(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Process(tr); err != nil {
 				b.Fatal(err)
 			}
 		}

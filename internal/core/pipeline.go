@@ -88,33 +88,81 @@ func (r *Result) LabelCounts() map[gaitid.Label]int {
 // gyro-fused attitude for loosely mounted devices.
 type Decomposer func(*trace.Trace) *project.Series
 
+// Pipeline is a reusable instance of the batch pipeline. It owns the
+// per-trace scratch state — projection buffers, the identifier's
+// smoothing buffers, the pending-stepping window list — so processing
+// many traces through one Pipeline amortises those allocations to zero.
+// Construct with NewPipeline; not safe for concurrent use (the engine
+// layer recycles Pipelines across workers via sync.Pool).
+type Pipeline struct {
+	cfg       Config
+	decompose Decomposer // nil selects the buffer-recycling default
+	est       *stride.Estimator
+
+	series  project.Series
+	id      *gaitid.Identifier
+	idRate  float64
+	pending []pendingWindow
+}
+
+// pendingWindow is a stepping cycle awaiting streak confirmation; kept so
+// its strides are credited retroactively (Fig. 4's "+6").
+type pendingWindow struct {
+	cyc    segment.Cycle
+	margin int
+	w      project.Window
+}
+
+// NewPipeline validates the configuration (notably the stride profile)
+// and returns a reusable pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	return NewPipelineWithProjection(cfg, nil)
+}
+
+// NewPipelineWithProjection is NewPipeline with a custom projection
+// stage. A nil decomposer selects the default gravity projection with
+// buffer recycling.
+func NewPipelineWithProjection(cfg Config, decompose Decomposer) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	p := &Pipeline{cfg: cfg, decompose: decompose}
+	if cfg.Profile != nil {
+		est, err := stride.New(*cfg.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		p.est = est
+	}
+	return p, nil
+}
+
 // Process runs the PTrack pipeline over a trace with the default
 // projection.
 func Process(tr *trace.Trace, cfg Config) (*Result, error) {
-	return ProcessWithProjection(tr, cfg, project.Decompose)
+	return ProcessWithProjection(tr, cfg, nil)
 }
 
-// ProcessWithProjection runs the pipeline with a custom projection stage.
+// ProcessWithProjection runs the pipeline with a custom projection stage
+// (nil selects the default).
 func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*Result, error) {
-	cfg = cfg.withDefaults()
+	p, err := NewPipelineWithProjection(cfg, decompose)
+	if err != nil {
+		return nil, err
+	}
+	return p.Process(tr)
+}
+
+// Process runs the pipeline over one trace, reusing the Pipeline's
+// scratch buffers. The returned Result shares nothing with the Pipeline,
+// so it stays valid across subsequent calls.
+func (p *Pipeline) Process(tr *trace.Trace) (*Result, error) {
+	cfg := p.cfg
 	// NaN fails every comparison, so `<= 0` alone would let a NaN sample
 	// rate through and poison cycle lengths downstream; test positivity
 	// and finiteness explicitly.
 	if tr == nil || !(tr.SampleRate > 0) || math.IsInf(tr.SampleRate, 1) {
 		return nil, fmt.Errorf("core: trace with a positive finite sample rate required")
 	}
-	if decompose == nil {
-		decompose = project.Decompose
-	}
-
-	var est *stride.Estimator
-	if cfg.Profile != nil {
-		var err error
-		est, err = stride.New(*cfg.Profile)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-	}
+	est := p.est
 
 	h := cfg.Hooks
 	var t0 time.Time
@@ -128,11 +176,22 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 		h.StageDone(obs.StageSegment, time.Since(t0))
 		t0 = time.Now()
 	}
-	series := decompose(tr)
+	series := &p.series
+	if p.decompose != nil {
+		series = p.decompose(tr)
+	} else {
+		project.DecomposeInto(series, tr)
+	}
 	if h != nil {
 		h.StageDone(obs.StageProject, time.Since(t0))
 	}
-	id := gaitid.NewIdentifier(cfg.Identify, tr.SampleRate)
+	if p.id == nil || p.idRate != tr.SampleRate {
+		p.id = gaitid.NewIdentifier(cfg.Identify, tr.SampleRate)
+		p.idRate = tr.SampleRate
+	} else {
+		p.id.Reset()
+	}
+	id := p.id
 	var adaptive *gaitid.AdaptiveThreshold
 	if cfg.AdaptiveDelta {
 		adaptive = gaitid.NewAdaptiveThreshold(0)
@@ -142,12 +201,8 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 	// Stepping cycles are credited retroactively on the confirmation
 	// cycle (+2·ConfirmCount); keep the pending windows so their strides
 	// are not lost.
-	type window struct {
-		cyc    segment.Cycle
-		margin int
-		w      project.Window
-	}
-	var pendingStepping []window
+	pendingStepping := p.pending[:0]
+	defer func() { p.pending = pendingStepping[:0] }()
 
 	prevEnd := -1
 	for _, cyc := range seg.Cycles {
@@ -210,7 +265,7 @@ func ProcessWithProjection(tr *trace.Trace, cfg Config, decompose Decomposer) (*
 		case gaitid.LabelStepping:
 			if cr.StepsAdded == 0 {
 				// Pending until the streak confirms.
-				pendingStepping = append(pendingStepping, window{cyc: cyc, margin: margin, w: w})
+				pendingStepping = append(pendingStepping, pendingWindow{cyc: cyc, margin: margin, w: w})
 			} else {
 				// The confirmation cycle credits the pending streak too
 				// (Fig. 4's "+6"): flush the pending cycles' strides, then

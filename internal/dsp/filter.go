@@ -102,6 +102,28 @@ func (f *Biquad) Apply(x []float64) []float64 {
 	return out
 }
 
+// ApplyTo is Apply writing into dst, which is grown as needed and
+// returned. dst may alias x (in-place filtering is safe: each output
+// sample depends only on the current input and the filter state). It
+// reuses dst's backing array when capacity allows, so hot loops can
+// filter without allocating.
+func (f *Biquad) ApplyTo(dst, x []float64) []float64 {
+	if len(x) == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	f.Reset()
+	f.x1, f.x2 = x[0], x[0]
+	f.y1, f.y2 = x[0], x[0]
+	for i, v := range x {
+		dst[i] = f.Process(v)
+	}
+	return dst
+}
+
 // LowPassButterworth is a convenience wrapper: it builds a Butterworth
 // biquad and applies it forward over x. Invalid parameters degrade to a
 // pass-through copy, which is the safe behaviour for a smoothing stage.
@@ -125,6 +147,27 @@ func FiltFilt(x []float64, cutoffHz, sampleRateHz float64) []float64 {
 	bwd := LowPassButterworth(fwd, cutoffHz, sampleRateHz)
 	Reverse(bwd)
 	return bwd
+}
+
+// FiltFiltTo is FiltFilt writing into dst using a caller-owned biquad,
+// for hot loops that smooth many windows: dst's backing array is reused
+// when capacity allows and the call performs no allocations once dst has
+// grown to the working size. A nil biquad degrades to a pass-through
+// copy, mirroring LowPassButterworth's invalid-parameter behaviour.
+func FiltFiltTo(dst, x []float64, f *Biquad) []float64 {
+	if f == nil {
+		if cap(dst) < len(x) {
+			dst = make([]float64, len(x))
+		}
+		dst = dst[:len(x)]
+		copy(dst, x)
+		return dst
+	}
+	dst = f.ApplyTo(dst, x) // forward
+	Reverse(dst)
+	dst = f.ApplyTo(dst, dst) // backward, in place
+	Reverse(dst)
+	return dst
 }
 
 // MovingAverage smooths x with a centred window of the given odd width.

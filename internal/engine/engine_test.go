@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ptrack/internal/core"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/obs"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+)
+
+// testTraces simulates n distinct walking traces.
+func testTraces(t testing.TB, n int, seconds float64) []*trace.Trace {
+	t.Helper()
+	profiles := make([]gaitsim.Profile, n)
+	for i := range profiles {
+		profiles[i] = gaitsim.DefaultProfile()
+	}
+	out := make([]*trace.Trace, n)
+	for i := range out {
+		cfg := gaitsim.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		rec, err := gaitsim.SimulateActivity(profiles[i], cfg, trace.ActivityWalking, seconds)
+		if err != nil {
+			t.Fatalf("simulate trace %d: %v", i, err)
+		}
+		out[i] = rec.Trace
+	}
+	return out
+}
+
+func TestBatchMatchesSerial(t *testing.T) {
+	traces := testTraces(t, 8, 20)
+	cfg := core.Config{}
+
+	want := make([]*core.Result, len(traces))
+	for i, tr := range traces {
+		res, err := core.Process(tr, cfg)
+		if err != nil {
+			t.Fatalf("serial trace %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	p, err := NewPool(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two batches through the same pool: the second exercises recycled
+	// pipeline scratch, which must not change any output.
+	for round := 0; round < 2; round++ {
+		items, err := p.Process(context.Background(), traces)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(items) != len(traces) {
+			t.Fatalf("round %d: %d items for %d traces", round, len(items), len(traces))
+		}
+		for i, it := range items {
+			if it.Err != nil {
+				t.Fatalf("round %d trace %d: %v", round, i, it.Err)
+			}
+			if !reflect.DeepEqual(it.Result, want[i]) {
+				t.Errorf("round %d trace %d: pooled result differs from serial", round, i)
+			}
+		}
+	}
+}
+
+func TestBatchErrorIsolation(t *testing.T) {
+	traces := testTraces(t, 3, 10)
+	traces[1] = &trace.Trace{} // no samples, no rate
+
+	items, err := BatchProcess(context.Background(), traces, 2, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[1].Err == nil {
+		t.Error("bad trace produced no error")
+	}
+	for _, i := range []int{0, 2} {
+		if items[i].Err != nil || items[i].Result == nil {
+			t.Errorf("good trace %d: err=%v result=%v", i, items[i].Err, items[i].Result)
+		}
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	traces := testTraces(t, 2, 5)
+	// A wide batch of aliases of the two real traces keeps the run cheap
+	// while leaving plenty of unfed work at cancellation time.
+	wide := make([]*trace.Trace, 64)
+	for i := range wide {
+		wide[i] = traces[i%2]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the feed starts: nothing may dispatch fully unchecked
+
+	p, err := NewPool(2, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := p.Process(ctx, wide)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	cancelled := 0
+	for i, it := range items {
+		switch {
+		case it.Err == nil && it.Result == nil:
+			t.Fatalf("item %d has neither result nor error", i)
+		case errors.Is(it.Err, context.Canceled):
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no item carries the cancellation error")
+	}
+}
+
+func TestPoolConcurrentBatches(t *testing.T) {
+	traces := testTraces(t, 4, 10)
+	p, err := NewPool(2, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Process(context.Background(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items, err := p.Process(context.Background(), traces)
+			if err != nil {
+				t.Errorf("concurrent batch: %v", err)
+				return
+			}
+			for i := range items {
+				if !reflect.DeepEqual(items[i].Result, want[i].Result) {
+					t.Errorf("concurrent batch trace %d differs", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolValidatesConfig(t *testing.T) {
+	bad := core.Config{Profile: &stride.Config{ArmLength: -1, LegLength: 0.9, K: 2.3}}
+	if _, err := NewPool(2, bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := core.Config{Hooks: obs.NewHooks(reg)}
+	traces := testTraces(t, 3, 10)
+	if _, err := BatchProcess(context.Background(), traces, 2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	dump := b.String()
+	for _, want := range []string{"ptrack_pool_inflight_traces 0", "ptrack_batch_trace_seconds_count 3"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, dump)
+		}
+	}
+}

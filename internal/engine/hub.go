@@ -1,0 +1,324 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ptrack/internal/obs"
+	"ptrack/internal/stream"
+	"ptrack/internal/trace"
+)
+
+// Hub errors. The facade wraps them, so test with errors.Is.
+var (
+	// ErrHubClosed is returned by Push after Close.
+	ErrHubClosed = errors.New("engine: hub closed")
+	// ErrQueueFull is returned by Push when the session's bounded queue
+	// is full; the sample is dropped (and counted) rather than blocking
+	// the caller.
+	ErrQueueFull = errors.New("engine: session queue full")
+	// ErrSessionLimit is returned by Push when MaxSessions is reached
+	// and no idle session could be evicted to make room.
+	ErrSessionLimit = errors.New("engine: session limit reached")
+)
+
+// HubConfig tunes a session hub. StreamConfig is the template every
+// session's tracker is built from; the remaining fields bound the hub.
+type HubConfig struct {
+	// Stream is the per-session tracker configuration (sample rate,
+	// profile, thresholds, hooks). Required: its SampleRate must be set.
+	Stream stream.Config
+	// QueueSize bounds each session's pending-sample queue. A full queue
+	// drops the pushed sample instead of blocking. Default 256.
+	QueueSize int
+	// IdleTimeout evicts sessions that have not seen a Push for this
+	// long (their tracker is flushed first). Default 2 minutes; negative
+	// disables eviction.
+	IdleTimeout time.Duration
+	// MaxSessions caps concurrently live sessions. When the cap is hit,
+	// Push for a new session first tries to evict the longest-idle
+	// session; if every session is busy it fails with ErrSessionLimit.
+	// Default 0: unlimited.
+	MaxSessions int
+	// OnEvent receives every classification event, tagged with its
+	// session ID. It is called from per-session goroutines, so it must
+	// be safe for concurrent use. Nil discards events (the hub is then
+	// only useful for its side metrics, e.g. load testing).
+	OnEvent func(session string, ev stream.Event)
+	// Hooks receives the hub metrics (sessions-active gauge, queue-drop
+	// counter) in addition to the per-tracker stream metrics carried by
+	// Stream.Hooks. Nil disables them.
+	Hooks *obs.Hooks
+
+	// now stubs time.Now in tests.
+	now func() time.Time
+}
+
+func (c HubConfig) withDefaults() HubConfig {
+	if c.QueueSize == 0 {
+		c.QueueSize = 256
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Hub multiplexes many concurrent online (streaming) trackers, keyed by
+// session ID. Each session owns a goroutine draining a bounded queue, so
+// Push never blocks on DSP work and concurrent pushes to distinct
+// sessions proceed in parallel. Idle sessions are flushed and evicted.
+// Safe for concurrent use.
+type Hub struct {
+	cfg HubConfig
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	closed   bool
+	wg       sync.WaitGroup
+
+	janitorStop chan struct{}
+}
+
+// session is one live stream. lastSeen is guarded by the hub lock (Push
+// holds at least RLock; an atomic would allow RLock writers to race on
+// it, but monotonic staleness only needs the latest of any racing Push,
+// which a plain store under RLock provides on all supported platforms —
+// use the mutex-held update for -race cleanliness instead).
+type session struct {
+	id   string
+	ch   chan trace.Sample
+	done chan struct{}
+
+	lastMu   sync.Mutex
+	lastSeen time.Time
+}
+
+func (s *session) touch(t time.Time) {
+	s.lastMu.Lock()
+	if t.After(s.lastSeen) {
+		s.lastSeen = t
+	}
+	s.lastMu.Unlock()
+}
+
+func (s *session) seen() time.Time {
+	s.lastMu.Lock()
+	defer s.lastMu.Unlock()
+	return s.lastSeen
+}
+
+// NewHub validates the template configuration and starts the eviction
+// janitor. Close the hub to release it.
+func NewHub(cfg HubConfig) (*Hub, error) {
+	cfg = cfg.withDefaults()
+	// Build one throwaway tracker so a bad template fails here, not on
+	// the first Push of every session.
+	if _, err := stream.New(cfg.Stream); err != nil {
+		return nil, err
+	}
+	h := &Hub{
+		cfg:         cfg,
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+	}
+	if cfg.IdleTimeout > 0 {
+		interval := cfg.IdleTimeout / 4
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		h.wg.Add(1)
+		go h.janitor(interval)
+	}
+	return h, nil
+}
+
+// Push routes one sample to the given session, creating it on first use.
+// It never blocks on pipeline work: when the session's queue is full the
+// sample is dropped, the drop is counted, and ErrQueueFull is returned.
+func (h *Hub) Push(id string, s trace.Sample) error {
+	h.mu.RLock()
+	sess := h.sessions[id]
+	if sess != nil {
+		// Fast path: existing session, shared lock only.
+		err := h.enqueue(sess, s)
+		h.mu.RUnlock()
+		return err
+	}
+	closed := h.closed
+	h.mu.RUnlock()
+	if closed {
+		return ErrHubClosed
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrHubClosed
+	}
+	sess = h.sessions[id]
+	if sess == nil {
+		if h.cfg.MaxSessions > 0 && len(h.sessions) >= h.cfg.MaxSessions {
+			if !h.evictIdlestLocked() {
+				h.mu.Unlock()
+				return fmt.Errorf("%w (%d live)", ErrSessionLimit, h.cfg.MaxSessions)
+			}
+		}
+		sess = h.startSessionLocked(id)
+	}
+	err := h.enqueue(sess, s)
+	h.mu.Unlock()
+	return err
+}
+
+// enqueue performs the non-blocking queue send. Callers hold the hub
+// lock (read or write), which is what makes the send race-free against
+// Close/evict closing the channel: closers hold the write lock.
+func (h *Hub) enqueue(sess *session, s trace.Sample) error {
+	sess.touch(h.cfg.now())
+	select {
+	case sess.ch <- s:
+		return nil
+	default:
+		h.cfg.Hooks.SessionSamplesDropped(1)
+		return fmt.Errorf("%w: session %q", ErrQueueFull, sess.id)
+	}
+}
+
+// startSessionLocked creates the session and its draining goroutine.
+func (h *Hub) startSessionLocked(id string) *session {
+	sess := &session{
+		id:       id,
+		ch:       make(chan trace.Sample, h.cfg.QueueSize),
+		done:     make(chan struct{}),
+		lastSeen: h.cfg.now(),
+	}
+	h.sessions[id] = sess
+	h.cfg.Hooks.SessionOpened()
+	h.wg.Add(1)
+	go h.run(sess)
+	return sess
+}
+
+// run drains one session until its queue is closed, then flushes.
+func (h *Hub) run(sess *session) {
+	defer h.wg.Done()
+	defer close(sess.done)
+	tk, err := stream.New(h.cfg.Stream)
+	if err != nil {
+		// NewHub validated the identical configuration.
+		panic("engine: session tracker construction failed after validation: " + err.Error())
+	}
+	emit := h.cfg.OnEvent
+	for s := range sess.ch {
+		evs := tk.Push(s)
+		if emit != nil {
+			for _, ev := range evs {
+				emit(sess.id, ev)
+			}
+		}
+	}
+	if evs := tk.Flush(); emit != nil {
+		for _, ev := range evs {
+			emit(sess.id, ev)
+		}
+	}
+	h.cfg.Hooks.SessionClosed()
+}
+
+// removeLocked detaches a session and closes its queue; the session
+// goroutine then flushes and exits. Callers hold the write lock.
+func (h *Hub) removeLocked(sess *session) {
+	delete(h.sessions, sess.id)
+	close(sess.ch)
+}
+
+// evictIdlestLocked evicts the longest-idle session. It reports false
+// when there is none to evict.
+func (h *Hub) evictIdlestLocked() bool {
+	var victim *session
+	var oldest time.Time
+	for _, s := range h.sessions {
+		if t := s.seen(); victim == nil || t.Before(oldest) {
+			victim, oldest = s, t
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	h.removeLocked(victim)
+	return true
+}
+
+// janitor periodically evicts sessions idle for longer than IdleTimeout.
+func (h *Hub) janitor(interval time.Duration) {
+	defer h.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.janitorStop:
+			return
+		case <-t.C:
+			h.evictIdle()
+		}
+	}
+}
+
+func (h *Hub) evictIdle() {
+	deadline := h.cfg.now().Add(-h.cfg.IdleTimeout)
+	h.mu.Lock()
+	for _, s := range h.sessions {
+		if s.seen().Before(deadline) {
+			h.removeLocked(s)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// End flushes and removes one session, waiting for its trailing events
+// to be delivered. Ending an unknown session is a no-op.
+func (h *Hub) End(id string) {
+	h.mu.Lock()
+	sess := h.sessions[id]
+	if sess != nil {
+		h.removeLocked(sess)
+	}
+	h.mu.Unlock()
+	if sess != nil {
+		<-sess.done
+	}
+}
+
+// Len returns the number of live sessions.
+func (h *Hub) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.sessions)
+}
+
+// Close flushes and stops every session and the janitor. Pushes after
+// Close fail with ErrHubClosed. Close blocks until all trailing events
+// have been delivered.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for _, s := range h.sessions {
+		h.removeLocked(s)
+	}
+	h.mu.Unlock()
+	close(h.janitorStop)
+	h.wg.Wait()
+}

@@ -6,11 +6,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
+	"ptrack/internal/core"
 	"ptrack/internal/dsp"
+	"ptrack/internal/engine"
 	"ptrack/internal/gaitsim"
 	"ptrack/internal/trace"
 )
@@ -23,6 +26,9 @@ type Options struct {
 	// DurationScale scales the per-trial durations (1 = paper-like).
 	// Benchmarks may lower it for speed. Default 1.
 	DurationScale float64
+	// Workers bounds the batch-engine parallelism used by the trial
+	// loops. Default 0: GOMAXPROCS.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +84,25 @@ func mustSimulate(p gaitsim.Profile, cfg gaitsim.Config, script []gaitsim.Segmen
 
 func mustActivity(p gaitsim.Profile, cfg gaitsim.Config, a trace.Activity, duration float64) *trace.Recording {
 	return mustSimulate(p, cfg, []gaitsim.Segment{{Activity: a, Duration: duration}})
+}
+
+// processAll fans the traces across the batch engine (Workers-bounded
+// parallelism) and returns results in input order. Experiment inputs
+// are simulator outputs, so per-trace failures are programming errors
+// and panic, matching mustSimulate.
+func processAll(opt Options, traces []*trace.Trace, cfg core.Config) []*core.Result {
+	items, err := engine.BatchProcess(context.Background(), traces, opt.Workers, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("eval: batch: %v", err))
+	}
+	out := make([]*core.Result, len(items))
+	for i, it := range items {
+		if it.Err != nil {
+			panic(fmt.Sprintf("eval: trace %d: %v", i, it.Err))
+		}
+		out[i] = it.Result
+	}
+	return out
 }
 
 // Table is a rendered experiment result.

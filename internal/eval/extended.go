@@ -31,19 +31,19 @@ func SurfaceSweep(opt Options) (*Table, *SurfaceSweepResult) {
 	}
 	profiles := Profiles(opt.Users, opt.Seed)
 	for _, rough := range []float64{0, 0.2, 0.4, 0.6} {
-		var ptkAcc, gfitAcc float64
+		traces := make([]*trace.Trace, len(profiles))
+		truths := make([]int, len(profiles))
 		for ui, p := range profiles {
 			cfg := simCfg(opt.Seed + int64(9500+ui))
 			cfg.SurfaceRoughness = rough
 			rec := mustActivity(p, cfg, trace.ActivityWalking, duration)
-			truth := rec.Truth.StepCount()
-
-			out, err := core.Process(rec.Trace, core.Config{})
-			if err != nil {
-				panic(fmt.Sprintf("eval: %v", err))
-			}
-			ptkAcc += stepAccuracy(out.Steps, truth)
-			gfitAcc += stepAccuracy(gfitCount(rec.Trace), truth)
+			traces[ui] = rec.Trace
+			truths[ui] = rec.Truth.StepCount()
+		}
+		var ptkAcc, gfitAcc float64
+		for ui, out := range processAll(opt, traces, core.Config{}) {
+			ptkAcc += stepAccuracy(out.Steps, truths[ui])
+			gfitAcc += stepAccuracy(gfitCount(traces[ui]), truths[ui])
 		}
 		n := float64(len(profiles))
 		res.Roughness = append(res.Roughness, rough)

@@ -1,7 +1,6 @@
 package eval
 
 import (
-	"fmt"
 	"math"
 
 	"ptrack/internal/core"
@@ -112,12 +111,11 @@ func Fig6bBreakdown(opt Options) (*Table, *Fig6bResult) {
 		script := scenarios(duration)[sc]
 		total := 0
 		counts := make(map[gaitid.Label]int)
+		traces := make([]*trace.Trace, len(profiles))
 		for ui, p := range profiles {
-			rec := mustSimulate(p, simCfg(opt.Seed+int64(3000+ui)), script)
-			out, err := core.Process(rec.Trace, core.Config{})
-			if err != nil {
-				panic(fmt.Sprintf("eval: %v", err))
-			}
+			traces[ui] = mustSimulate(p, simCfg(opt.Seed+int64(3000+ui)), script).Trace
+		}
+		for _, out := range processAll(opt, traces, core.Config{}) {
 			for l, n := range out.LabelCounts() {
 				counts[l] += n
 				total += n

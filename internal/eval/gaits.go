@@ -33,14 +33,16 @@ func GaitVariants(opt Options) (*Table, *GaitVariantsResult) {
 		Header: []string{"gait", "accuracy"},
 	}
 	for gi, g := range gaits {
-		var acc float64
+		traces := make([]*trace.Trace, len(profiles))
+		truths := make([]int, len(profiles))
 		for ui, p := range profiles {
 			rec := mustActivity(p, simCfg(opt.Seed+int64(9800+10*gi+ui)), g, duration)
-			out, err := core.Process(rec.Trace, core.Config{})
-			if err != nil {
-				panic(fmt.Sprintf("eval: %v", err))
-			}
-			acc += stepAccuracy(out.Steps, rec.Truth.StepCount())
+			traces[ui] = rec.Trace
+			truths[ui] = rec.Truth.StepCount()
+		}
+		var acc float64
+		for ui, out := range processAll(opt, traces, core.Config{}) {
+			acc += stepAccuracy(out.Steps, truths[ui])
 		}
 		res.Accuracy[g] = acc / float64(len(profiles))
 		tbl.Rows = append(tbl.Rows, []string{g.String(), f2(res.Accuracy[g])})

@@ -91,12 +91,23 @@ type Identifier struct {
 	consecutive int // consecutive stepping-qualifying cycles, not yet all credited
 	confirmed   bool
 	steps       int
+
+	// Smoothing scratch, reused across ClassifyWindow calls: one biquad
+	// (nil when the cutoff/rate pair is invalid — smoothing then degrades
+	// to a copy, matching dsp.FiltFilt) and the two filtered windows.
+	bq         *dsp.Biquad
+	vBuf, aBuf []float64
 }
 
 // NewIdentifier returns an identifier for signals at the given sample
 // rate.
 func NewIdentifier(cfg Config, sampleRate float64) *Identifier {
-	return &Identifier{cfg: cfg.withDefaults(), sampleRate: sampleRate}
+	cfg = cfg.withDefaults()
+	bq, err := dsp.NewLowPassBiquad(cfg.SmoothCutoffHz, sampleRate)
+	if err != nil {
+		bq = nil
+	}
+	return &Identifier{cfg: cfg, sampleRate: sampleRate, bq: bq}
 }
 
 // Steps returns the accumulated step count.
@@ -146,8 +157,11 @@ func (id *Identifier) ClassifyWindow(vertical, anterior []float64, margin int) C
 	if margin < 0 || 2*margin >= len(vertical)-4 {
 		margin = 0
 	}
-	v := dsp.FiltFilt(vertical, id.cfg.SmoothCutoffHz, id.sampleRate)
-	aFull := dsp.FiltFilt(anterior, id.cfg.SmoothCutoffHz, id.sampleRate)
+	// Smooth into the identifier's scratch: the filtered windows are fully
+	// consumed before the next ClassifyWindow call, so the buffers recycle.
+	id.vBuf = dsp.FiltFiltTo(id.vBuf, vertical, id.bq)
+	id.aBuf = dsp.FiltFiltTo(id.aBuf, anterior, id.bq)
+	v, aFull := id.vBuf, id.aBuf
 	a := aFull[margin : len(aFull)-margin]
 	vCore := v[margin : len(v)-margin]
 

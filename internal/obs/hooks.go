@@ -47,6 +47,9 @@ var (
 	OffsetBuckets  = []float64{0.005, 0.01, 0.02, 0.0325, 0.05, 0.08, 0.12, 0.2, 0.5}
 	CBuckets       = []float64{-2, -1, -0.5, -0.2, 0, 0.2, 0.5, 1, 2, 5}
 	LatencyBuckets = []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 5, 10}
+	// BatchBuckets resolve per-trace wall time in the batch engine: a 60 s
+	// trace costs ~1-2 ms, so the layout spans sub-millisecond to seconds.
+	BatchBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 5}
 )
 
 // Hooks is the instrumentation surface the batch (internal/core) and
@@ -67,6 +70,11 @@ type Hooks struct {
 	samplesDrop *Counter
 	bufferLen   *Gauge
 	latencyHist *Histogram
+
+	poolInflight   *Gauge
+	batchTraceHist *Histogram
+	sessionsActive *Gauge
+	sessionDrops   *Counter
 
 	logger *slog.Logger
 }
@@ -102,6 +110,14 @@ func NewHooks(reg *Registry) *Hooks {
 		"Current streaming-tracker sliding-window occupancy, in samples.")
 	h.latencyHist = reg.Histogram("ptrack_stream_event_latency_seconds",
 		"Delay from gait-cycle end to event emission.", LatencyBuckets)
+	h.poolInflight = reg.Gauge("ptrack_pool_inflight_traces",
+		"Traces currently being processed by batch-engine workers.")
+	h.batchTraceHist = reg.Histogram("ptrack_batch_trace_seconds",
+		"Per-trace wall time inside the batch engine.", BatchBuckets)
+	h.sessionsActive = reg.Gauge("ptrack_sessions_active",
+		"Streaming sessions currently held by session hubs.")
+	h.sessionDrops = reg.Counter("ptrack_session_dropped_samples_total",
+		"Samples rejected because a session's bounded queue was full.")
 	return h
 }
 
@@ -183,6 +199,53 @@ func (h *Hooks) SamplesDropped(n int) {
 		return
 	}
 	h.samplesDrop.Add(float64(n))
+}
+
+// PoolTraceStart marks one trace entering a batch-engine worker.
+func (h *Hooks) PoolTraceStart() {
+	if h == nil {
+		return
+	}
+	h.poolInflight.Add(1)
+}
+
+// PoolTraceDone marks one trace leaving a batch-engine worker, recording
+// its wall time.
+func (h *Hooks) PoolTraceDone(seconds float64) {
+	if h == nil {
+		return
+	}
+	h.poolInflight.Add(-1)
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.batchTraceHist.Observe(seconds)
+}
+
+// SessionOpened records one streaming session entering a hub.
+func (h *Hooks) SessionOpened() {
+	if h == nil {
+		return
+	}
+	h.sessionsActive.Add(1)
+}
+
+// SessionClosed records one streaming session leaving a hub (explicit
+// end or idle eviction).
+func (h *Hooks) SessionClosed() {
+	if h == nil {
+		return
+	}
+	h.sessionsActive.Add(-1)
+}
+
+// SessionSamplesDropped records n samples rejected by a full per-session
+// queue.
+func (h *Hooks) SessionSamplesDropped(n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.sessionDrops.Add(float64(n))
 }
 
 // EventEmitted records the cycle-end-to-emission latency of one

@@ -21,7 +21,32 @@ type Series struct {
 	Vertical   []float64
 	H1, H2     []float64
 
-	lastAxis vecmath.Vec3 // sign-stabilisation state across windows
+	lastAxis vecmath.Vec3   // sign-stabilisation state across windows
+	pts      []vecmath.Vec3 // ProjectWindow scratch, reused across windows
+}
+
+// Reset clears the per-trace state (sample rate, series, axis memory)
+// while keeping the backing arrays, so a Series can be recycled across
+// traces — e.g. through a sync.Pool — without re-allocating its buffers.
+func (s *Series) Reset() {
+	s.SampleRate = 0
+	s.Vertical = s.Vertical[:0]
+	s.H1 = s.H1[:0]
+	s.H2 = s.H2[:0]
+	s.lastAxis = vecmath.Vec3{}
+}
+
+// grow resizes the three channel buffers to n samples, reusing capacity.
+func (s *Series) grow(n int) {
+	if cap(s.Vertical) < n {
+		s.Vertical = make([]float64, n)
+		s.H1 = make([]float64, n)
+		s.H2 = make([]float64, n)
+		return
+	}
+	s.Vertical = s.Vertical[:n]
+	s.H1 = s.H1[:n]
+	s.H2 = s.H2[:n]
 }
 
 // Decompose runs the gravity estimator over the whole trace and returns
@@ -29,14 +54,21 @@ type Series struct {
 // first sample so short traces do not pay a start-up transient.
 func Decompose(tr *trace.Trace) *Series {
 	s := &Series{}
+	DecomposeInto(s, tr)
+	return s
+}
+
+// DecomposeInto is Decompose writing into an existing Series, recycling
+// its buffers. The Series is Reset first, so any per-trace state from a
+// previous use is discarded.
+func DecomposeInto(s *Series, tr *trace.Trace) {
+	s.Reset()
 	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
-		return s
+		return
 	}
 	s.SampleRate = tr.SampleRate
 	n := len(tr.Samples)
-	s.Vertical = make([]float64, n)
-	s.H1 = make([]float64, n)
-	s.H2 = make([]float64, n)
+	s.grow(n)
 
 	// The gravity cutoff must sit far below the gait band: the low-pass
 	// leaks a phase-lagged copy of the motion into the gravity estimate
@@ -66,7 +98,6 @@ func Decompose(tr *trace.Trace) *Series {
 		s.H1[i] = proj.H1
 		s.H2[i] = proj.H2
 	}
-	return s
 }
 
 // DecomposeFused is Decompose with the vertical channel extracted via
@@ -132,7 +163,12 @@ func (s *Series) ProjectWindow(start, end int) Window {
 	}
 	copy(w.Vertical, s.Vertical[start:end])
 
-	pts := make([]vecmath.Vec3, n)
+	// The point cloud is consumed entirely within this call, so one
+	// scratch buffer serves every window of the trace.
+	if cap(s.pts) < n {
+		s.pts = make([]vecmath.Vec3, n)
+	}
+	pts := s.pts[:n]
 	for i := 0; i < n; i++ {
 		pts[i] = vecmath.V3(s.H1[start+i], s.H2[start+i], 0)
 	}

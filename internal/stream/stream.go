@@ -43,6 +43,10 @@ type Config struct {
 	// MarginFraction is the classification context per side, as a fraction
 	// of the cycle length. Default 0.25.
 	MarginFraction float64
+	// AdaptiveDelta enables the adaptive offset threshold, mirroring
+	// core.Config.AdaptiveDelta: δ tracks the widest gap of the recent
+	// offset distribution instead of staying fixed.
+	AdaptiveDelta bool
 	// BufferS bounds the sliding window. Default 12 s; must comfortably
 	// exceed the longest cycle plus margins.
 	BufferS float64
@@ -66,12 +70,13 @@ func (c Config) withDefaults() Config {
 // Tracker is the online pipeline. Construct with New. Not safe for
 // concurrent use.
 type Tracker struct {
-	cfg     Config
-	segCfg  segment.Config
-	id      *gaitid.Identifier
-	est     *stride.Estimator // nil when no profile
-	grav    *imu.Projector
-	gravSet bool
+	cfg      Config
+	segCfg   segment.Config
+	id       *gaitid.Identifier
+	adaptive *gaitid.AdaptiveThreshold // nil unless cfg.AdaptiveDelta
+	est      *stride.Estimator         // nil when no profile
+	grav     *imu.Projector
+	gravSet  bool
 
 	// Sliding buffers, all indexed by absolute sample number minus base.
 	base     int // absolute index of buffer[0]
@@ -112,6 +117,9 @@ func New(cfg Config) (*Tracker, error) {
 		grav:     imu.NewProjector(0.04, cfg.SampleRate),
 		lastPeak: -1,
 	}
+	if cfg.AdaptiveDelta {
+		t.adaptive = gaitid.NewAdaptiveThreshold(0)
+	}
 	if cfg.Profile != nil {
 		est, err := stride.New(*cfg.Profile)
 		if err != nil {
@@ -124,6 +132,15 @@ func New(cfg Config) (*Tracker, error) {
 
 // Steps returns the running step count.
 func (t *Tracker) Steps() int { return t.id.Steps() }
+
+// Threshold returns the offset threshold δ currently in use — the fixed
+// configuration value, or the adaptive estimate when AdaptiveDelta is on.
+func (t *Tracker) Threshold() float64 {
+	if t.adaptive != nil {
+		return t.adaptive.Threshold()
+	}
+	return t.id.Threshold()
+}
 
 // Push consumes one sample and returns any events that became decidable.
 func (t *Tracker) Push(s trace.Sample) []Event {
@@ -313,7 +330,13 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 		return []Event{{T: endT, Label: gaitid.LabelInterference, TotalSteps: t.id.Steps()}}
 	}
 
+	if t.adaptive != nil {
+		t.id.SetThreshold(t.adaptive.Threshold())
+	}
 	cr := t.id.ClassifyWindow(vertical, anterior, margin)
+	if t.adaptive != nil && cr.OffsetOK {
+		t.adaptive.Observe(cr.Offset)
+	}
 	t.cfg.Hooks.Cycle(int(cr.Label), endT, cr.Offset, cr.C, cr.OffsetOK, cr.StepsAdded)
 	ev := Event{
 		T:          endT,

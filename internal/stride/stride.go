@@ -42,17 +42,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate reports whether the profile fields are usable.
+// Validate reports whether the profile fields are usable. A usable
+// field is positive AND finite — `<= 0` alone would wave NaN through
+// (NaN fails every comparison) and let it poison every stride estimate
+// downstream.
 func (c Config) Validate() error {
 	switch {
-	case c.ArmLength <= 0:
-		return fmt.Errorf("stride: arm length must be positive, got %v", c.ArmLength)
-	case c.LegLength <= 0:
-		return fmt.Errorf("stride: leg length must be positive, got %v", c.LegLength)
-	case c.K <= 0:
-		return fmt.Errorf("stride: calibration factor must be positive, got %v", c.K)
+	case !posFinite(c.ArmLength):
+		return fmt.Errorf("stride: arm length must be positive and finite, got %v", c.ArmLength)
+	case !posFinite(c.LegLength):
+		return fmt.Errorf("stride: leg length must be positive and finite, got %v", c.LegLength)
+	case !posFinite(c.K):
+		return fmt.Errorf("stride: calibration factor must be positive and finite, got %v", c.K)
 	}
 	return nil
+}
+
+func posFinite(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
 }
 
 // Step is one estimated step.

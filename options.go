@@ -1,0 +1,165 @@
+package ptrack
+
+import (
+	"fmt"
+	"time"
+
+	"ptrack/internal/core"
+	"ptrack/internal/gaitid"
+	"ptrack/internal/stream"
+	"ptrack/internal/stride"
+)
+
+// Profile is a user's stride-estimation profile: the arm length m of
+// Eqs. (3)-(5), the leg length l and calibration factor k of Eq. (2).
+type Profile struct {
+	ArmLength float64 // metres, shoulder to wrist
+	LegLength float64 // metres, hip to ground
+	K         float64 // Eq. (2) calibration factor
+}
+
+// options collects configuration shared by every construction path in
+// the package: batch (New), streaming (NewOnline), pooled batch
+// (NewPool/BatchProcess) and multiplexed streaming (NewSessionHub).
+type options struct {
+	profile         *Profile
+	offsetThreshold float64
+	confirmCount    int
+	marginFraction  float64
+	adaptiveDelta   bool
+	observer        *Observer
+
+	// Hub-only knobs (see NewSessionHub); ignored elsewhere.
+	queueSize   int
+	idleTimeout time.Duration
+	maxSessions int
+}
+
+// Option configures any of the package's trackers or engines.
+type Option func(*options)
+
+// WithProfile enables stride estimation with the given user profile.
+func WithProfile(armLength, legLength, k float64) Option {
+	return func(o *options) {
+		o.profile = &Profile{ArmLength: armLength, LegLength: legLength, K: k}
+	}
+}
+
+// WithTrainedProfile enables stride estimation with a profile returned by
+// TrainProfile.
+func WithTrainedProfile(p Profile) Option {
+	return func(o *options) { o.profile = &p }
+}
+
+// WithOffsetThreshold overrides the gait-identification threshold δ
+// (default 0.0325, the paper's empirical setting).
+func WithOffsetThreshold(delta float64) Option {
+	return func(o *options) { o.offsetThreshold = delta }
+}
+
+// WithConfirmCount overrides how many consecutive qualifying cycles
+// confirm stepping (default 3, Fig. 4).
+func WithConfirmCount(n int) Option {
+	return func(o *options) { o.confirmCount = n }
+}
+
+// WithMarginFraction overrides the classification context margin as a
+// fraction of the cycle length (default 0.25).
+func WithMarginFraction(f float64) Option {
+	return func(o *options) { o.marginFraction = f }
+}
+
+// WithSessionQueueSize bounds each hub session's pending-sample queue
+// (default 256); a full queue drops the pushed sample with
+// ErrSessionQueueFull instead of blocking. SessionHub only.
+func WithSessionQueueSize(n int) Option {
+	return func(o *options) { o.queueSize = n }
+}
+
+// WithIdleTimeout sets how long a hub session may go without a Push
+// before it is flushed and evicted (default 2 minutes; negative
+// disables eviction). SessionHub only.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) { o.idleTimeout = d }
+}
+
+// WithMaxSessions caps a hub's concurrently live sessions (default
+// unlimited). At the cap, a Push for a new session evicts the
+// longest-idle existing session, or fails with ErrSessionLimit if none
+// can be evicted. SessionHub only.
+func WithMaxSessions(n int) Option {
+	return func(o *options) { o.maxSessions = n }
+}
+
+// WithAdaptiveThreshold replaces the fixed δ with the adaptive threshold
+// (the paper's stated future work): δ follows the two-mode split of the
+// recent offset distribution, falling back to the paper value whenever
+// the history is not convincingly bimodal. Honoured by both the batch
+// and the streaming pipelines.
+func WithAdaptiveThreshold() Option {
+	return func(o *options) { o.adaptiveDelta = true }
+}
+
+// resolve applies the option list and validates everything that can be
+// checked without a trace — currently the profile. All constructors go
+// through here, so New, NewOnline, NewPool and NewSessionHub reject the
+// same bad inputs with the same sentinel (ErrInvalidProfile).
+func resolve(opts []Option) (options, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.profile != nil {
+		sc := o.strideConfig()
+		if err := sc.Validate(); err != nil {
+			return o, fmt.Errorf("ptrack: %w: %v", ErrInvalidProfile, err)
+		}
+	}
+	return o, nil
+}
+
+func (o *options) strideConfig() stride.Config {
+	return stride.Config{
+		ArmLength: o.profile.ArmLength,
+		LegLength: o.profile.LegLength,
+		K:         o.profile.K,
+	}
+}
+
+func (o *options) identifyConfig() gaitid.Config {
+	return gaitid.Config{
+		OffsetThreshold: o.offsetThreshold,
+		ConfirmCount:    o.confirmCount,
+	}
+}
+
+// coreConfig materialises the batch-pipeline configuration.
+func (o *options) coreConfig() core.Config {
+	cfg := core.Config{
+		Identify:       o.identifyConfig(),
+		MarginFraction: o.marginFraction,
+		AdaptiveDelta:  o.adaptiveDelta,
+		Hooks:          o.observer,
+	}
+	if o.profile != nil {
+		sc := o.strideConfig()
+		cfg.Profile = &sc
+	}
+	return cfg
+}
+
+// streamConfig materialises the streaming-pipeline configuration.
+func (o *options) streamConfig(sampleRate float64) stream.Config {
+	cfg := stream.Config{
+		SampleRate:     sampleRate,
+		Identify:       o.identifyConfig(),
+		MarginFraction: o.marginFraction,
+		AdaptiveDelta:  o.adaptiveDelta,
+		Hooks:          o.observer,
+	}
+	if o.profile != nil {
+		sc := o.strideConfig()
+		cfg.Profile = &sc
+	}
+	return cfg
+}

@@ -96,105 +96,35 @@ const (
 	LabelStepping     = gaitid.LabelStepping
 )
 
-// Profile is a user's stride-estimation profile: the arm length m of
-// Eqs. (3)-(5), the leg length l and calibration factor k of Eq. (2).
-type Profile struct {
-	ArmLength float64 // metres, shoulder to wrist
-	LegLength float64 // metres, hip to ground
-	K         float64 // Eq. (2) calibration factor
-}
-
-// options collects Tracker configuration.
-type options struct {
-	profile         *Profile
-	offsetThreshold float64
-	confirmCount    int
-	marginFraction  float64
-	adaptiveDelta   bool
-	observer        *Observer
-}
-
-// Option configures a Tracker.
-type Option func(*options)
-
-// WithProfile enables stride estimation with the given user profile.
-func WithProfile(armLength, legLength, k float64) Option {
-	return func(o *options) {
-		o.profile = &Profile{ArmLength: armLength, LegLength: legLength, K: k}
-	}
-}
-
-// WithTrainedProfile enables stride estimation with a profile returned by
-// TrainProfile.
-func WithTrainedProfile(p Profile) Option {
-	return func(o *options) { o.profile = &p }
-}
-
-// WithOffsetThreshold overrides the gait-identification threshold δ
-// (default 0.0325, the paper's empirical setting).
-func WithOffsetThreshold(delta float64) Option {
-	return func(o *options) { o.offsetThreshold = delta }
-}
-
-// WithConfirmCount overrides how many consecutive qualifying cycles
-// confirm stepping (default 3, Fig. 4).
-func WithConfirmCount(n int) Option {
-	return func(o *options) { o.confirmCount = n }
-}
-
-// WithMarginFraction overrides the classification context margin as a
-// fraction of the cycle length (default 0.25).
-func WithMarginFraction(f float64) Option {
-	return func(o *options) { o.marginFraction = f }
-}
-
-// WithAdaptiveThreshold replaces the fixed δ with the adaptive threshold
-// (the paper's stated future work): δ follows the two-mode split of the
-// recent offset distribution, falling back to the paper value whenever
-// the history is not convincingly bimodal.
-func WithAdaptiveThreshold() Option {
-	return func(o *options) { o.adaptiveDelta = true }
-}
-
 // Tracker is the PTrack pipeline. Construct with New; safe to reuse
-// across traces, not safe for concurrent use.
+// across traces, not safe for concurrent use. For many traces at once,
+// see BatchProcess / NewPool.
 type Tracker struct {
-	cfg core.Config
+	pl *core.Pipeline
 }
 
 // New builds a Tracker. Without WithProfile it counts steps only.
+// Configuration errors wrap the package sentinels (ErrInvalidProfile).
 func New(opts ...Option) (*Tracker, error) {
-	var o options
-	for _, opt := range opts {
-		opt(&o)
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
 	}
-	cfg := core.Config{
-		Identify: gaitid.Config{
-			OffsetThreshold: o.offsetThreshold,
-			ConfirmCount:    o.confirmCount,
-		},
-		MarginFraction: o.marginFraction,
-		AdaptiveDelta:  o.adaptiveDelta,
-		Hooks:          o.observer,
+	pl, err := core.NewPipeline(o.coreConfig())
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
 	}
-	if o.profile != nil {
-		sc := stride.Config{
-			ArmLength: o.profile.ArmLength,
-			LegLength: o.profile.LegLength,
-			K:         o.profile.K,
-		}
-		if err := sc.Validate(); err != nil {
-			return nil, fmt.Errorf("ptrack: %w", err)
-		}
-		cfg.Profile = &sc
-	}
-	return &Tracker{cfg: cfg}, nil
+	return &Tracker{pl: pl}, nil
 }
 
 // Process runs the pipeline over a trace, returning steps, per-step
 // strides (when a profile is configured) and per-cycle diagnostics.
+// Trace errors wrap ErrEmptyTrace or ErrInvalidSampleRate.
 func (t *Tracker) Process(tr *Trace) (*Result, error) {
-	res, err := core.Process(tr, t.cfg)
+	if err := validTrace(tr); err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	res, err := t.pl.Process(tr)
 	if err != nil {
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}
@@ -256,29 +186,18 @@ type Online struct {
 }
 
 // NewOnline builds a streaming tracker for samples at the given rate,
-// accepting the same options as New.
+// accepting the same options as New — including WithAdaptiveThreshold,
+// which makes δ track the recent offset distribution online.
+// Configuration errors wrap ErrInvalidProfile / ErrInvalidSampleRate.
 func NewOnline(sampleRate float64, opts ...Option) (*Online, error) {
-	var o options
-	for _, opt := range opts {
-		opt(&o)
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
 	}
-	cfg := stream.Config{
-		SampleRate: sampleRate,
-		Identify: gaitid.Config{
-			OffsetThreshold: o.offsetThreshold,
-			ConfirmCount:    o.confirmCount,
-		},
-		MarginFraction: o.marginFraction,
-		Hooks:          o.observer,
+	if err := validSampleRate(sampleRate); err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
 	}
-	if o.profile != nil {
-		cfg.Profile = &stride.Config{
-			ArmLength: o.profile.ArmLength,
-			LegLength: o.profile.LegLength,
-			K:         o.profile.K,
-		}
-	}
-	tk, err := stream.New(cfg)
+	tk, err := stream.New(o.streamConfig(sampleRate))
 	if err != nil {
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}

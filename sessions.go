@@ -1,0 +1,70 @@
+package ptrack
+
+import (
+	"fmt"
+
+	"ptrack/internal/engine"
+)
+
+// SessionHub multiplexes many concurrent online streams, keyed by
+// session ID — the "many users, one service" deployment shape. Each
+// session runs its own streaming tracker behind a bounded queue, so
+// Push never blocks on pipeline work and pushes to distinct sessions
+// proceed in parallel. Sessions idle past the hub's timeout are flushed
+// and evicted. Safe for concurrent use; construct with NewSessionHub
+// and Close when done.
+type SessionHub struct {
+	hub *engine.Hub
+}
+
+// NewSessionHub builds a hub for streams sampled at sampleRate. onEvent
+// receives every classification event tagged with its session ID; it is
+// called from per-session goroutines and must be safe for concurrent
+// use (nil discards events). The options are those of NewOnline plus
+// the hub knobs (WithSessionQueueSize, WithIdleTimeout,
+// WithMaxSessions). Configuration errors wrap ErrInvalidProfile /
+// ErrInvalidSampleRate.
+func NewSessionHub(sampleRate float64, onEvent func(session string, ev Event), opts ...Option) (*SessionHub, error) {
+	o, err := resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := validSampleRate(sampleRate); err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	hub, err := engine.NewHub(engine.HubConfig{
+		Stream:      o.streamConfig(sampleRate),
+		QueueSize:   o.queueSize,
+		IdleTimeout: o.idleTimeout,
+		MaxSessions: o.maxSessions,
+		OnEvent:     onEvent,
+		Hooks:       o.observer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return &SessionHub{hub: hub}, nil
+}
+
+// Push routes one sample to the given session, creating the session on
+// first use. It never blocks on pipeline work: a full session queue
+// drops the sample and returns an error wrapping ErrSessionQueueFull.
+// Other failure modes wrap ErrHubClosed and ErrSessionLimit.
+func (h *SessionHub) Push(session string, s Sample) error {
+	if err := h.hub.Push(session, s); err != nil {
+		return fmt.Errorf("ptrack: %w", err)
+	}
+	return nil
+}
+
+// End flushes and removes one session, blocking until its trailing
+// events have been delivered. Ending an unknown session is a no-op.
+func (h *SessionHub) End(session string) { h.hub.End(session) }
+
+// ActiveSessions returns the number of live sessions.
+func (h *SessionHub) ActiveSessions() int { return h.hub.Len() }
+
+// Close flushes and stops every session. Pushes after Close fail with
+// ErrHubClosed. Close blocks until all trailing events are delivered;
+// it is idempotent.
+func (h *SessionHub) Close() { h.hub.Close() }
