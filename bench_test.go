@@ -430,11 +430,29 @@ func BenchmarkBatchProcess(b *testing.B) {
 
 // BenchmarkOnlineTracker measures the streaming pipeline's per-sample cost.
 func BenchmarkOnlineTracker(b *testing.B) {
+	benchOnlineTracker(b, 60)
+}
+
+// BenchmarkOnlineTrackerScaling runs the tracker over increasing trace
+// lengths. With the incremental front end the ns/sample metric must stay
+// flat: per-sample work is bounded by the filter settle length and the
+// compacted buffer, not the stream duration (cmd/benchjson -flat-within
+// enforces this from the emitted JSON).
+func BenchmarkOnlineTrackerScaling(b *testing.B) {
+	for _, seconds := range []float64{60, 120, 240} {
+		b.Run(fmtInt("s", int(seconds)), func(b *testing.B) {
+			benchOnlineTracker(b, seconds)
+		})
+	}
+}
+
+func benchOnlineTracker(b *testing.B, seconds float64) {
 	user := gaitsim.DefaultProfile()
-	rec, err := gaitsim.SimulateActivity(user, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	rec, err := gaitsim.SimulateActivity(user, gaitsim.DefaultConfig(), trace.ActivityWalking, seconds)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tk, err := stream.New(stream.Config{SampleRate: rec.Trace.SampleRate})
@@ -446,7 +464,9 @@ func BenchmarkOnlineTracker(b *testing.B) {
 		}
 		tk.Flush()
 	}
-	b.ReportMetric(float64(len(rec.Trace.Samples)), "samples/op")
+	samples := len(rec.Trace.Samples)
+	b.ReportMetric(float64(samples), "samples/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*samples), "ns/sample")
 }
 
 func BenchmarkFFT1024(b *testing.B) {

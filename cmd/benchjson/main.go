@@ -1,0 +1,205 @@
+// Command benchjson parses `go test -bench` output into a JSON report and
+// optionally enforces performance ceilings, exiting non-zero when a
+// benchmark breaks one. It is the machine-readable half of `make
+// bench-guard`: the JSON snapshot (BENCH_stream.json) records the numbers
+// a commit was gated on, and the flags are the gate.
+//
+// Usage:
+//
+//	go test . -run NONE -bench BenchmarkOnlineTracker -benchmem | \
+//	    benchjson -out BENCH_stream.json \
+//	    -max-ns-per-sample 664 -max-allocs-per-sample 0.75 -flat-within 0.20
+//
+// Ceilings:
+//
+//	-max-ns-per-sample N    every benchmark reporting an ns/sample metric
+//	                        must stay at or below N.
+//	-max-allocs-per-sample N  allocs/op divided by samples/op must stay at
+//	                        or below N (normalises per-op allocation counts
+//	                        across trace lengths).
+//	-flat-within F          across all benchmarks reporting ns/sample, the
+//	                        spread (max-min)/min must stay at or below F —
+//	                        the flat-scaling check for the incremental
+//	                        front end (requires at least two such
+//	                        benchmarks).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op", "ns/sample"
+}
+
+// Report is the JSON document benchjson emits.
+type Report struct {
+	Package    string      `json:"package,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Ceilings records the gate the run was checked against, so the
+	// committed snapshot documents its own acceptance criteria.
+	Ceilings map[string]float64 `json:"ceilings,omitempty"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out            = fs.String("out", "", "write the JSON report to this file (default stdout)")
+		maxNsPerSample = fs.Float64("max-ns-per-sample", 0, "ceiling on the ns/sample metric (0 disables)")
+		maxAllocsPerSm = fs.Float64("max-allocs-per-sample", 0, "ceiling on allocs/op ÷ samples/op (0 disables)")
+		flatWithin     = fs.Float64("flat-within", 0, "max relative ns/sample spread across benchmarks (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+
+	report.Ceilings = map[string]float64{}
+	if *maxNsPerSample > 0 {
+		report.Ceilings["max-ns-per-sample"] = *maxNsPerSample
+	}
+	if *maxAllocsPerSm > 0 {
+		report.Ceilings["max-allocs-per-sample"] = *maxAllocsPerSm
+	}
+	if *flatWithin > 0 {
+		report.Ceilings["flat-within"] = *flatWithin
+	}
+	if len(report.Ceilings) == 0 {
+		report.Ceilings = nil
+	}
+
+	// Write the report before enforcing: a failing gate should still leave
+	// the numbers it failed on behind for inspection.
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+	} else {
+		stdout.Write(buf)
+	}
+
+	return enforce(report, *maxNsPerSample, *maxAllocsPerSm, *flatWithin)
+}
+
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			report.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       fields[0],
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+func enforce(report *Report, maxNsPerSample, maxAllocsPerSample, flatWithin float64) error {
+	var failures []string
+	sampleMin, sampleMax := 0.0, 0.0
+	nSampled := 0
+	for _, b := range report.Benchmarks {
+		ns, hasNs := b.Metrics["ns/sample"]
+		if hasNs {
+			if nSampled == 0 || ns < sampleMin {
+				sampleMin = ns
+			}
+			if nSampled == 0 || ns > sampleMax {
+				sampleMax = ns
+			}
+			nSampled++
+			if maxNsPerSample > 0 && ns > maxNsPerSample {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f ns/sample exceeds ceiling %.1f", b.Name, ns, maxNsPerSample))
+			}
+		}
+		allocs, hasAllocs := b.Metrics["allocs/op"]
+		samples, hasSamples := b.Metrics["samples/op"]
+		if maxAllocsPerSample > 0 && hasAllocs && hasSamples && samples > 0 {
+			if per := allocs / samples; per > maxAllocsPerSample {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.3f allocs/sample exceeds ceiling %.3f", b.Name, per, maxAllocsPerSample))
+			}
+		}
+	}
+	if flatWithin > 0 {
+		if nSampled < 2 {
+			failures = append(failures, fmt.Sprintf(
+				"flat-within needs >=2 benchmarks reporting ns/sample, got %d", nSampled))
+		} else if spread := (sampleMax - sampleMin) / sampleMin; spread > flatWithin {
+			failures = append(failures, fmt.Sprintf(
+				"ns/sample spread %.1f%% (%.1f..%.1f) exceeds flat-within %.1f%%",
+				100*spread, sampleMin, sampleMax, 100*flatWithin))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance ceilings violated:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

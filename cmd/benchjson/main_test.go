@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ptrack
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkOnlineTracker 	    1173	   3078340 ns/op	       513.1 ns/sample	      6000 samples/op	  616660 B/op	    2265 allocs/op
+BenchmarkOnlineTrackerScaling/s=60 	     782	   3057984 ns/op	       509.7 ns/sample	      6000 samples/op	  616660 B/op	    2265 allocs/op
+BenchmarkOnlineTrackerScaling/s=240 	     202	  11836642 ns/op	       493.2 ns/sample	     24000 samples/op	 1337314 B/op	    8765 allocs/op
+PASS
+ok  	ptrack	9.408s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Package != "ptrack" {
+		t.Errorf("package = %q", report.Package)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkOnlineTracker" || b.Iterations != 1173 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/sample"] != 513.1 || b.Metrics["allocs/op"] != 2265 {
+		t.Errorf("metrics = %+v", b.Metrics)
+	}
+}
+
+func TestEnforcePasses(t *testing.T) {
+	report, _ := parse(strings.NewReader(sampleOutput))
+	if err := enforce(report, 664, 0.75, 0.20); err != nil {
+		t.Errorf("ceilings should pass: %v", err)
+	}
+}
+
+func TestEnforceCatchesViolations(t *testing.T) {
+	report, _ := parse(strings.NewReader(sampleOutput))
+	cases := []struct {
+		name             string
+		ns, allocs, flat float64
+		wantFragment     string
+	}{
+		{"ns-per-sample", 500, 0, 0, "ns/sample exceeds"},
+		{"allocs-per-sample", 0, 0.3, 0, "allocs/sample exceeds"},
+		{"flat-within", 0, 0, 0.01, "spread"},
+	}
+	for _, c := range cases {
+		err := enforce(report, c.ns, c.allocs, c.flat)
+		if err == nil || !strings.Contains(err.Error(), c.wantFragment) {
+			t.Errorf("%s: err = %v, want fragment %q", c.name, err, c.wantFragment)
+		}
+	}
+}
+
+func TestEnforceFlatNeedsTwo(t *testing.T) {
+	report, _ := parse(strings.NewReader(`BenchmarkX 	 10	 100 ns/op	 5.0 ns/sample
+`))
+	if err := enforce(report, 0, 0, 0.2); err == nil {
+		t.Error("flat-within with one benchmark should fail")
+	}
+}

@@ -81,7 +81,9 @@ func CountStepsZeroCross(tr *trace.Trace) int {
 // firstPeakLag returns the smallest lag in [minLag, maxLag] at which the
 // autocorrelation has a local maximum above threshold — the fundamental
 // step period, rather than the (stronger) full gait-cycle repetition a
-// global argmax would find.
+// global argmax would find. The sweep evaluates consecutive lags, so it
+// runs on a prefix-moment kernel instead of re-deriving the Pearson
+// moments from scratch at every lag.
 func firstPeakLag(x []float64, minLag, maxLag int, threshold float64) int {
 	if minLag < 1 {
 		minLag = 1
@@ -89,10 +91,16 @@ func firstPeakLag(x []float64, minLag, maxLag int, threshold float64) int {
 	if maxLag >= len(x) {
 		maxLag = len(x) - 1
 	}
-	prev := dsp.AutoCorrAt(x, minLag-1)
-	cur := dsp.AutoCorrAt(x, minLag)
+	var k dsp.LagCorrelator
+	k.ResetAuto(x)
+	at := func(lag int) float64 {
+		c, _ := k.At(lag) // invalid overlap reads as 0, like AutoCorrAt
+		return c
+	}
+	prev := at(minLag - 1)
+	cur := at(minLag)
 	for lag := minLag; lag < maxLag; lag++ {
-		next := dsp.AutoCorrAt(x, lag+1)
+		next := at(lag + 1)
 		if cur >= threshold && cur >= prev && cur > next {
 			return lag
 		}

@@ -213,10 +213,15 @@ func features(tr *trace.Trace) []float64 {
 	magD := dsp.RemoveMean(mag)
 
 	domFreq := dsp.DominantFrequency(mag, tr.SampleRate, 0.3, 6)
-	lag := dsp.DominantLag(magD, int(0.2*tr.SampleRate), int(1.5*tr.SampleRate), 0.2)
+	// One kernel serves both the dominant-lag sweep and the periodicity
+	// readout at the winning lag, instead of sweeping the lags naively and
+	// then recomputing the correlation a second time.
+	var k dsp.LagCorrelator
+	k.ResetAuto(magD)
+	lag := k.DominantLag(int(0.2*tr.SampleRate), int(1.5*tr.SampleRate), 0.2)
 	periodicity := 0.0
 	if lag > 0 {
-		periodicity = dsp.AutoCorrAt(magD, lag)
+		periodicity, _ = k.At(lag)
 	}
 	zc := float64(len(dsp.ZeroCrossings(magD))) / math.Max(1, float64(n))
 

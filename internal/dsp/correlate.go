@@ -53,31 +53,20 @@ func HalfCycleCorrelation(cycle []float64) float64 {
 // that maximises the normalised cross-correlation between a and b, together
 // with that correlation value. Positive lag means b is delayed relative to
 // a. It returns (0, 0) when no valid lag exists.
+//
+// The sweep runs on a LagCorrelator (prefix-sum moments, one pass per lag
+// for the dot product). Hot paths that sweep lags repeatedly should hold
+// their own LagCorrelator to also amortise its scratch.
 func CrossCorrBestLag(a, b []float64, maxLag int) (bestLag int, bestCorr float64) {
-	if maxLag < 0 {
-		maxLag = -maxLag
-	}
-	bestCorr = math.Inf(-1)
-	found := false
-	for lag := -maxLag; lag <= maxLag; lag++ {
-		c, ok := crossCorrAt(a, b, lag)
-		if !ok {
-			continue
-		}
-		if c > bestCorr {
-			bestCorr = c
-			bestLag = lag
-			found = true
-		}
-	}
-	if !found {
-		return 0, 0
-	}
-	return bestLag, bestCorr
+	var k LagCorrelator
+	k.Reset(a, b)
+	return k.BestLag(maxLag)
 }
 
 // crossCorrAt computes the normalised correlation of a[i] with b[i+lag]
-// over their overlap.
+// over their overlap. It is the naive per-lag evaluation the rollstat
+// kernels replace; it stays as the reference implementation their
+// equivalence tests compare against.
 func crossCorrAt(a, b []float64, lag int) (float64, bool) {
 	var as, bs []float64
 	if lag >= 0 {
@@ -105,21 +94,11 @@ func crossCorrAt(a, b []float64, lag int) (float64, bool) {
 
 // DominantLag estimates the fundamental period of x in samples by locating
 // the first prominent peak of the auto-correlation between minLag and
-// maxLag. It returns 0 when no peak exceeds threshold.
+// maxLag. It returns 0 when no peak exceeds threshold. The lag sweep runs
+// on a LagCorrelator; callers that also need the correlation value at the
+// winning lag should use a LagCorrelator directly.
 func DominantLag(x []float64, minLag, maxLag int, threshold float64) int {
-	if minLag < 1 {
-		minLag = 1
-	}
-	if maxLag >= len(x) {
-		maxLag = len(x) - 1
-	}
-	bestLag, bestVal := 0, threshold
-	for lag := minLag; lag <= maxLag; lag++ {
-		v := AutoCorrAt(x, lag)
-		if v > bestVal {
-			bestVal = v
-			bestLag = lag
-		}
-	}
-	return bestLag
+	var k LagCorrelator
+	k.ResetAuto(x)
+	return k.DominantLag(minLag, maxLag, threshold)
 }

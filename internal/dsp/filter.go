@@ -85,6 +85,35 @@ func (f *Biquad) Process(x float64) float64 {
 // Reset clears the filter state.
 func (f *Biquad) Reset() { f.x1, f.x2, f.y1, f.y2 = 0, 0, 0, 0 }
 
+// Seed sets the filter state to the steady-state response to the constant
+// input v — the priming Apply uses to suppress start-up transients. A
+// unity-DC-gain low-pass settled on v outputs v, so all four state
+// variables are v.
+func (f *Biquad) Seed(v float64) { f.x1, f.x2, f.y1, f.y2 = v, v, v, v }
+
+// SettleLen returns how many samples it takes the filter's transient
+// response to decay by the factor tol (e.g. 1e-24): past that many
+// samples, two runs of the recursion that started from different states
+// agree to better than tol relative. Streaming zero-phase filtering uses
+// this to bound how far an anti-causal (backward) pass must extend past
+// the region whose values it needs exact. It returns 0 for an unstable or
+// degenerate filter (no useful bound).
+func (f *Biquad) SettleLen(tol float64) int {
+	// The transient decays like r^n with r the largest pole magnitude of
+	// z² + a1·z + a2.
+	var r float64
+	if d := f.a1*f.a1 - 4*f.a2; d < 0 {
+		r = math.Sqrt(f.a2) // complex-conjugate pair: |p|² = a2
+	} else {
+		s := math.Sqrt(d)
+		r = math.Max(math.Abs(-f.a1+s), math.Abs(-f.a1-s)) / 2
+	}
+	if !(r > 0) || r >= 1 || !(tol > 0) || tol >= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log(tol) / math.Log(r)))
+}
+
 // Apply filters a whole slice, returning a new slice. The filter state is
 // reset first, and primed with the first sample to suppress the start-up
 // transient on signals with a non-zero baseline.
@@ -92,9 +121,7 @@ func (f *Biquad) Apply(x []float64) []float64 {
 	if len(x) == 0 {
 		return nil
 	}
-	f.Reset()
-	f.x1, f.x2 = x[0], x[0]
-	f.y1, f.y2 = x[0], x[0]
+	f.Seed(x[0])
 	out := make([]float64, len(x))
 	for i, v := range x {
 		out[i] = f.Process(v)
@@ -115,11 +142,35 @@ func (f *Biquad) ApplyTo(dst, x []float64) []float64 {
 		dst = make([]float64, len(x))
 	}
 	dst = dst[:len(x)]
-	f.Reset()
-	f.x1, f.x2 = x[0], x[0]
-	f.y1, f.y2 = x[0], x[0]
+	f.Seed(x[0])
 	for i, v := range x {
 		dst[i] = f.Process(v)
+	}
+	return dst
+}
+
+// ApplyBackwardTo runs the filter anti-causally over x — processing the
+// samples from the last to the first, primed with the final sample — and
+// writes the response into dst aligned with x (dst[i] is the backward
+// response at x[i]). dst is grown as needed and returned; it may alias x.
+//
+// This is the backward half of FiltFilt restricted to a slice: because a
+// whole-series backward pass is seeded at the final sample and recurses
+// toward the front, running it over only the suffix x[k:] executes the
+// exact same operation sequence the full pass would, so the suffix values
+// are bitwise identical. Streaming zero-phase filters exploit this to
+// recompute just the undecided tail of a growing series.
+func (f *Biquad) ApplyBackwardTo(dst, x []float64) []float64 {
+	if len(x) == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	f.Seed(x[len(x)-1])
+	for i := len(x) - 1; i >= 0; i-- {
+		dst[i] = f.Process(x[i])
 	}
 	return dst
 }

@@ -233,3 +233,53 @@ func TestReverse(t *testing.T) {
 	Reverse([]float64{1, 2, 3})
 	Reverse(nil)
 }
+
+// TestBiquadSettleLen checks the claimed convergence bound: two
+// recursions over the same input started from different states must agree
+// bitwise once SettleLen samples have been consumed.
+func TestBiquadSettleLen(t *testing.T) {
+	f1, err := NewLowPassBiquad(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := NewLowPassBiquad(5, 100)
+	settle := f1.SettleLen(1e-24)
+	if settle <= 0 || settle > 2000 {
+		t.Fatalf("SettleLen = %d, want a usable positive bound", settle)
+	}
+	x := sine(settle+200, 2, 100, 1)
+	f1.Seed(x[0])
+	f2.Seed(x[0] + 50) // grossly wrong prime
+	var y1, y2 float64
+	for i, v := range x {
+		y1, y2 = f1.Process(v), f2.Process(v)
+		if i >= settle && y1 != y2 {
+			t.Fatalf("outputs differ at sample %d (settle %d): %v vs %v", i, settle, y1, y2)
+		}
+	}
+}
+
+func TestBiquadSettleLenDegenerate(t *testing.T) {
+	var f Biquad // zero value: a1 = a2 = 0, no transient memory
+	if got := f.SettleLen(1e-24); got != 0 {
+		t.Errorf("zero-value SettleLen = %d, want 0", got)
+	}
+	f2, _ := NewLowPassBiquad(5, 100)
+	if got := f2.SettleLen(0); got != 0 {
+		t.Errorf("tol=0 SettleLen = %d, want 0", got)
+	}
+}
+
+// TestBiquadSeedMatchesApplyPriming pins Seed to the priming Apply uses.
+func TestBiquadSeedMatchesApplyPriming(t *testing.T) {
+	x := sine(100, 3, 100, 1)
+	f1, _ := NewLowPassBiquad(5, 100)
+	want := f1.Apply(x)
+	f2, _ := NewLowPassBiquad(5, 100)
+	f2.Seed(x[0])
+	for i, v := range x {
+		if got := f2.Process(v); got != want[i] {
+			t.Fatalf("sample %d: Seed+Process = %v, Apply = %v", i, got, want[i])
+		}
+	}
+}

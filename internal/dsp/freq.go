@@ -35,8 +35,20 @@ func DominantFrequency(x []float64, sampleRateHz, minHz, maxHz float64) float64 
 	}
 	xm := RemoveMean(x)
 	df := sampleRateHz / float64(n)
+	// Iterate integer bin indices and derive f = k·df: a floating `f += df`
+	// accumulator drifts over many bins and can skip or duplicate the last
+	// band edge.
+	k0 := int(math.Ceil(minHz / df))
+	if k0 < 1 {
+		k0 = 1
+	}
+	k1 := int(math.Floor(maxHz / df))
 	bestF, bestP := 0.0, 0.0
-	for f := math.Max(df, minHz); f <= maxHz && f < sampleRateHz/2; f += df {
+	for k := k0; k <= k1; k++ {
+		f := float64(k) * df
+		if f >= sampleRateHz/2 {
+			break
+		}
 		p := Goertzel(xm, f, sampleRateHz)
 		if p > bestP {
 			bestP = p

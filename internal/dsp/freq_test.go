@@ -122,3 +122,38 @@ func TestDecimate(t *testing.T) {
 		t.Error("Decimate aliases input for k<=1")
 	}
 }
+
+// TestDominantFrequencyBandEdge locks the integer-bin iteration: a tone
+// sitting exactly on the last bin inside [minHz, maxHz] must be found.
+// The old floating accumulator (f += df) drifted over many bins and could
+// skip or duplicate the band edge.
+func TestDominantFrequencyBandEdge(t *testing.T) {
+	const fs = 100.0
+	n := 700 // df = 1/7 Hz: not exactly representable, accumulates drift
+	df := fs / float64(n)
+	k := 42 // tone on bin 42 = 6.0 Hz exactly at maxHz
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(k) * df * float64(i) / fs)
+	}
+	got := DominantFrequency(x, fs, 0.3, float64(k)*df)
+	if math.Abs(got-float64(k)*df) > df/2 {
+		t.Errorf("band-edge tone: got %v Hz, want %v Hz", got, float64(k)*df)
+	}
+}
+
+// TestDominantFrequencyBinsExact checks the scan evaluates exact bin
+// frequencies k·df rather than a drifting accumulator.
+func TestDominantFrequencyBinsExact(t *testing.T) {
+	const fs = 50.0
+	x := sine(300, 4, fs, 1)
+	got := DominantFrequency(x, fs, 0.5, 10)
+	df := fs / 300
+	k := math.Round(got / df)
+	if got != k*df {
+		t.Errorf("returned frequency %v is not an exact bin multiple of df=%v", got, df)
+	}
+	if math.Abs(got-4) > df {
+		t.Errorf("tone at 4 Hz found at %v Hz", got)
+	}
+}

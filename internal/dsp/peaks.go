@@ -10,7 +10,12 @@ type Extremum struct {
 // LocalExtrema finds all strict local maxima and minima of x. Plateaus are
 // reported once at their centre sample. The endpoints are never reported.
 func LocalExtrema(x []float64) []Extremum {
-	var out []Extremum
+	return appendLocalExtrema(nil, x)
+}
+
+// appendLocalExtrema is LocalExtrema appending into out, so hot loops can
+// recycle the slice.
+func appendLocalExtrema(out []Extremum, x []float64) []Extremum {
 	n := len(x)
 	if n < 3 {
 		return out
@@ -59,34 +64,164 @@ type PeakOptions struct {
 // ascending index order. It is the peak-detection stage shared by all step
 // counters in this repository (paper §II, "peak detection or its variants").
 func FindPeaks(x []float64, opts PeakOptions) []int {
-	ext := LocalExtrema(x)
-	var cands []Extremum
-	for _, e := range ext {
+	var pf PeakFinder
+	return pf.Find(x, opts)
+}
+
+// PeakFinder is FindPeaks with reusable scratch: a long-lived finder
+// re-scans windows allocation-free once its buffers have grown to the
+// working size. Results are identical to FindPeaks. The zero value is
+// ready. Not safe for concurrent use; the returned slice is valid until
+// the next Find call.
+type PeakFinder struct {
+	ext     []Extremum
+	cand    []int // candidate positions in ext
+	order   []int
+	removed []bool
+	out     []int
+}
+
+// Find returns the indices of local maxima of x that satisfy opts, in
+// ascending index order, reusing the finder's scratch.
+func (pf *PeakFinder) Find(x []float64, opts PeakOptions) []int {
+	pf.ext = appendLocalExtrema(pf.ext[:0], x)
+	pf.cand = pf.cand[:0]
+	for k, e := range pf.ext {
 		if !e.Max {
 			continue
 		}
 		if opts.HasMinHeight && e.Value < opts.MinHeight {
 			continue
 		}
-		cands = append(cands, e)
+		pf.cand = append(pf.cand, k)
 	}
 	if opts.MinProminence > 0 {
-		kept := cands[:0]
-		for _, e := range cands {
-			if prominence(x, e.Index) >= opts.MinProminence {
-				kept = append(kept, e)
+		kept := pf.cand[:0]
+		for _, k := range pf.cand {
+			if pf.prominenceAt(x, k) >= opts.MinProminence {
+				kept = append(kept, k)
 			}
 		}
-		cands = kept
+		pf.cand = kept
 	}
 	if opts.MinDistance > 0 {
-		cands = enforceMinDistance(cands, opts.MinDistance)
+		pf.cand = pf.enforceMinDistance(pf.cand, opts.MinDistance)
 	}
-	out := make([]int, len(cands))
-	for i, e := range cands {
-		out[i] = e.Index
+	if cap(pf.out) < len(pf.cand) {
+		pf.out = make([]int, len(pf.cand))
 	}
-	return out
+	pf.out = pf.out[:len(pf.cand)]
+	for i, k := range pf.cand {
+		pf.out[i] = pf.ext[k].Index
+	}
+	return pf.out
+}
+
+// prominenceAt computes the prominence of the maximum at ext[k] by walking
+// the extrema list instead of raw samples. Between consecutive extrema the
+// signal is monotone, so on each side the running minimum only updates at
+// minima, and the sample-level scan would stop (at a value strictly above
+// the peak) exactly inside the ascent to the first strictly higher
+// maximum. The unreported signal endpoints bound the outermost monotone
+// run, so they join the minimum only when the walk runs off the list and
+// they do not themselves exceed the peak. Identical to prominence(), in
+// O(extrema in basin) instead of O(samples in basin).
+func (pf *PeakFinder) prominenceAt(x []float64, k int) float64 {
+	h := pf.ext[k].Value
+	leftMin := h
+	stopped := false
+	for i := k - 1; i >= 0; i-- {
+		e := pf.ext[i]
+		if e.Max {
+			if e.Value > h {
+				stopped = true
+				break
+			}
+			continue
+		}
+		if e.Value < leftMin {
+			leftMin = e.Value
+		}
+	}
+	if !stopped {
+		if v := x[0]; v <= h && v < leftMin {
+			leftMin = v
+		}
+	}
+	rightMin := h
+	stopped = false
+	for i := k + 1; i < len(pf.ext); i++ {
+		e := pf.ext[i]
+		if e.Max {
+			if e.Value > h {
+				stopped = true
+				break
+			}
+			continue
+		}
+		if e.Value < rightMin {
+			rightMin = e.Value
+		}
+	}
+	if !stopped {
+		if v := x[len(x)-1]; v <= h && v < rightMin {
+			rightMin = v
+		}
+	}
+	base := leftMin
+	if rightMin > base {
+		base = rightMin
+	}
+	return h - base
+}
+
+// enforceMinDistance greedily keeps the tallest peaks, discarding any peak
+// within dist samples of an already-kept taller one (stable for ties),
+// filtering the candidate ext positions in place with recycled
+// order/removed scratch.
+func (pf *PeakFinder) enforceMinDistance(cand []int, dist int) []int {
+	if len(cand) == 0 {
+		return cand
+	}
+	if cap(pf.order) < len(cand) {
+		pf.order = make([]int, len(cand))
+		pf.removed = make([]bool, len(cand))
+	}
+	order := pf.order[:len(cand)]
+	removed := pf.removed[:len(cand)]
+	for i := range order {
+		order[i] = i
+		removed[i] = false
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && pf.ext[cand[order[j]]].Value > pf.ext[cand[order[j-1]]].Value; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, i := range order {
+		if removed[i] {
+			continue
+		}
+		for j := range cand {
+			if j == i || removed[j] {
+				continue
+			}
+			d := pf.ext[cand[j]].Index - pf.ext[cand[i]].Index
+			if d < 0 {
+				d = -d
+			}
+			if d < dist {
+				removed[j] = true
+			}
+		}
+	}
+	kept := cand[:0]
+	for i, k := range cand {
+		if !removed[i] {
+			kept = append(kept, k)
+		}
+	}
+	return kept
 }
 
 // prominence computes a peak's prominence: its height above the higher of
@@ -117,49 +252,6 @@ func prominence(x []float64, peak int) float64 {
 		base = rightMin
 	}
 	return h - base
-}
-
-// enforceMinDistance greedily keeps the tallest peaks, discarding any peak
-// within dist samples of an already-kept taller one.
-func enforceMinDistance(peaks []Extremum, dist int) []Extremum {
-	if len(peaks) == 0 {
-		return peaks
-	}
-	// Order candidate indices by height, tallest first (stable for ties).
-	order := make([]int, len(peaks))
-	for i := range order {
-		order[i] = i
-	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && peaks[order[j]].Value > peaks[order[j-1]].Value; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
-	removed := make([]bool, len(peaks))
-	for _, i := range order {
-		if removed[i] {
-			continue
-		}
-		for j := range peaks {
-			if j == i || removed[j] {
-				continue
-			}
-			d := peaks[j].Index - peaks[i].Index
-			if d < 0 {
-				d = -d
-			}
-			if d < dist {
-				removed[j] = true
-			}
-		}
-	}
-	var out []Extremum
-	for i, e := range peaks {
-		if !removed[i] {
-			out = append(out, e)
-		}
-	}
-	return out
 }
 
 // ZeroCrossings returns the indices i where x crosses zero between samples

@@ -2,6 +2,7 @@ package dsp
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 )
@@ -127,5 +128,84 @@ func TestProminenceAgainstSignalEdge(t *testing.T) {
 	p := prominence(x, 2)
 	if math.Abs(p-3) > 1e-12 {
 		t.Errorf("prominence = %v, want 3", p)
+	}
+}
+
+// TestPeakFinderMatchesFindPeaks fuzzes the scratch-reusing finder
+// against the allocating reference across option combinations, reusing
+// one finder for every case to exercise stale-scratch paths.
+func TestPeakFinderMatchesFindPeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var pf PeakFinder
+	optsSet := []PeakOptions{
+		{},
+		{MinProminence: 0.5},
+		{MinDistance: 7},
+		{MinProminence: 0.3, MinDistance: 11},
+		{HasMinHeight: true, MinHeight: 0.2, MinProminence: 0.4, MinDistance: 5},
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(i)/3) + rng.NormFloat64()
+			if rng.Intn(5) == 0 && i > 0 {
+				x[i] = x[i-1] // inject plateaus
+			}
+		}
+		for _, opts := range optsSet {
+			want := FindPeaks(x, opts)
+			got := pf.Find(x, opts)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d opts %+v: %d peaks, want %d", trial, opts, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d opts %+v: peak[%d] = %d, want %d", trial, opts, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProminenceAtMatchesSampleScan fuzzes the extrema-walking prominence
+// in PeakFinder against the sample-level scan, including plateaus,
+// duplicate heights and basins that run off the signal edges.
+func TestProminenceAtMatchesSampleScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pf PeakFinder
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			// Quantised values force exact ties and plateaus.
+			x[i] = float64(rng.Intn(9)) / 2
+			if rng.Intn(4) == 0 && i > 0 {
+				x[i] = x[i-1]
+			}
+		}
+		pf.ext = appendLocalExtrema(pf.ext[:0], x)
+		for k, e := range pf.ext {
+			if !e.Max {
+				continue
+			}
+			got := pf.prominenceAt(x, k)
+			want := prominence(x, e.Index)
+			if got != want {
+				t.Fatalf("trial %d peak at %d: prominenceAt = %v, prominence = %v\nx = %v",
+					trial, e.Index, got, want, x)
+			}
+		}
+	}
+}
+
+func TestPeakFinderSteadyStateAllocFree(t *testing.T) {
+	x := sine(600, 2, 100, 1)
+	opts := PeakOptions{MinProminence: 0.5, MinDistance: 10}
+	var pf PeakFinder
+	pf.Find(x, opts) // grow scratch
+	allocs := testing.AllocsPerRun(50, func() { pf.Find(x, opts) })
+	if allocs != 0 {
+		t.Errorf("steady-state Find allocates %v times per run, want 0", allocs)
 	}
 }

@@ -1,0 +1,192 @@
+package dsp
+
+import "math"
+
+// This file holds the rolling-moment correlation kernels the streaming
+// front end runs on. The naive normalised-correlation routines in
+// correlate.go recompute the mean and variance of both windows for every
+// lag they evaluate — roughly four passes over the overlap per lag. The
+// kernels below precompute prefix sums of each (mean-centred) series and
+// its square once, so each lag costs one pass for the lagged dot product
+// and O(1) for every moment. Sweeping L lags over series of length n
+// drops from ~4·n·L to n·L multiply-adds plus O(n) setup, with zero
+// allocations once the scratch has grown to the working size.
+//
+// A full FFT cross-correlation would make the dot products O(n log n)
+// for all lags at once, but at the window sizes the pipeline sweeps
+// (n ≈ 100–300 samples, L ≈ n/4) the direct products are smaller than
+// the three padded transforms, so the kernels stay direct.
+
+// Moments is a prefix-sum table of a series and its square. After Reset,
+// any window's sum and sum of squares are O(1) lookups. The zero value is
+// ready; Reset reuses the backing arrays across calls.
+type Moments struct {
+	s, ss []float64 // s[i] = Σ x[:i], ss[i] = Σ x[:i]²
+}
+
+// Reset rebuilds the table over x, recycling scratch capacity.
+func (m *Moments) Reset(x []float64) {
+	n := len(x) + 1
+	if cap(m.s) < n {
+		m.s = make([]float64, n)
+		m.ss = make([]float64, n)
+	}
+	m.s = m.s[:n]
+	m.ss = m.ss[:n]
+	m.s[0], m.ss[0] = 0, 0
+	for i, v := range x {
+		m.s[i+1] = m.s[i] + v
+		m.ss[i+1] = m.ss[i] + v*v
+	}
+}
+
+// WindowSum returns Σ x[lo:hi].
+func (m *Moments) WindowSum(lo, hi int) float64 { return m.s[hi] - m.s[lo] }
+
+// WindowSumSq returns Σ x[lo:hi]².
+func (m *Moments) WindowSumSq(lo, hi int) float64 { return m.ss[hi] - m.ss[lo] }
+
+// LagCorrelator evaluates normalised (Pearson) correlations of two series
+// over many lags from shared prefix-moment tables. Construct by calling
+// Reset (cross-correlation) or ResetAuto (auto-correlation); the zero
+// value holds no data. All scratch is recycled across Resets, so a
+// long-lived correlator sweeps lags allocation-free.
+//
+// Both series are shifted by their global means before the tables are
+// built. Pearson correlation is shift-invariant, and centring keeps the
+// raw-moment variance formula Σx² − (Σx)²/n well conditioned for signals
+// riding on a large offset.
+type LagCorrelator struct {
+	abuf, bbuf []float64 // dedicated centred-copy scratch
+	a, b       []float64 // active views (b aliases a after ResetAuto)
+	ma, mb     Moments
+	mbOwn      Moments // b's table for the cross case (mb aliases ma after ResetAuto)
+}
+
+// Reset loads the correlator with series a and b for cross-correlation.
+func (k *LagCorrelator) Reset(a, b []float64) {
+	k.abuf = centerInto(k.abuf, a)
+	k.bbuf = centerInto(k.bbuf, b)
+	k.a, k.b = k.abuf, k.bbuf
+	k.ma.Reset(k.a)
+	k.mbOwn.Reset(k.b)
+	k.mb = k.mbOwn
+}
+
+// ResetAuto loads the correlator with one series for auto-correlation:
+// At(lag) then equals AutoCorrAt(x, lag).
+func (k *LagCorrelator) ResetAuto(x []float64) {
+	k.abuf = centerInto(k.abuf, x)
+	k.a, k.b = k.abuf, k.abuf
+	k.ma.Reset(k.a)
+	k.mb = k.ma
+}
+
+// centerInto copies x minus its mean into dst, growing dst as needed.
+func centerInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	m := Mean(x)
+	for i, v := range x {
+		dst[i] = v - m
+	}
+	return dst
+}
+
+// At returns the normalised correlation of a[i] with b[i+lag] over their
+// overlap, mirroring the windowing of crossCorrAt: ok is false when the
+// overlap is shorter than 2 samples, and the correlation is 0 when either
+// window has no variance.
+func (k *LagCorrelator) At(lag int) (corr float64, ok bool) {
+	var alo, blo int
+	if lag >= 0 {
+		if lag >= len(k.b) {
+			return 0, false
+		}
+		blo = lag
+	} else {
+		if -lag >= len(k.a) {
+			return 0, false
+		}
+		alo = -lag
+	}
+	n := len(k.a) - alo
+	if bn := len(k.b) - blo; bn < n {
+		n = bn
+	}
+	if n < 2 {
+		return 0, false
+	}
+	return k.window(alo, blo, n), true
+}
+
+// window computes the Pearson correlation of a[alo:alo+n] with
+// b[blo:blo+n]: one pass for the dot product, O(1) moments.
+func (k *LagCorrelator) window(alo, blo, n int) float64 {
+	aw := k.a[alo : alo+n]
+	bw := k.b[blo : blo+n]
+	var sab float64
+	for i, av := range aw {
+		sab += av * bw[i]
+	}
+	fn := float64(n)
+	sa := k.ma.WindowSum(alo, alo+n)
+	sb := k.mb.WindowSum(blo, blo+n)
+	saa := k.ma.WindowSumSq(alo, alo+n) - sa*sa/fn
+	sbb := k.mb.WindowSumSq(blo, blo+n) - sb*sb/fn
+	if saa <= 0 || sbb <= 0 {
+		return 0
+	}
+	return (sab - sa*sb/fn) / math.Sqrt(saa*sbb)
+}
+
+// BestLag searches lags in [-maxLag, maxLag] and returns the lag with the
+// highest correlation, mirroring CrossCorrBestLag's contract: positive
+// lag means b is delayed relative to a, and (0, 0) is returned when no
+// lag has a valid overlap.
+func (k *LagCorrelator) BestLag(maxLag int) (bestLag int, bestCorr float64) {
+	if maxLag < 0 {
+		maxLag = -maxLag
+	}
+	bestCorr = math.Inf(-1)
+	found := false
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		c, ok := k.At(lag)
+		if !ok {
+			continue
+		}
+		if c > bestCorr {
+			bestCorr = c
+			bestLag = lag
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0
+	}
+	return bestLag, bestCorr
+}
+
+// DominantLag scans the auto-correlation between minLag and maxLag (after
+// ResetAuto) and returns the lag of the global maximum above threshold,
+// mirroring the package-level DominantLag. It returns 0 when no lag
+// qualifies.
+func (k *LagCorrelator) DominantLag(minLag, maxLag int, threshold float64) int {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(k.a) {
+		maxLag = len(k.a) - 1
+	}
+	bestLag, bestVal := 0, threshold
+	for lag := minLag; lag <= maxLag; lag++ {
+		v, ok := k.At(lag)
+		if ok && v > bestVal {
+			bestVal = v
+			bestLag = lag
+		}
+	}
+	return bestLag
+}

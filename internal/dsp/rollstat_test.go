@@ -1,0 +1,167 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(rng *rand.Rand, n int, offset float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		// Periodic structure plus noise plus a DC offset: the shape the
+		// pipeline sweeps, and the conditioning case (large mean, modest
+		// variance) the centring in Reset exists for.
+		x[i] = offset + math.Sin(2*math.Pi*float64(i)/47) + 0.3*rng.NormFloat64()
+	}
+	return x
+}
+
+func TestMomentsWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSeries(rng, 200, 2)
+	var m Moments
+	m.Reset(x)
+	for _, w := range [][2]int{{0, 200}, {0, 1}, {17, 113}, {199, 200}, {50, 50}} {
+		lo, hi := w[0], w[1]
+		var s, ss float64
+		for _, v := range x[lo:hi] {
+			s += v
+			ss += v * v
+		}
+		if got := m.WindowSum(lo, hi); math.Abs(got-s) > 1e-9 {
+			t.Errorf("WindowSum(%d,%d) = %v, want %v", lo, hi, got, s)
+		}
+		if got := m.WindowSumSq(lo, hi); math.Abs(got-ss) > 1e-9 {
+			t.Errorf("WindowSumSq(%d,%d) = %v, want %v", lo, hi, got, ss)
+		}
+	}
+}
+
+// TestLagCorrelatorMatchesNaive pins the kernels to the naive per-lag
+// evaluation they replace, across signal shapes and every lag.
+func TestLagCorrelatorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var k LagCorrelator
+	for trial := 0; trial < 20; trial++ {
+		na := 40 + rng.Intn(200)
+		nb := 40 + rng.Intn(200)
+		a := randSeries(rng, na, float64(trial))
+		b := randSeries(rng, nb, -3)
+		k.Reset(a, b)
+		maxLag := na/2 + 5
+		for lag := -maxLag; lag <= maxLag; lag++ {
+			want, wantOK := crossCorrAt(a, b, lag)
+			got, ok := k.At(lag)
+			if ok != wantOK {
+				t.Fatalf("trial %d lag %d: ok = %v, want %v", trial, lag, ok, wantOK)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d lag %d: corr = %v, want %v", trial, lag, got, want)
+			}
+		}
+	}
+}
+
+func TestLagCorrelatorAutoMatchesAutoCorrAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randSeries(rng, 300, 9.81)
+	var k LagCorrelator
+	k.ResetAuto(x)
+	for lag := 0; lag < 150; lag++ {
+		want := AutoCorrAt(x, lag)
+		got, ok := k.At(lag)
+		if !ok {
+			t.Fatalf("lag %d unexpectedly invalid", lag)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("auto lag %d: corr = %v, want %v", lag, got, want)
+		}
+	}
+}
+
+// TestLagCorrelatorBestLagMatchesCrossCorrBestLag checks the public sweep
+// against an explicit naive argmax, including the shifted-copy case.
+func TestLagCorrelatorBestLagMatchesCrossCorrBestLag(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		a := randSeries(rng, 120, 0)
+		b := make([]float64, 140)
+		shift := rng.Intn(20)
+		copy(b[shift:], a)
+		bestLag, bestCorr := math.MinInt, math.Inf(-1)
+		for lag := -30; lag <= 30; lag++ {
+			if c, ok := crossCorrAt(a, b, lag); ok && c > bestCorr {
+				bestCorr, bestLag = c, lag
+			}
+		}
+		lag, corr := CrossCorrBestLag(a, b, 30)
+		if lag != bestLag {
+			t.Errorf("trial %d: lag = %d, want %d", trial, lag, bestLag)
+		}
+		if math.Abs(corr-bestCorr) > 1e-9 {
+			t.Errorf("trial %d: corr = %v, want %v", trial, corr, bestCorr)
+		}
+	}
+}
+
+func TestLagCorrelatorReuseAfterAuto(t *testing.T) {
+	// ResetAuto aliases b to a; a following cross Reset must not let the
+	// two series share backing storage.
+	x := sine(100, 2, 100, 1)
+	var k LagCorrelator
+	k.ResetAuto(x)
+	a := sine(100, 2, 100, 1)
+	b := sine(100, 3, 100, 1)
+	k.Reset(a, b)
+	want, _ := crossCorrAt(a, b, 5)
+	if got, _ := k.At(5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("after auto->cross reuse: corr = %v, want %v", got, want)
+	}
+}
+
+func TestLagCorrelatorDegenerate(t *testing.T) {
+	var k LagCorrelator
+	k.Reset([]float64{1}, []float64{2})
+	if lag, corr := k.BestLag(5); lag != 0 || corr != 0 {
+		t.Errorf("degenerate BestLag = (%d, %v), want (0, 0)", lag, corr)
+	}
+	// Zero variance windows correlate as 0, matching Pearson.
+	k.Reset([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4})
+	if c, ok := k.At(0); !ok || c != 0 {
+		t.Errorf("zero-variance corr = (%v, %v), want (0, true)", c, ok)
+	}
+	// Flat auto-correlation finds no dominant lag.
+	k.ResetAuto(make([]float64, 100))
+	if lag := k.DominantLag(5, 50, 0.5); lag != 0 {
+		t.Errorf("flat DominantLag = %d, want 0", lag)
+	}
+}
+
+func TestLagCorrelatorDominantLagMatchesNaive(t *testing.T) {
+	x := sine(500, 2, 100, 1) // 50-sample period
+	var k LagCorrelator
+	k.ResetAuto(x)
+	if lag := k.DominantLag(20, 100, 0.5); lag < 48 || lag > 52 {
+		t.Errorf("dominant lag = %d, want ~50", lag)
+	}
+}
+
+// TestLagCorrelatorSteadyStateAllocFree locks the scratch-recycling
+// contract the streaming classifier depends on.
+func TestLagCorrelatorSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSeries(rng, 200, 0)
+	b := randSeries(rng, 200, 1)
+	var k LagCorrelator
+	k.Reset(a, b) // grow scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		k.Reset(a, b)
+		k.BestLag(50)
+		k.ResetAuto(a)
+		k.DominantLag(10, 80, 0.2)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+sweep allocates %v times per run, want 0", allocs)
+	}
+}

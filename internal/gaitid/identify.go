@@ -97,6 +97,10 @@ type Identifier struct {
 	// to a copy, matching dsp.FiltFilt) and the two filtered windows.
 	bq         *dsp.Biquad
 	vBuf, aBuf []float64
+	// Correlation kernel scratch: the half-cycle C statistic and the
+	// quarter-period phase sweep both run on prefix-sum moments instead of
+	// re-deriving Pearson means and variances at every lag.
+	ck dsp.LagCorrelator
 }
 
 // NewIdentifier returns an identifier for signals at the given sample
@@ -174,7 +178,8 @@ func (id *Identifier) ClassifyWindow(vertical, anterior []float64, margin int) C
 		return res
 	}
 
-	res.C = dsp.HalfCycleCorrelation(a)
+	id.ck.ResetAuto(a)
+	res.C, _ = id.ck.At(len(a) / 2) // HalfCycleCorrelation on the kernel
 	res.PhaseOK = id.phaseDifferenceOK(vCore, a)
 	if res.C > 0 && res.PhaseOK {
 		res.Label = LabelStepping
@@ -222,7 +227,8 @@ func (id *Identifier) phaseDifferenceOK(vertical, anterior []float64) bool {
 		return false
 	}
 	maxLag := n / 4
-	bestLag, bestCorr := dsp.CrossCorrBestLag(vertical, anterior, maxLag)
+	id.ck.Reset(vertical, anterior)
+	bestLag, bestCorr := id.ck.BestLag(maxLag)
 	if absF(bestCorr) < id.cfg.MinPhaseCorr {
 		return false
 	}

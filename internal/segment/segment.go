@@ -39,7 +39,12 @@ type Config struct {
 	MaxAmplitudeRatio float64
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the config with every zero field replaced by its
+// documented default. It is the single source of truth for front-end
+// defaulting: both the batch segmenter (Segment) and the online tracker
+// (internal/stream) resolve their configuration through it, so a default
+// change cannot silently diverge the two paths.
+func (c Config) WithDefaults() Config {
 	if c.LowPassCutoffHz == 0 {
 		c.LowPassCutoffHz = 5
 	}
@@ -84,7 +89,7 @@ type Result struct {
 
 // Segment runs the front end over a trace.
 func Segment(tr *trace.Trace, cfg Config) *Result {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	res := &Result{}
 	if tr == nil || len(tr.Samples) == 0 || tr.SampleRate <= 0 {
 		return res

@@ -11,14 +11,14 @@ import (
 )
 
 func TestConfigDefaults(t *testing.T) {
-	c := Config{}.withDefaults()
+	c := Config{}.WithDefaults()
 	if c.LowPassCutoffHz != 5 || c.MinPeakProminence != 0.8 ||
 		c.MinPeakDistanceS != 0.25 || c.MinCycleS != 0.6 ||
 		c.MaxCycleS != 2.8 || c.MaxPeriodRatio != 1.8 {
 		t.Errorf("defaults = %+v", c)
 	}
 	// Explicit values survive.
-	c2 := Config{MinPeakProminence: 2}.withDefaults()
+	c2 := Config{MinPeakProminence: 2}.WithDefaults()
 	if c2.MinPeakProminence != 2 {
 		t.Error("explicit prominence overridden")
 	}
@@ -170,5 +170,29 @@ func TestSegmentOnIdleProducesNothing(t *testing.T) {
 	res := Segment(rec.Trace, Config{})
 	if len(res.Cycles) != 0 {
 		t.Errorf("idle produced %d cycles", len(res.Cycles))
+	}
+}
+
+func TestWithDefaultsFillsEveryField(t *testing.T) {
+	d := Config{}.WithDefaults()
+	want := Config{
+		LowPassCutoffHz:   5,
+		MinPeakProminence: 0.8,
+		MinPeakDistanceS:  0.25,
+		MinCycleS:         0.6,
+		MaxCycleS:         2.8,
+		MaxPeriodRatio:    1.8,
+		MaxAmplitudeRatio: 1.8,
+	}
+	if d != want {
+		t.Errorf("WithDefaults() = %+v, want %+v", d, want)
+	}
+	// Non-zero fields survive.
+	c := Config{LowPassCutoffHz: 3, MinCycleS: 0.4}.WithDefaults()
+	if c.LowPassCutoffHz != 3 || c.MinCycleS != 0.4 {
+		t.Errorf("WithDefaults clobbered explicit fields: %+v", c)
+	}
+	if c.MaxCycleS != 2.8 {
+		t.Errorf("WithDefaults left MaxCycleS = %v", c.MaxCycleS)
 	}
 }

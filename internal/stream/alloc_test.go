@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"testing"
+
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/trace"
+)
+
+// TestScanPathAllocFree pins the tentpole's allocation contract: once the
+// tracker's arenas and scratch have grown to the working size, the
+// per-sample path — forward filter, tail refilter, peak scan, compaction
+// — performs zero heap allocations. An idle trace never produces cycle
+// events, so every push exercises exactly the scan path; the warm-up is
+// long enough to cross several compaction and arena-reclaim cycles.
+func TestScanPathAllocFree(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityIdle, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(onlineConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rec.Trace.Samples
+	const warm = 3000
+	for _, s := range samples[:warm] {
+		if evs := tk.Push(s); len(evs) != 0 {
+			t.Fatalf("idle trace emitted events during warm-up: %+v", evs)
+		}
+	}
+	i := warm
+	allocs := testing.AllocsPerRun(500, func() {
+		if i == len(samples) {
+			i = warm
+		}
+		if evs := tk.Push(samples[i]); len(evs) != 0 {
+			t.Fatalf("idle trace emitted events: %+v", evs)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Push allocates %v times per sample, want 0", allocs)
+	}
+}

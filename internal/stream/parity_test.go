@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"testing"
+
+	"ptrack/internal/core"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/stride"
+)
+
+// parityWarmupS excludes the gravity warm-up from the parity comparison:
+// the batch pipeline primes its gravity estimate on the first three
+// seconds' mean, while the stream primes on the first sample and refines,
+// so cycles ending inside the warm-up may legitimately classify
+// differently (the seed's swinging and spoofing traces do).
+const parityWarmupS = 5.0
+
+// TestBatchStreamParity is the golden batch↔stream parity suite: over
+// every seed activity, the online tracker must land on exactly the step
+// count and cycle-label sequence the batch pipeline produces for the same
+// trace, once both gravity estimates have converged. This is an empirical
+// invariant of the seed traces rather than a numerical identity — which
+// is precisely why it is pinned: a change that breaks it changes
+// observable output.
+//
+// Stream events are deduplicated by cycle end time before comparison:
+// stepping cycles awaiting confirmation are emitted once as pending
+// (StepsAdded=0) and re-emitted on confirmation with their credited
+// steps, while the batch pipeline reports each cycle exactly once. The
+// label comes from the first emission; the credited steps from the last.
+func TestBatchStreamParity(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	profile := &stride.Config{ArmLength: p.ArmLength, LegLength: p.LegLength, K: p.K}
+	for _, a := range equivActivities {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			t.Parallel()
+			rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), a, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			batch, err := core.Process(rec.Trace, core.Config{Profile: profile})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tk, err := New(Config{SampleRate: rec.Trace.SampleRate, Profile: profile})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []Event
+			for _, s := range rec.Trace.Samples {
+				events = append(events, tk.Push(s)...)
+			}
+			events = append(events, tk.Flush()...)
+
+			// Dedup by cycle end time: label from the first emission,
+			// credited steps from the last.
+			labelAt := make(map[float64]string, len(events))
+			stepsAt := make(map[float64]int, len(events))
+			var order []float64
+			for _, ev := range events {
+				if _, ok := labelAt[ev.T]; !ok {
+					labelAt[ev.T] = ev.Label.String()
+					order = append(order, ev.T)
+				}
+				stepsAt[ev.T] = ev.StepsAdded
+			}
+			var got []string
+			gotSteps := 0
+			for _, ts := range order {
+				if ts < parityWarmupS {
+					continue
+				}
+				got = append(got, labelAt[ts])
+				gotSteps += stepsAt[ts]
+			}
+			var want []string
+			wantSteps := 0
+			for _, c := range batch.Cycles {
+				if c.T < parityWarmupS {
+					continue
+				}
+				want = append(want, c.Label.String())
+				wantSteps += c.StepsAdded
+			}
+
+			if gotSteps != wantSteps {
+				t.Errorf("steps after warm-up: stream %d, batch %d", gotSteps, wantSteps)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("cycle count: stream %d, batch %d\nstream %v\nbatch  %v",
+					len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("cycle %d: stream %s, batch %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,332 @@
+package stream
+
+// This file preserves the pre-incremental online tracker verbatim, as the
+// behavioural reference for the streaming front end: the whole-buffer
+// zero-phase refilter and re-segmentation it performs on every scan are
+// what the incremental tail/cursor implementation in stream.go must
+// reproduce event for event (see equiv_test.go). Keep it in sync with
+// nothing — its value is that it does NOT change with stream.go.
+
+import (
+	"math"
+
+	"ptrack/internal/dsp"
+	"ptrack/internal/gaitid"
+	"ptrack/internal/imu"
+	"ptrack/internal/stride"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// refTracker is the old online pipeline: O(buffer) refilter + peak
+// re-detection per scan, allocating fresh intermediates throughout.
+type refTracker struct {
+	cfg      Config
+	id       *gaitid.Identifier
+	adaptive *gaitid.AdaptiveThreshold
+	est      *stride.Estimator
+	grav     *imu.Projector
+	gravSet  bool
+
+	base     int
+	absCount int
+	mag      []float64
+	vertical []float64
+	h1, h2   []float64
+
+	lastPeak     int
+	lastCycleLen int
+	prevCycleEnd int
+	sinceScan    int
+
+	pendingStepping []pendingCycle
+
+	lastAxis vecmath.Vec3
+}
+
+func newRefTracker(cfg Config) (*refTracker, error) {
+	cfg = cfg.withDefaults()
+	t := &refTracker{
+		cfg:      cfg,
+		id:       gaitid.NewIdentifier(cfg.Identify, cfg.SampleRate),
+		grav:     imu.NewProjector(0.04, cfg.SampleRate),
+		lastPeak: -1,
+	}
+	if cfg.AdaptiveDelta {
+		t.adaptive = gaitid.NewAdaptiveThreshold(0)
+	}
+	if cfg.Profile != nil {
+		est, err := stride.New(*cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		t.est = est
+	}
+	return t, nil
+}
+
+func (t *refTracker) Steps() int { return t.id.Steps() }
+
+func (t *refTracker) Push(s trace.Sample) []Event {
+	if !t.gravSet {
+		t.grav.Warmup(s.Accel, int(120*t.cfg.SampleRate))
+		t.gravSet = true
+	}
+	proj := t.grav.Project(s.Accel)
+	t.vertical = append(t.vertical, proj.Vertical)
+	t.h1 = append(t.h1, proj.H1)
+	t.h2 = append(t.h2, proj.H2)
+	t.mag = append(t.mag, s.Accel.Norm()-imu.StandardGravity)
+	t.absCount++
+
+	t.sinceScan++
+	if t.sinceScan < int(0.1*t.cfg.SampleRate) {
+		return nil
+	}
+	t.sinceScan = 0
+	events := t.drainWith(false)
+	t.compact()
+	return events
+}
+
+func (t *refTracker) Flush() []Event {
+	return t.drainWith(true)
+}
+
+func (t *refTracker) drainWith(flush bool) []Event {
+	var events []Event
+	segCfg := t.cfg.Segment
+	lp := segCfg.LowPassCutoffHz
+	if lp == 0 {
+		lp = 5
+	}
+	prom := segCfg.MinPeakProminence
+	if prom == 0 {
+		prom = 0.8
+	}
+	minDist := segCfg.MinPeakDistanceS
+	if minDist == 0 {
+		minDist = 0.25
+	}
+	minCycle := segCfg.MinCycleS
+	if minCycle == 0 {
+		minCycle = 0.6
+	}
+	maxCycle := segCfg.MaxCycleS
+	if maxCycle == 0 {
+		maxCycle = 2.8
+	}
+	maxRatio := segCfg.MaxPeriodRatio
+	if maxRatio == 0 {
+		maxRatio = 1.8
+	}
+	maxAmpRatio := segCfg.MaxAmplitudeRatio
+	if maxAmpRatio == 0 {
+		maxAmpRatio = 1.8
+	}
+
+	for {
+		if len(t.mag) < 8 {
+			return events
+		}
+		smooth := dsp.FiltFilt(t.mag, lp, t.cfg.SampleRate)
+		peaks := dsp.FindPeaks(smooth, dsp.PeakOptions{
+			MinProminence: prom,
+			MinDistance:   int(math.Round(minDist * t.cfg.SampleRate)),
+		})
+		var cand []int
+		for _, p := range peaks {
+			abs := p + t.base
+			if abs >= t.lastPeak {
+				cand = append(cand, abs)
+			}
+		}
+		if len(cand) < 3 {
+			return events
+		}
+		p0, p1, p2 := cand[0], cand[1], cand[2]
+		d1 := float64(p1-p0) / t.cfg.SampleRate
+		d2 := float64(p2-p1) / t.cfg.SampleRate
+		total := d1 + d2
+		ratio := math.Max(d1, d2) / math.Max(math.Min(d1, d2), 1e-9)
+		ampOK := t.peakAmplitudesConsistent(smooth, p0, p1, p2, maxAmpRatio)
+		if total < minCycle || total > maxCycle || ratio > maxRatio || !ampOK {
+			t.lastPeak = p1
+			continue
+		}
+		cycLen := p2 - p0
+		margin := int(t.cfg.MarginFraction * float64(cycLen))
+		have := t.base + len(t.mag)
+		if p2+margin >= have {
+			if !flush {
+				return events
+			}
+			margin = have - 1 - p2
+			if margin < 0 {
+				margin = 0
+			}
+		}
+		leadMargin := margin
+		if p0-leadMargin < t.base {
+			leadMargin = p0 - t.base
+		}
+		m := min2(leadMargin, margin)
+		ev := t.classifyCycle(p0, p2, m)
+		events = append(events, ev...)
+		t.lastPeak = p2
+		t.lastCycleLen = cycLen
+	}
+}
+
+func (t *refTracker) peakAmplitudesConsistent(smooth []float64, p0, p1, p2 int, maxRatio float64) bool {
+	const floor = 1e-3
+	lo, hi := math.Inf(1), 0.0
+	for _, p := range [3]int{p0, p1, p2} {
+		h := smooth[p-t.base]
+		if h < floor {
+			h = floor
+		}
+		lo = math.Min(lo, h)
+		hi = math.Max(hi, h)
+	}
+	return hi/lo <= maxRatio
+}
+
+func (t *refTracker) classifyCycle(startAbs, endAbs, margin int) []Event {
+	if t.prevCycleEnd > 0 && startAbs-t.prevCycleEnd > (endAbs-startAbs)/4 {
+		t.id.BreakStreak()
+		t.pendingStepping = t.pendingStepping[:0]
+	}
+	t.prevCycleEnd = endAbs
+
+	lo := startAbs - margin - t.base
+	hi := endAbs + margin - t.base
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.vertical) {
+		hi = len(t.vertical)
+	}
+	vertical := append([]float64(nil), t.vertical[lo:hi]...)
+	anterior, ok := t.anterior(lo, hi)
+	endT := float64(endAbs) / t.cfg.SampleRate
+	if !ok {
+		return []Event{{T: endT, Label: gaitid.LabelInterference, TotalSteps: t.id.Steps()}}
+	}
+
+	if t.adaptive != nil {
+		t.id.SetThreshold(t.adaptive.Threshold())
+	}
+	cr := t.id.ClassifyWindow(vertical, anterior, margin)
+	if t.adaptive != nil && cr.OffsetOK {
+		t.adaptive.Observe(cr.Offset)
+	}
+	ev := Event{
+		T:          endT,
+		Label:      cr.Label,
+		StepsAdded: cr.StepsAdded,
+		TotalSteps: t.id.Steps(),
+		Offset:     cr.Offset,
+	}
+
+	switch cr.Label {
+	case gaitid.LabelWalking:
+		t.pendingStepping = t.pendingStepping[:0]
+		ev.Strides = t.strides(vertical, anterior, margin, cr.StepsAdded, true)
+		return []Event{ev}
+	case gaitid.LabelStepping:
+		strides := t.strides(vertical, anterior, margin, 2, false)
+		if cr.StepsAdded == 0 {
+			t.pendingStepping = append(t.pendingStepping, pendingCycle{endT: endT, strides: strides})
+			return []Event{ev}
+		}
+		var out []Event
+		for _, p := range t.pendingStepping {
+			out = append(out, Event{
+				T: p.endT, Label: gaitid.LabelStepping,
+				StepsAdded: 2, Strides: p.strides,
+				TotalSteps: t.id.Steps(),
+			})
+		}
+		t.pendingStepping = t.pendingStepping[:0]
+		ev.StepsAdded = 2
+		ev.Strides = strides
+		out = append(out, ev)
+		return out
+	default:
+		t.pendingStepping = t.pendingStepping[:0]
+		return []Event{ev}
+	}
+}
+
+func (t *refTracker) anterior(lo, hi int) ([]float64, bool) {
+	pts := make([]vecmath.Vec3, hi-lo)
+	for i := range pts {
+		pts[i] = vecmath.V3(t.h1[lo+i], t.h2[lo+i], 0)
+	}
+	axis, ok := vecmath.PrincipalAxis2D(pts)
+	if !ok {
+		return nil, false
+	}
+	if t.lastAxis.NormSq() > 0 && axis.Dot(t.lastAxis) < 0 {
+		axis = axis.Neg()
+	}
+	t.lastAxis = axis
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Dot(axis)
+	}
+	return out, true
+}
+
+func (t *refTracker) strides(vertical, anterior []float64, margin, count int, walking bool) []float64 {
+	if t.est == nil || count <= 0 {
+		return nil
+	}
+	var steps []stride.Step
+	if walking {
+		steps = t.est.EstimateWalking(vertical, anterior, margin, t.cfg.SampleRate)
+	} else {
+		steps = t.est.EstimateStepping(vertical, margin, t.cfg.SampleRate)
+	}
+	if len(steps) == 0 {
+		return nil
+	}
+	var sum float64
+	n := 0
+	for _, s := range steps {
+		if n == count {
+			break
+		}
+		sum += s.Stride
+		n++
+	}
+	mean := sum / float64(n)
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = mean
+	}
+	return out
+}
+
+func (t *refTracker) compact() {
+	maxLen := int(t.cfg.BufferS * t.cfg.SampleRate)
+	if len(t.mag) <= maxLen {
+		return
+	}
+	drop := len(t.mag) - maxLen
+	if t.lastPeak >= 0 {
+		keepFrom := t.lastPeak - t.base - t.lastCycleLen
+		if keepFrom < drop {
+			drop = keepFrom
+		}
+	}
+	if drop <= 0 {
+		return
+	}
+	t.base += drop
+	t.mag = t.mag[drop:]
+	t.vertical = t.vertical[drop:]
+	t.h1 = t.h1[drop:]
+	t.h2 = t.h2[drop:]
+}

@@ -7,6 +7,17 @@
 // margin is available — the same computation as the batch pipeline in
 // internal/core, at a reporting latency of roughly one gait cycle plus
 // the margin (≈1.5 s at normal cadence).
+//
+// The front end does bounded work per sample. The forward half of the
+// zero-phase low-pass runs incrementally (one biquad step per sample);
+// each scan recomputes the anti-causal backward half only over the
+// undecided tail, whose older values it then freezes once they are a
+// filter settle length behind the newest sample (see docs/PERF.md for
+// the cost model). Peak detection re-scans a bounded window around the
+// consumption cursor, and consumed peaks advance the cursor instead of
+// triggering a full re-segmentation. All scan scratch is recycled, so
+// the steady-state per-sample path performs no heap allocations except
+// for the events it hands to the caller.
 package stream
 
 import (
@@ -67,11 +78,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// settleTol is the transient-decay factor past which the provisional tail
+// of the backward filter pass is frozen: once a smoothed value sits
+// SettleLen(settleTol) samples behind the newest sample, re-running the
+// backward pass with any amount of extra future data perturbs it by less
+// than one ulp, so the stored value is final.
+const settleTol = 1e-24
+
 // Tracker is the online pipeline. Construct with New. Not safe for
 // concurrent use.
 type Tracker struct {
 	cfg      Config
-	segCfg   segment.Config
+	segCfg   segment.Config // cfg.Segment with defaults resolved
 	id       *gaitid.Identifier
 	adaptive *gaitid.AdaptiveThreshold // nil unless cfg.AdaptiveDelta
 	est      *stride.Estimator         // nil when no profile
@@ -79,16 +97,49 @@ type Tracker struct {
 	gravSet  bool
 
 	// Sliding buffers, all indexed by absolute sample number minus base.
+	// The named slices are views into per-signal arenas: compaction
+	// advances the shared front offset `off` (a reslice, not a copy) and
+	// reclaims arena space only once half of it is dead, so the steady
+	// state neither reallocates nor copies whole buffers per scan.
 	base     int // absolute index of buffer[0]
 	absCount int // total samples consumed
+	off      int // dead samples at the front of each arena
 	mag      []float64
 	vertical []float64
 	h1, h2   []float64
+
+	arMag, arVert []float64
+	arH1, arH2    []float64
+	arFwd, arSmth []float64
+
+	// Incremental zero-phase filter state. fwd is the causal (forward)
+	// low-pass of mag, advanced one biquad step per pushed sample; smooth
+	// is the zero-phase signal. smooth[:final] is frozen; smooth[final:]
+	// is provisional and rewritten by each scan's backward pass. A nil
+	// biquad means the cutoff/rate pair is invalid and smoothing degrades
+	// to a pass-through, mirroring dsp.FiltFilt.
+	fwdBq  *dsp.Biquad
+	bwdBq  *dsp.Biquad // scratch state for the anti-causal pass
+	settle int         // tail length the backward pass must re-cover
+	fwd    []float64
+	smooth []float64
+	final  int // local index of the frozen/provisional boundary
+
+	// Segmentation constants derived from segCfg at construction.
+	scanEvery   int // samples between buffer scans (0.1 s)
+	minDistSamp int // peak refractory distance, samples
+	lookback    int // peak-window context kept before the cursor, samples
 
 	lastPeak     int // absolute index of the last consumed cycle end peak
 	lastCycleLen int
 	prevCycleEnd int // for gap detection
 	sinceScan    int // samples since the last buffer scan
+
+	// Scan scratch, recycled across drains.
+	pf     dsp.PeakFinder
+	cand   []int // candidate peak absolute indices, cursor-consumed
+	antPts []vecmath.Vec3
+	antBuf []float64
 
 	// Stepping cycles pending confirmation, for stride back-fill.
 	pendingStepping []pendingCycle
@@ -110,13 +161,33 @@ func New(cfg Config) (*Tracker, error) {
 	if !(cfg.SampleRate > 0) || math.IsInf(cfg.SampleRate, 1) {
 		return nil, fmt.Errorf("stream: sample rate must be positive and finite, got %v", cfg.SampleRate)
 	}
+	segCfg := cfg.Segment.WithDefaults()
 	t := &Tracker{
-		cfg:      cfg,
-		segCfg:   cfg.Segment, // defaults applied by segment on use; we use fields directly below
-		id:       gaitid.NewIdentifier(cfg.Identify, cfg.SampleRate),
-		grav:     imu.NewProjector(0.04, cfg.SampleRate),
-		lastPeak: -1,
+		cfg:       cfg,
+		segCfg:    segCfg,
+		id:        gaitid.NewIdentifier(cfg.Identify, cfg.SampleRate),
+		grav:      imu.NewProjector(0.04, cfg.SampleRate),
+		lastPeak:  -1,
+		scanEvery: int(0.1 * cfg.SampleRate),
 	}
+	t.minDistSamp = int(math.Round(segCfg.MinPeakDistanceS * cfg.SampleRate))
+	if fwd, err := dsp.NewLowPassBiquad(segCfg.LowPassCutoffHz, cfg.SampleRate); err == nil {
+		t.fwdBq = fwd
+		t.bwdBq, _ = dsp.NewLowPassBiquad(segCfg.LowPassCutoffHz, cfg.SampleRate)
+		t.settle = fwd.SettleLen(settleTol)
+		if t.settle <= 0 {
+			// No useful decay bound: never freeze the tail. The backward
+			// pass then re-covers the whole buffer, which is still bounded
+			// by BufferS.
+			t.settle = math.MaxInt / 2
+		}
+	}
+	// Peak context before the cursor: candidate peaks start at the cursor,
+	// but their prominence basins and min-distance suppression reach into
+	// earlier terrain. A full cycle plus several refractory distances
+	// covers both in practice; the equivalence suite pins this against
+	// whole-buffer detection on every seed activity.
+	t.lookback = int(math.Round(segCfg.MaxCycleS*cfg.SampleRate)) + 4*t.minDistSamp
 	if cfg.AdaptiveDelta {
 		t.adaptive = gaitid.NewAdaptiveThreshold(0)
 	}
@@ -151,18 +222,30 @@ func (t *Tracker) Push(s trace.Sample) []Event {
 		t.gravSet = true
 	}
 	proj := t.grav.Project(s.Accel)
-	t.vertical = append(t.vertical, proj.Vertical)
-	t.h1 = append(t.h1, proj.H1)
-	t.h2 = append(t.h2, proj.H2)
-	t.mag = append(t.mag, s.Accel.Norm()-imu.StandardGravity)
+	t.arVert = append(t.arVert, proj.Vertical)
+	t.arH1 = append(t.arH1, proj.H1)
+	t.arH2 = append(t.arH2, proj.H2)
+	m := s.Accel.Norm() - imu.StandardGravity
+	t.arMag = append(t.arMag, m)
+	// Advance the causal half of the zero-phase filter; the smooth entry
+	// is a placeholder until the next scan's backward pass rewrites it.
+	if t.fwdBq != nil {
+		if t.absCount == 0 {
+			t.fwdBq.Seed(m)
+		}
+		m = t.fwdBq.Process(m)
+	}
+	t.arFwd = append(t.arFwd, m)
+	t.arSmth = append(t.arSmth, m)
+	t.refreshViews()
 	t.absCount++
 	t.cfg.Hooks.SampleIngested(len(t.mag))
 
-	// Peak detection over the buffer is the expensive part; amortise it by
-	// scanning every decimation interval (0.1 s). Decisions are delayed by
-	// at most that much on top of the margin latency.
+	// Peak scanning is amortised over a decimation interval (0.1 s).
+	// Decisions are delayed by at most that much on top of the margin
+	// latency.
 	t.sinceScan++
-	if t.sinceScan < int(0.1*t.cfg.SampleRate) {
+	if t.sinceScan < t.scanEvery {
 		return nil
 	}
 	t.sinceScan = 0
@@ -196,73 +279,76 @@ func (t *Tracker) observeEvents(events []Event) {
 
 func (t *Tracker) drain() []Event { return t.drainWith(false) }
 
+// refreshTail brings smooth up to date: the anti-causal backward pass is
+// recomputed over the provisional tail [final, len) — primed at the
+// newest forward sample, exactly as a whole-buffer FiltFilt would be —
+// and the frontier then advances to len-settle, freezing every value
+// whose backward transient has fully decayed.
+func (t *Tracker) refreshTail() {
+	n := len(t.fwd)
+	if t.final > n {
+		t.final = n
+	}
+	if t.fwdBq == nil {
+		// Pass-through smoothing is memoryless: every value is final.
+		t.final = n
+		return
+	}
+	if t.final < n {
+		t.bwdBq.ApplyBackwardTo(t.smooth[t.final:n], t.fwd[t.final:n])
+	}
+	if nf := n - t.settle; nf > t.final {
+		t.final = nf
+	}
+}
+
 // drainWith finds decidable gait-cycle candidates in the buffer and
-// classifies them.
+// classifies them. Peaks are detected once per scan over a bounded window
+// ending at the buffer's edge; the triple tests then consume candidates
+// through a cursor, mirroring the batch segmenter's
+// (p0,p2),(p2,p4),... pairing without re-detection.
 func (t *Tracker) drainWith(flush bool) []Event {
-	var events []Event
-	segCfg := t.cfg.Segment
-	// Re-apply the same defaulting segment.Segment would.
-	lp := segCfg.LowPassCutoffHz
-	if lp == 0 {
-		lp = 5
+	if len(t.mag) < 8 {
+		return nil
 	}
-	prom := segCfg.MinPeakProminence
-	if prom == 0 {
-		prom = 0.8
+	t.refreshTail()
+
+	wstart := 0
+	if t.lastPeak >= 0 {
+		wstart = t.lastPeak - t.base - t.lookback
+		if wstart < 0 {
+			wstart = 0
+		}
 	}
-	minDist := segCfg.MinPeakDistanceS
-	if minDist == 0 {
-		minDist = 0.25
-	}
-	minCycle := segCfg.MinCycleS
-	if minCycle == 0 {
-		minCycle = 0.6
-	}
-	maxCycle := segCfg.MaxCycleS
-	if maxCycle == 0 {
-		maxCycle = 2.8
-	}
-	maxRatio := segCfg.MaxPeriodRatio
-	if maxRatio == 0 {
-		maxRatio = 1.8
-	}
-	maxAmpRatio := segCfg.MaxAmplitudeRatio
-	if maxAmpRatio == 0 {
-		maxAmpRatio = 1.8
+	peaks := t.pf.Find(t.smooth[wstart:], dsp.PeakOptions{
+		MinProminence: t.segCfg.MinPeakProminence,
+		MinDistance:   t.minDistSamp,
+	})
+	// Candidate peaks at or after the cursor, as absolute indices.
+	// Consecutive cycles share their boundary peak, so the cursor peak
+	// itself stays in the list.
+	t.cand = t.cand[:0]
+	for _, p := range peaks {
+		if abs := p + wstart + t.base; abs >= t.lastPeak {
+			t.cand = append(t.cand, abs)
+		}
 	}
 
-	for {
-		if len(t.mag) < 8 {
-			return events
-		}
-		smooth := dsp.FiltFilt(t.mag, lp, t.cfg.SampleRate)
-		peaks := dsp.FindPeaks(smooth, dsp.PeakOptions{
-			MinProminence: prom,
-			MinDistance:   int(math.Round(minDist * t.cfg.SampleRate)),
-		})
-		// Absolute peak indices after the last consumed peak.
-		var cand []int
-		for _, p := range peaks {
-			abs := p + t.base
-			// Consecutive cycles share their boundary peak, as in the
-			// batch segmenter's (p0,p2),(p2,p4),... pairing.
-			if abs >= t.lastPeak {
-				cand = append(cand, abs)
-			}
-		}
-		if len(cand) < 3 {
-			return events
-		}
-		p0, p1, p2 := cand[0], cand[1], cand[2]
+	var events []Event
+	ci := 0
+	for ci+3 <= len(t.cand) {
+		p0, p1, p2 := t.cand[ci], t.cand[ci+1], t.cand[ci+2]
 		d1 := float64(p1-p0) / t.cfg.SampleRate
 		d2 := float64(p2-p1) / t.cfg.SampleRate
 		total := d1 + d2
 		ratio := math.Max(d1, d2) / math.Max(math.Min(d1, d2), 1e-9)
-		ampOK := t.peakAmplitudesConsistent(smooth, p0, p1, p2, maxAmpRatio)
-		if total < minCycle || total > maxCycle || ratio > maxRatio || !ampOK {
+		ampOK := t.peakAmplitudesConsistent(p0, p1, p2, t.segCfg.MaxAmplitudeRatio)
+		if total < t.segCfg.MinCycleS || total > t.segCfg.MaxCycleS ||
+			ratio > t.segCfg.MaxPeriodRatio || !ampOK {
 			// Not a plausible cycle: advance one peak, as the batch
 			// segmenter does (the next triple starts at p1).
 			t.lastPeak = p1
+			ci++
 			continue
 		}
 		cycLen := p2 - p0
@@ -283,18 +369,19 @@ func (t *Tracker) drainWith(flush bool) []Event {
 			leadMargin = p0 - t.base
 		}
 		m := min2(leadMargin, margin)
-		ev := t.classifyCycle(p0, p2, m)
-		events = append(events, ev...)
+		events = append(events, t.classifyCycle(p0, p2, m)...)
 		t.lastPeak = p2
 		t.lastCycleLen = cycLen
+		ci += 2
 	}
+	return events
 }
 
-func (t *Tracker) peakAmplitudesConsistent(smooth []float64, p0, p1, p2 int, maxRatio float64) bool {
+func (t *Tracker) peakAmplitudesConsistent(p0, p1, p2 int, maxRatio float64) bool {
 	const floor = 1e-3
 	lo, hi := math.Inf(1), 0.0
 	for _, p := range [3]int{p0, p1, p2} {
-		h := smooth[p-t.base]
+		h := t.smooth[p-t.base]
 		if h < floor {
 			h = floor
 		}
@@ -305,7 +392,10 @@ func (t *Tracker) peakAmplitudesConsistent(smooth []float64, p0, p1, p2 int, max
 }
 
 // classifyCycle runs identification and stride estimation over the cycle
-// [startAbs, endAbs) with the given symmetric margin.
+// [startAbs, endAbs) with the given symmetric margin. The projected
+// windows are handed to the classifier and the stride estimator as live
+// subslices of the tracker's buffers — both stages copy before
+// smoothing, so no per-cycle window copies are needed.
 func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 	// Gap detection: break the stepping streak across silence.
 	if t.prevCycleEnd > 0 && startAbs-t.prevCycleEnd > (endAbs-startAbs)/4 {
@@ -322,7 +412,7 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 	if hi > len(t.vertical) {
 		hi = len(t.vertical)
 	}
-	vertical := append([]float64(nil), t.vertical[lo:hi]...)
+	vertical := t.vertical[lo:hi]
 	anterior, ok := t.anterior(lo, hi)
 	endT := float64(endAbs) / t.cfg.SampleRate
 	if !ok {
@@ -377,9 +467,14 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 	}
 }
 
-// anterior fits the principal horizontal axis over [lo, hi) and projects.
+// anterior fits the principal horizontal axis over [lo, hi) and projects
+// into the tracker's scratch; the result is valid until the next call.
 func (t *Tracker) anterior(lo, hi int) ([]float64, bool) {
-	pts := make([]vecmath.Vec3, hi-lo)
+	n := hi - lo
+	if cap(t.antPts) < n {
+		t.antPts = make([]vecmath.Vec3, n)
+	}
+	pts := t.antPts[:n]
 	for i := range pts {
 		pts[i] = vecmath.V3(t.h1[lo+i], t.h2[lo+i], 0)
 	}
@@ -391,7 +486,10 @@ func (t *Tracker) anterior(lo, hi int) ([]float64, bool) {
 		axis = axis.Neg()
 	}
 	t.lastAxis = axis
-	out := make([]float64, len(pts))
+	if cap(t.antBuf) < n {
+		t.antBuf = make([]float64, n)
+	}
+	out := t.antBuf[:n]
 	for i, p := range pts {
 		out[i] = p.Dot(axis)
 	}
@@ -430,8 +528,22 @@ func (t *Tracker) strides(vertical, anterior []float64, margin, count int, walki
 	return out
 }
 
+// refreshViews re-derives the window slices from the arenas. Must run
+// after anything that appends to an arena or moves the front offset.
+func (t *Tracker) refreshViews() {
+	t.mag = t.arMag[t.off:]
+	t.vertical = t.arVert[t.off:]
+	t.h1 = t.arH1[t.off:]
+	t.h2 = t.arH2[t.off:]
+	t.fwd = t.arFwd[t.off:]
+	t.smooth = t.arSmth[t.off:]
+}
+
 // compact drops buffered samples that can no longer participate in any
-// future decision.
+// future decision. The drop itself just advances the shared arena
+// offset; dead arena space is physically reclaimed (one copy, no
+// allocation) only when it reaches half the arena, so per-scan
+// compaction costs O(1) amortised.
 func (t *Tracker) compact() {
 	maxLen := int(t.cfg.BufferS * t.cfg.SampleRate)
 	if len(t.mag) <= maxLen {
@@ -450,10 +562,28 @@ func (t *Tracker) compact() {
 	}
 	t.cfg.Hooks.SamplesDropped(drop)
 	t.base += drop
-	t.mag = t.mag[drop:]
-	t.vertical = t.vertical[drop:]
-	t.h1 = t.h1[drop:]
-	t.h2 = t.h2[drop:]
+	t.off += drop
+	t.final -= drop
+	if t.final < 0 {
+		t.final = 0
+	}
+	if 2*t.off >= len(t.arMag) {
+		t.arMag = reclaim(t.arMag, t.off)
+		t.arVert = reclaim(t.arVert, t.off)
+		t.arH1 = reclaim(t.arH1, t.off)
+		t.arH2 = reclaim(t.arH2, t.off)
+		t.arFwd = reclaim(t.arFwd, t.off)
+		t.arSmth = reclaim(t.arSmth, t.off)
+		t.off = 0
+	}
+	t.refreshViews()
+}
+
+// reclaim slides the live suffix x[off:] to the front of x's backing
+// array, preserving its capacity for future appends.
+func reclaim(x []float64, off int) []float64 {
+	n := copy(x, x[off:])
+	return x[:n]
 }
 
 func min2(a, b int) int {
