@@ -19,9 +19,15 @@ STREAM_MAX_NS_PER_SAMPLE ?= 664
 STREAM_MAX_ALLOCS_PER_SAMPLE ?= 0.75
 STREAM_FLAT_WITHIN ?= 0.20
 
-.PHONY: check fmt vet test bench-guard bench-json bench bench-batch build
+# Trace-conditioner ceilings: the streaming conditioner measured
+# ~68 ns/sample on the reference host, and its steady state is
+# alloc-free (pinned exactly by TestStreamSteadyStateAllocFree).
+CONDITION_MAX_NS_PER_SAMPLE ?= 150
+CONDITION_MAX_ALLOCS_PER_SAMPLE ?= 0.01
 
-check: fmt vet test bench-guard
+.PHONY: check fmt vet test bench-guard bench-condition bench-json bench bench-batch build
+
+check: fmt vet test bench-guard bench-condition
 
 build:
 	$(GO) build ./...
@@ -50,6 +56,16 @@ bench-guard:
 		-max-ns-per-sample $(STREAM_MAX_NS_PER_SAMPLE) \
 		-max-allocs-per-sample $(STREAM_MAX_ALLOCS_PER_SAMPLE) \
 		-flat-within $(STREAM_FLAT_WITHIN)
+
+# The ingestion conditioner must stay a small fraction of the tracker's
+# per-sample budget: its ns/sample ceiling is ~25% of the streaming
+# front end's, and its steady-state Push path may not allocate.
+bench-condition:
+	$(GO) test ./internal/condition -run 'TestStreamSteadyStateAllocFree' -count=1 -v
+	$(GO) test ./internal/condition -run NONE -bench 'BenchmarkStreamerPush' -benchmem -benchtime 1s \
+		| $(GO) run ./cmd/benchjson \
+		-max-ns-per-sample $(CONDITION_MAX_NS_PER_SAMPLE) \
+		-max-allocs-per-sample $(CONDITION_MAX_ALLOCS_PER_SAMPLE)
 
 # Refresh the committed streaming benchmark snapshot without enforcing
 # ceilings (bench-guard both refreshes and enforces).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ptrack/internal/condition"
 	"ptrack/internal/engine"
 )
 
@@ -23,6 +24,9 @@ type BatchItem struct {
 // repeated BatchProcess calls when processing several batches.
 type Pool struct {
 	ep *engine.Pool
+	// cond is non-nil when WithConditioning is enabled; Process then
+	// repairs defective traces instead of rejecting them.
+	cond *condition.Config
 }
 
 // NewPool builds a worker pool with the given parallelism (<= 0 selects
@@ -37,7 +41,12 @@ func NewPool(workers int, opts ...Option) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}
-	return &Pool{ep: ep}, nil
+	p := &Pool{ep: ep}
+	if o.conditioning {
+		cc := o.conditionConfig()
+		p.cond = &cc
+	}
+	return p, nil
 }
 
 // Workers returns the pool's parallelism bound.
@@ -49,11 +58,97 @@ func (p *Pool) Workers() int { return p.ep.Workers() }
 // finish, unstarted ones carry ctx.Err(), and ctx.Err() is also
 // returned; otherwise the returned error is nil even if individual
 // traces failed.
+//
+// Traces violating the ingestion contract fail their item with
+// ErrDefectiveTrace; with WithConditioning they are repaired instead,
+// their segments processed across the pool's workers and re-merged so
+// items still map 1:1 onto traces (see Tracker.Process).
 func (p *Pool) Process(ctx context.Context, traces []*Trace) ([]BatchItem, error) {
-	items, err := p.ep.Process(ctx, traces)
+	if p.cond != nil {
+		return p.processConditioned(ctx, traces)
+	}
+	// Defective traces are withheld from the engine (a nil slot keeps
+	// the index mapping) and fail their item with the validation error.
+	submit := traces
+	var verrs []error
+	for i, tr := range traces {
+		if validTrace(tr) != nil {
+			continue // the engine reports these; wrapBatchErr classifies
+		}
+		if err := tr.Validate(); err != nil {
+			if verrs == nil {
+				verrs = make([]error, len(traces))
+				submit = append([]*Trace(nil), traces...)
+			}
+			verrs[i] = err
+			submit[i] = nil
+		}
+	}
+	items, err := p.ep.Process(ctx, submit)
 	out := make([]BatchItem, len(items))
 	for i, it := range items {
-		out[i] = BatchItem{Result: it.Result, Err: wrapBatchErr(traces[i], it.Err)}
+		werr := wrapBatchErr(traces[i], it.Err)
+		if verrs != nil && verrs[i] != nil && werr != nil &&
+			!errors.Is(werr, context.Canceled) && !errors.Is(werr, context.DeadlineExceeded) {
+			werr = fmt.Errorf("ptrack: %w: %v", ErrDefectiveTrace, verrs[i])
+		}
+		out[i] = BatchItem{Result: it.Result, Err: werr}
+	}
+	return out, err
+}
+
+// processConditioned conditions every trace, fans the resulting segments
+// out across the engine as one flat batch, then folds each trace's
+// segment results back into a single item.
+func (p *Pool) processConditioned(ctx context.Context, traces []*Trace) ([]BatchItem, error) {
+	type span struct {
+		start, n int // segment range in the flat batch
+		offs     []float64
+		rep      *ConditionReport
+		err      error
+	}
+	spans := make([]span, len(traces))
+	var flat []*Trace
+	for i, tr := range traces {
+		if tr == nil || len(tr.Samples) == 0 {
+			spans[i].err = fmt.Errorf("ptrack: %w", ErrEmptyTrace)
+			continue
+		}
+		segs, rep, err := condition.Condition(tr, *p.cond)
+		if err != nil {
+			spans[i].err = fmt.Errorf("ptrack: %w: %v", ErrDefectiveTrace, err)
+			continue
+		}
+		spans[i] = span{start: len(flat), n: len(segs), rep: rep}
+		t0 := segs[0].Samples[0].T
+		for _, seg := range segs {
+			spans[i].offs = append(spans[i].offs, seg.Samples[0].T-t0)
+			flat = append(flat, seg)
+		}
+	}
+	items, err := p.ep.Process(ctx, flat)
+	out := make([]BatchItem, len(traces))
+	for i := range traces {
+		sp := &spans[i]
+		if sp.err != nil {
+			out[i] = BatchItem{Err: sp.err}
+			continue
+		}
+		merged := &Result{Conditioning: sp.rep}
+		var segErr error
+		for j := 0; j < sp.n && segErr == nil; j++ {
+			it := items[sp.start+j]
+			if it.Err != nil {
+				segErr = wrapBatchErr(traces[i], it.Err)
+				continue
+			}
+			mergeResult(merged, it.Result, sp.offs[j], flat[sp.start+j].SampleRate)
+		}
+		if segErr != nil {
+			out[i] = BatchItem{Err: segErr}
+			continue
+		}
+		out[i] = BatchItem{Result: merged}
 	}
 	return out, err
 }

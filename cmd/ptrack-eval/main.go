@@ -50,6 +50,7 @@ func experiments() []experiment {
 		{"gaits", func(o eval.Options) *eval.Table { t, _ := eval.GaitVariants(o); return t }},
 		{"loosemount", func(o eval.Options) *eval.Table { t, _ := eval.LooseMount(o); return t }},
 		{"dutycycle", func(o eval.Options) *eval.Table { t, _ := eval.DutyCycle(o); return t }},
+		{"degrade", func(o eval.Options) *eval.Table { t, _ := eval.DegradationSweep(o); return t }},
 	}
 }
 
@@ -143,7 +144,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "figure data written to %s: %s\n", *dataDir, strings.Join(files, ", "))
 	}
 	if ran == 0 && *dataDir == "" {
-		return fmt.Errorf("no experiment matched %v (known: 1a 1b 1c 1d 3 6a 6b 7a 7b 8a 8b 9 adversary surface zoo stability mapmatch gaits loosemount dutycycle)", figs)
+		return fmt.Errorf("no experiment matched %v (known: 1a 1b 1c 1d 3 6a 6b 7a 7b 8a 8b 9 adversary surface zoo stability mapmatch gaits loosemount dutycycle degrade)", figs)
 	}
 	return nil
 }

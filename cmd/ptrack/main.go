@@ -9,6 +9,7 @@
 //	ptrack -train calibration.csv -train-distance 180 trace.csv
 //	ptrack -debug-addr localhost:6060 -log-level debug trace.csv
 //	ptrack -workers 8 day1.csv day2.csv day3.csv   # concurrent batch
+//	ptrack -condition defective.csv                # repair before processing
 //
 // With several trace arguments the traces are processed concurrently
 // through the batch engine and reported one line per file.
@@ -43,6 +44,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		delta       = fs.Float64("delta", 0, "override the gait-identification threshold (0 = paper default 0.0325)")
 		truthFile   = fs.String("truth", "", "ground-truth JSON (from tracegen -truth) for scoring")
 		verbose     = fs.Bool("v", false, "print per-cycle diagnostics")
+		repair      = fs.Bool("condition", false, "repair defective traces (out-of-order/duplicate samples, NaN spikes, gaps, rate drift) before processing and report the defects found")
 		workers     = fs.Int("workers", 0, "worker count for multi-file batches (0 = GOMAXPROCS)")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while processing")
 		logLevel    = fs.String("log-level", "warn", "slog level: debug|info|warn|error (debug logs every classified cycle)")
@@ -76,6 +78,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *delta != 0 {
 		opts = append(opts, ptrack.WithOffsetThreshold(*delta))
 	}
+	if *repair {
+		opts = append(opts, ptrack.WithConditioning())
+	}
 	switch {
 	case *trainFile != "":
 		f, err := os.Open(*trainFile)
@@ -103,7 +108,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	if fs.NArg() > 1 {
-		return runBatch(fs.Args(), *workers, opts, stdout)
+		return runBatch(fs.Args(), *workers, *repair, opts, stdout)
 	}
 
 	in := stdin
@@ -115,7 +120,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	tr, err := ptrack.ReadTraceCSV(in)
+	tr, err := readTrace(in, *repair)
 	if err != nil {
 		return fmt.Errorf("reading trace: %w", err)
 	}
@@ -138,6 +143,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	counts := res.LabelCounts()
 	fmt.Fprintf(stdout, "cycles:   %d walking, %d stepping, %d interference\n",
 		counts[ptrack.LabelWalking], counts[ptrack.LabelStepping], counts[ptrack.LabelInterference])
+	if rep := res.Conditioning; rep != nil && !rep.Clean {
+		fmt.Fprintf(stdout, "repairs:  %d defects (%d out-of-order, %d duplicates, %d non-finite, %d gaps bridged, %d gaps split) at %.1f Hz effective\n",
+			rep.Defects(), rep.OutOfOrder, rep.Duplicates, rep.NonFinite,
+			rep.GapsBridged, rep.GapsSplit, rep.EffectiveRate)
+	}
 	if *truthFile != "" {
 		tf, err := os.Open(*truthFile)
 		if err != nil {
@@ -171,7 +181,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // runBatch processes several trace files concurrently through the batch
 // engine and prints one summary line per file plus totals. Per-file
 // failures are reported inline without aborting the batch.
-func runBatch(files []string, workers int, opts []ptrack.Option, stdout io.Writer) error {
+func runBatch(files []string, workers int, repair bool, opts []ptrack.Option, stdout io.Writer) error {
 	traces := make([]*ptrack.Trace, len(files))
 	readErrs := make([]error, len(files))
 	for i, name := range files {
@@ -180,7 +190,7 @@ func runBatch(files []string, workers int, opts []ptrack.Option, stdout io.Write
 			readErrs[i] = err
 			continue
 		}
-		traces[i], readErrs[i] = ptrack.ReadTraceCSV(f)
+		traces[i], readErrs[i] = readTrace(f, repair)
 		f.Close()
 	}
 
@@ -222,6 +232,15 @@ func runBatch(files []string, workers int, opts []ptrack.Option, stdout io.Write
 		return fmt.Errorf("all %d traces failed", failed)
 	}
 	return nil
+}
+
+// readTrace loads one trace CSV; with repair enabled it uses the lenient
+// parser, leaving validation and repair to the conditioner.
+func readTrace(r io.Reader, repair bool) (*ptrack.Trace, error) {
+	if repair {
+		return ptrack.ReadRawTraceCSV(r)
+	}
+	return ptrack.ReadTraceCSV(r)
 }
 
 func parseProfile(s string) (arm, leg, k float64, err error) {

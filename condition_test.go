@@ -1,0 +1,203 @@
+package ptrack
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"ptrack/internal/gaitsim"
+)
+
+func walkingRecording(t *testing.T, durS float64) *Recording {
+	t.Helper()
+	rec, err := Simulate(DefaultSimProfile(), DefaultSimConfig(),
+		[]SimSegment{{Activity: ActivityWalking, Duration: durS}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// Conditioning a clean trace must be a pass-through: the result matches
+// the unconditioned run exactly, and ConditionTrace hands back the very
+// same trace pointer.
+func TestConditioningCleanParity(t *testing.T) {
+	rec := walkingRecording(t, 60)
+
+	plain, err := New(WithProfile(0.62, 0.90, 2.35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Process(rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cond, err := New(WithProfile(0.62, 0.90, 2.35), WithConditioning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cond.Process(rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Conditioning == nil || !got.Conditioning.Clean || got.Conditioning.Defects() != 0 {
+		t.Fatalf("clean trace not reported clean: %+v", got.Conditioning)
+	}
+	got.Conditioning = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("conditioned clean result diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	segs, rep, err := ConditionTrace(rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != rec.Trace {
+		t.Errorf("clean ConditionTrace returned %d segments (same pointer: %v)",
+			len(segs), len(segs) == 1 && segs[0] == rec.Trace)
+	}
+	if !rep.Clean {
+		t.Errorf("clean trace report: %+v", rep)
+	}
+}
+
+// Without conditioning, traces violating the ingestion contract must be
+// rejected loudly; with conditioning they are repaired and processed.
+func TestProcessDefectiveTrace(t *testing.T) {
+	rec := walkingRecording(t, 60)
+	defective := gaitsim.InjectFaults(rec.Trace, gaitsim.FaultsAtSeverity(0.5, 23))
+
+	plain, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := plain.Process(rec.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Process(defective); !errors.Is(err, ErrDefectiveTrace) {
+		t.Fatalf("defective trace: got %v, want ErrDefectiveTrace", err)
+	}
+
+	cond, err := New(WithConditioning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cond.Process(defective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conditioning == nil || res.Conditioning.Defects() == 0 {
+		t.Fatalf("no defects reported for faulty trace: %+v", res.Conditioning)
+	}
+	if lo, hi := clean.Steps*7/10, clean.Steps*13/10; res.Steps < lo || res.Steps > hi {
+		t.Errorf("conditioned steps %d not within ±30%% of clean %d", res.Steps, clean.Steps)
+	}
+}
+
+// The batch pool applies the same contract per item: rejection without
+// conditioning, repair (plus segment re-merge) with it.
+func TestPoolDefectiveTrace(t *testing.T) {
+	rec := walkingRecording(t, 60)
+	defective := gaitsim.InjectFaults(rec.Trace, gaitsim.FaultsAtSeverity(0.5, 31))
+	traces := []*Trace{rec.Trace, defective, nil}
+
+	items, err := BatchProcess(context.Background(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err != nil {
+		t.Errorf("clean trace failed: %v", items[0].Err)
+	}
+	if !errors.Is(items[1].Err, ErrDefectiveTrace) {
+		t.Errorf("defective trace: got %v, want ErrDefectiveTrace", items[1].Err)
+	}
+	if !errors.Is(items[2].Err, ErrEmptyTrace) {
+		t.Errorf("nil trace: got %v, want ErrEmptyTrace", items[2].Err)
+	}
+
+	items, err = BatchProcess(context.Background(), traces, WithConditioning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err != nil || items[1].Err != nil {
+		t.Fatalf("conditioned batch failed: %v / %v", items[0].Err, items[1].Err)
+	}
+	if items[0].Result.Conditioning == nil || !items[0].Result.Conditioning.Clean {
+		t.Errorf("clean trace not reported clean in batch: %+v", items[0].Result.Conditioning)
+	}
+	if items[1].Result.Conditioning.Defects() == 0 {
+		t.Errorf("defective trace reported no defects in batch")
+	}
+	if !errors.Is(items[2].Err, ErrEmptyTrace) {
+		t.Errorf("nil trace with conditioning: got %v, want ErrEmptyTrace", items[2].Err)
+	}
+	want := items[0].Result.Steps
+	if got := items[1].Result.Steps; got < want*7/10 || got > want*13/10 {
+		t.Errorf("conditioned batch steps %d not within ±30%% of clean %d", got, want)
+	}
+}
+
+// An instrumented conditioning run must surface nonzero defect counters
+// and the gap histogram through the metrics registry.
+func TestConditioningMetrics(t *testing.T) {
+	rec := walkingRecording(t, 30)
+	defective := gaitsim.InjectFaults(rec.Trace, gaitsim.FaultsAtSeverity(0.8, 5))
+
+	m := NewMetrics()
+	tk, err := New(WithObserver(NewObserver(m)), WithConditioning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Process(defective); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	nonzero := regexp.MustCompile(`ptrack_condition_defects_total\{type="(non_finite|duplicate|out_of_order)"\} [1-9]`)
+	if !nonzero.MatchString(text) {
+		t.Errorf("no nonzero defect counter in exposition:\n%s",
+			regexp.MustCompile(`(?m)^ptrack_condition.*$`).FindAllString(text, -1))
+	}
+	stage := regexp.MustCompile(`ptrack_condition_stage_seconds_total\{stage="resample"\} [0-9.e+-]*[1-9]`)
+	if !stage.MatchString(text) {
+		t.Errorf("resample stage timer not recorded")
+	}
+}
+
+// Lenient CSV reading plus conditioning recovers recordings the strict
+// reader rejects.
+func TestReadRawTraceCSV(t *testing.T) {
+	rec := walkingRecording(t, 30)
+	defective := gaitsim.InjectFaults(rec.Trace, gaitsim.FaultsAtSeverity(0.5, 7))
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, defective); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceCSV(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("strict reader accepted a defective recording")
+	}
+	tr, err := ReadRawTraceCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(WithConditioning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Process(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("no steps recovered from repaired CSV recording")
+	}
+}

@@ -25,6 +25,13 @@ var (
 	ErrInvalidSampleRate = errors.New("invalid sample rate")
 	// ErrEmptyTrace reports a nil trace or one without samples.
 	ErrEmptyTrace = errors.New("empty trace")
+	// ErrDefectiveTrace reports a trace that violates the ingestion
+	// contract the DSP layers assume — non-monotonic or irregular
+	// timestamps, non-finite samples, a missing sample rate — while
+	// conditioning is disabled, or one so defective the conditioner
+	// could not recover a usable stream. Enable WithConditioning to
+	// repair such traces instead of rejecting them.
+	ErrDefectiveTrace = errors.New("defective trace")
 
 	// ErrSessionQueueFull reports a Push dropped because the session's
 	// bounded queue was full (backpressure signal; the stream itself

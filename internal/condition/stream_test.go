@@ -1,0 +1,180 @@
+package condition
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/trace"
+)
+
+func collect(s *Streamer, samples []trace.Sample) []Out {
+	var all []Out
+	for _, raw := range samples {
+		all = append(all, s.Push(raw)...)
+	}
+	return append(all, s.Flush()...)
+}
+
+// TestStreamCleanPassThrough: a clean on-grid stream must come out
+// bit-identical, with no defects reported.
+func TestStreamCleanPassThrough(t *testing.T) {
+	tr := cleanTrace(t, 20)
+	s, err := NewStreamer(StreamConfig{Config: Config{NominalRate: tr.SampleRate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := collect(s, tr.Samples)
+	if len(outs) != len(tr.Samples) {
+		t.Fatalf("got %d samples, want %d", len(outs), len(tr.Samples))
+	}
+	for i, o := range outs {
+		if o.Split {
+			t.Fatalf("unexpected split at %d", i)
+		}
+		if o.Sample != tr.Samples[i] {
+			t.Fatalf("sample %d altered: %+v vs %+v", i, o.Sample, tr.Samples[i])
+		}
+	}
+	if rep := s.Report(); !rep.Clean || rep.Defects() != 0 {
+		t.Fatalf("clean stream reported defects: %+v", rep)
+	}
+}
+
+// TestStreamMatchesBatch: on a defective trace whose reordering fits the
+// reorder window, the streaming conditioner must produce exactly the
+// batch conditioner's output.
+func TestStreamMatchesBatch(t *testing.T) {
+	tr := cleanTrace(t, 30)
+	f := gaitsim.Faults{
+		Seed:      3,
+		DropRate:  0.01,
+		DupRate:   0.005,
+		SwapRate:  0.01,
+		SwapDelay: 3,
+		SpikeRate: 0.003,
+	}
+	defective := gaitsim.InjectFaults(tr, f)
+
+	cfg := Config{NominalRate: tr.SampleRate}
+	segs, brep, err := Condition(defective, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreamer(StreamConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := collect(s, defective.Samples)
+
+	var batch []trace.Sample
+	for _, seg := range segs {
+		batch = append(batch, seg.Samples...)
+	}
+	if len(outs) != len(batch) {
+		t.Fatalf("stream emitted %d samples, batch %d", len(outs), len(batch))
+	}
+	for i := range outs {
+		if outs[i].Sample != batch[i] {
+			t.Fatalf("sample %d: stream %+v vs batch %+v", i, outs[i].Sample, batch[i])
+		}
+	}
+	srep := s.Report()
+	if srep.GapsBridged != brep.GapsBridged || srep.GapsSplit != brep.GapsSplit {
+		t.Fatalf("gap accounting differs: stream %d/%d, batch %d/%d",
+			srep.GapsBridged, srep.GapsSplit, brep.GapsBridged, brep.GapsSplit)
+	}
+}
+
+func TestStreamSplitsLongGap(t *testing.T) {
+	tr := cleanTrace(t, 20)
+	n := len(tr.Samples)
+	var in []trace.Sample
+	in = append(in, tr.Samples[:n/2]...)
+	in = append(in, tr.Samples[n/2+500:]...) // 5 s hole
+	s, err := NewStreamer(StreamConfig{Config: Config{NominalRate: tr.SampleRate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := collect(s, in)
+	splits := 0
+	for _, o := range outs {
+		if o.Split {
+			splits++
+		}
+	}
+	if splits != 1 {
+		t.Fatalf("expected exactly 1 split, got %d", splits)
+	}
+	if rep := s.Report(); rep.GapsSplit != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestStreamRejectsLateAndNonFinite(t *testing.T) {
+	s, err := NewStreamer(StreamConfig{Config: Config{NominalRate: 100}, ReorderWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.01
+	for i := 0; i < 20; i++ {
+		s.Push(trace.Sample{T: float64(i) * dt})
+	}
+	s.Push(trace.Sample{T: math.NaN()})
+	s.Push(trace.Sample{T: 0.001}) // far behind the committed frontier
+	s.Flush()
+	rep := s.Report()
+	if rep.NonFinite != 1 {
+		t.Fatalf("NonFinite = %d, want 1", rep.NonFinite)
+	}
+	if rep.Rejected != 1 || rep.OutOfOrder != 1 {
+		t.Fatalf("late sample not rejected: %+v", rep)
+	}
+}
+
+// TestStreamSteadyStateAllocFree: pushing in-order on-grid samples must
+// not allocate once the reorder buffer and output slice are warm.
+func TestStreamSteadyStateAllocFree(t *testing.T) {
+	s, err := NewStreamer(StreamConfig{Config: Config{NominalRate: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.01
+	n := 0
+	for i := 0; i < 100; i++ { // warm-up
+		s.Push(trace.Sample{T: float64(n) * dt})
+		n++
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Push(trace.Sample{T: float64(n) * dt})
+		n++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Push allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkStreamerPush measures the streaming conditioner's per-sample
+// cost on a clean stream (the steady-state fast path) — gated by
+// `make bench-condition`.
+func BenchmarkStreamerPush(b *testing.B) {
+	tr := cleanTrace(b, 60)
+	s, err := NewStreamer(StreamConfig{Config: Config{NominalRate: tr.SampleRate}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := tr.Samples
+	dur := samples[len(samples)-1].T + 1/tr.SampleRate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := float64(i) * dur
+		for _, raw := range samples {
+			raw.T += base // keep time monotonic across iterations
+			s.Push(raw)
+		}
+	}
+	b.StopTimer()
+	total := float64(b.N) * float64(len(samples))
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/sample")
+	b.ReportMetric(float64(len(samples)), "samples/op")
+}

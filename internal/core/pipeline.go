@@ -9,6 +9,7 @@ import (
 	"math"
 	"time"
 
+	"ptrack/internal/condition"
 	"ptrack/internal/gaitid"
 	"ptrack/internal/obs"
 	"ptrack/internal/project"
@@ -71,6 +72,10 @@ type Result struct {
 	Distance float64        // sum of stride estimates of counted steps
 	Cycles   []CycleOutcome // per-candidate diagnostics
 	StepLog  []StepEstimate // counted steps in order
+	// Conditioning carries the trace conditioner's defect report when the
+	// input was conditioned before processing (see the facade's
+	// WithConditioning); nil when the trace was processed as-is.
+	Conditioning *condition.Report
 }
 
 // LabelCounts returns how many candidate cycles received each label —

@@ -1,0 +1,152 @@
+package gaitsim
+
+import (
+	"math"
+	"math/rand"
+
+	"ptrack/internal/trace"
+)
+
+// Faults describes sensing-path defects to inject into a clean simulated
+// trace: the timestamp jitter, dropped/duplicated/out-of-order samples,
+// NaN/Inf spikes and range saturation seen in real wearable recordings.
+// The zero value injects nothing. All randomness derives from Seed, so
+// the same (trace, Faults) pair always yields the same defective trace —
+// the property the degradation sweep and the conditioner tests rely on.
+type Faults struct {
+	Seed int64
+
+	// JitterStd perturbs every timestamp by zero-mean Gaussian noise of
+	// this standard deviation, in seconds.
+	JitterStd float64
+	// DropRate is the per-sample probability of starting a dropout.
+	DropRate float64
+	// DropBurst is the mean number of extra samples lost per dropout
+	// (geometric); 0 drops single samples.
+	DropBurst float64
+	// DupRate is the per-sample probability of emitting the sample twice
+	// (identical timestamp).
+	DupRate float64
+	// SwapRate is the per-sample probability of delaying the sample by
+	// 1..SwapDelay positions, producing out-of-order arrival.
+	SwapRate float64
+	// SwapDelay bounds the reordering distance, in samples. Default 3
+	// when SwapRate > 0.
+	SwapDelay int
+	// SpikeRate is the per-sample probability of corrupting the reading:
+	// alternating NaN, +Inf and (when SpikeAmp > 0) huge finite spikes.
+	SpikeRate float64
+	// SpikeAmp is the magnitude of finite spikes, m/s^2.
+	SpikeAmp float64
+	// ClipLimit saturates every acceleration component at ±ClipLimit,
+	// modelling a range-limited accelerometer. 0 disables.
+	ClipLimit float64
+}
+
+// FaultsAtSeverity maps a severity in [0, 1] onto a combined fault mix —
+// the x-axis of the accuracy-vs-defect-severity degradation curves. At
+// severity 0 it returns the zero Faults (identity).
+func FaultsAtSeverity(severity float64, seed int64) Faults {
+	if severity <= 0 {
+		return Faults{Seed: seed}
+	}
+	return Faults{
+		Seed:      seed,
+		JitterStd: 0.002 * severity, // up to ±2 ms rms at 100 Hz
+		DropRate:  0.02 * severity,
+		DropBurst: 2 * severity,
+		DupRate:   0.01 * severity,
+		SwapRate:  0.02 * severity,
+		SwapDelay: 3,
+		SpikeRate: 0.005 * severity,
+		SpikeAmp:  200,
+	}
+}
+
+// InjectFaults returns a defective copy of tr with the configured faults
+// applied. The declared SampleRate is preserved (the metadata still
+// claims the nominal rate; only the data lies), matching how real
+// defective recordings present themselves.
+func InjectFaults(tr *trace.Trace, f Faults) *trace.Trace {
+	out := &trace.Trace{SampleRate: tr.SampleRate, Label: tr.Label}
+	if len(tr.Samples) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	swapDelay := f.SwapDelay
+	if swapDelay <= 0 {
+		swapDelay = 3
+	}
+	out.Samples = make([]trace.Sample, 0, len(tr.Samples))
+	spikeKind := 0
+	drop := 0
+	// delayed holds swapped-out samples keyed by the emission index at
+	// which they re-enter the stream.
+	delayed := map[int][]trace.Sample{}
+	for i, s := range tr.Samples {
+		for _, late := range delayed[i] {
+			out.Samples = append(out.Samples, late)
+		}
+		delete(delayed, i)
+
+		if drop > 0 {
+			drop--
+			continue
+		}
+		if f.DropRate > 0 && rng.Float64() < f.DropRate {
+			if f.DropBurst > 0 {
+				drop = int(rng.ExpFloat64() * f.DropBurst)
+			}
+			continue
+		}
+		if f.JitterStd > 0 {
+			s.T += rng.NormFloat64() * f.JitterStd
+		}
+		if f.SpikeRate > 0 && rng.Float64() < f.SpikeRate {
+			switch spikeKind % 3 {
+			case 0:
+				s.Accel.X = math.NaN()
+			case 1:
+				s.Accel.Z = math.Inf(1)
+			case 2:
+				if f.SpikeAmp > 0 {
+					s.Accel.Y += f.SpikeAmp
+				} else {
+					s.Accel.Y = math.NaN()
+				}
+			}
+			spikeKind++
+		}
+		if f.ClipLimit > 0 {
+			s.Accel.X = clamp(s.Accel.X, f.ClipLimit)
+			s.Accel.Y = clamp(s.Accel.Y, f.ClipLimit)
+			s.Accel.Z = clamp(s.Accel.Z, f.ClipLimit)
+		}
+		if f.SwapRate > 0 && rng.Float64() < f.SwapRate {
+			at := i + 1 + rng.Intn(swapDelay)
+			delayed[at] = append(delayed[at], s)
+			continue
+		}
+		out.Samples = append(out.Samples, s)
+		if f.DupRate > 0 && rng.Float64() < f.DupRate {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	// Samples delayed past the end of the trace arrive last.
+	for i := len(tr.Samples); i <= len(tr.Samples)+swapDelay; i++ {
+		for _, late := range delayed[i] {
+			out.Samples = append(out.Samples, late)
+		}
+	}
+	return out
+}
+
+func clamp(v, limit float64) float64 {
+	if v > limit {
+		return limit
+	}
+	if v < -limit {
+		return -limit
+	}
+	return v
+}

@@ -50,6 +50,23 @@ var (
 	// BatchBuckets resolve per-trace wall time in the batch engine: a 60 s
 	// trace costs ~1-2 ms, so the layout spans sub-millisecond to seconds.
 	BatchBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 5}
+	// GapBuckets resolve timing gaps found by the trace conditioner, from
+	// a couple of missing samples at wearable rates up to multi-second
+	// holes that split the trace (the bridge/split boundary defaults to
+	// 2 s, so the layout straddles it).
+	GapBuckets = []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1, 2, 5, 15}
+)
+
+// Conditioner label values, pre-registered so the hook methods stay
+// allocation- and lock-free. They mirror the kind/stage strings emitted
+// by internal/condition; unknown strings fall into "other".
+var (
+	conditionDefectKinds = []string{
+		"out_of_order", "duplicate", "non_finite", "gap_bridged",
+		"gap_split", "clipped_run", "rate_drift", "missing_rate",
+		"rejected", "other",
+	}
+	conditionStageNames = []string{"inspect", "order", "rate", "resample", "other"}
 )
 
 // Hooks is the instrumentation surface the batch (internal/core) and
@@ -75,6 +92,10 @@ type Hooks struct {
 	batchTraceHist *Histogram
 	sessionsActive *Gauge
 	sessionDrops   *Counter
+
+	conditionDefects map[string]*Counter
+	conditionStage   map[string]*Counter
+	conditionGapHist *Histogram
 
 	logger *slog.Logger
 }
@@ -118,6 +139,18 @@ func NewHooks(reg *Registry) *Hooks {
 		"Streaming sessions currently held by session hubs.")
 	h.sessionDrops = reg.Counter("ptrack_session_dropped_samples_total",
 		"Samples rejected because a session's bounded queue was full.")
+	h.conditionDefects = make(map[string]*Counter, len(conditionDefectKinds))
+	for _, kind := range conditionDefectKinds {
+		h.conditionDefects[kind] = reg.Counter("ptrack_condition_defects_total",
+			"Trace defects found by the ingestion conditioner, by type.", "type", kind)
+	}
+	h.conditionStage = make(map[string]*Counter, len(conditionStageNames))
+	for _, stage := range conditionStageNames {
+		h.conditionStage[stage] = reg.Counter("ptrack_condition_stage_seconds_total",
+			"Cumulative wall time spent in each conditioning stage.", "stage", stage)
+	}
+	h.conditionGapHist = reg.Histogram("ptrack_condition_gap_seconds",
+		"Timing gaps found by the ingestion conditioner (bridged or split).", GapBuckets)
 	return h
 }
 
@@ -246,6 +279,46 @@ func (h *Hooks) SessionSamplesDropped(n int) {
 		return
 	}
 	h.sessionDrops.Add(float64(n))
+}
+
+// ConditionDefect records n trace defects of the given kind found by the
+// ingestion conditioner. Implements the condition.Hooks interface.
+func (h *Hooks) ConditionDefect(kind string, n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	c, ok := h.conditionDefects[kind]
+	if !ok {
+		c = h.conditionDefects["other"]
+	}
+	c.Add(float64(n))
+}
+
+// ConditionGap records one timing gap (bridged or split) found by the
+// ingestion conditioner.
+func (h *Hooks) ConditionGap(seconds float64) {
+	if h == nil {
+		return
+	}
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.conditionGapHist.Observe(seconds)
+}
+
+// ConditionStageDone records wall time spent in one conditioning stage.
+func (h *Hooks) ConditionStageDone(stage string, seconds float64) {
+	if h == nil {
+		return
+	}
+	c, ok := h.conditionStage[stage]
+	if !ok {
+		c = h.conditionStage["other"]
+	}
+	if seconds < 0 {
+		seconds = 0
+	}
+	c.Add(seconds)
 }
 
 // EventEmitted records the cycle-end-to-emission latency of one

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"ptrack/internal/condition"
 	"ptrack/internal/dsp"
 	"ptrack/internal/gaitid"
 	"ptrack/internal/imu"
@@ -66,6 +67,15 @@ type Config struct {
 	// Hook updates are atomic, so one Hooks may be shared by concurrent
 	// trackers.
 	Hooks *obs.Hooks
+	// Condition, when non-nil, routes pushed samples through an online
+	// trace conditioner before the DSP front end: out-of-order samples
+	// are re-sorted within a bounded window, duplicates and non-finite
+	// readings dropped, timestamps resampled onto the tracker's nominal
+	// grid with short gaps bridged, and long gaps split the stream
+	// (flushing pending decisions and breaking gait streaks). The
+	// conditioner's NominalRate is overridden with cfg.SampleRate. Nil
+	// assumes a clean fixed-rate input, as before.
+	Condition *condition.StreamConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +155,9 @@ type Tracker struct {
 	pendingStepping []pendingCycle
 
 	lastAxis vecmath.Vec3
+
+	// cond is the optional online conditioner in front of the DSP path.
+	cond *condition.Streamer
 }
 
 type pendingCycle struct {
@@ -163,14 +176,18 @@ func New(cfg Config) (*Tracker, error) {
 	}
 	segCfg := cfg.Segment.WithDefaults()
 	t := &Tracker{
-		cfg:       cfg,
-		segCfg:    segCfg,
-		id:        gaitid.NewIdentifier(cfg.Identify, cfg.SampleRate),
-		grav:      imu.NewProjector(0.04, cfg.SampleRate),
-		lastPeak:  -1,
-		scanEvery: int(0.1 * cfg.SampleRate),
+		cfg:      cfg,
+		segCfg:   segCfg,
+		id:       gaitid.NewIdentifier(cfg.Identify, cfg.SampleRate),
+		grav:     imu.NewProjector(0.04, cfg.SampleRate),
+		lastPeak: -1,
+		// Derived sample counts truncate to 0 below 10 Hz (0.1 s spans
+		// less than one sample period); clamp them to at least one sample
+		// so low-rate streams scan every sample instead of never scanning
+		// and keep a positive peak refractory distance.
+		scanEvery: max2(1, int(0.1*cfg.SampleRate)),
 	}
-	t.minDistSamp = int(math.Round(segCfg.MinPeakDistanceS * cfg.SampleRate))
+	t.minDistSamp = max2(1, int(math.Round(segCfg.MinPeakDistanceS*cfg.SampleRate)))
 	if fwd, err := dsp.NewLowPassBiquad(segCfg.LowPassCutoffHz, cfg.SampleRate); err == nil {
 		t.fwdBq = fwd
 		t.bwdBq, _ = dsp.NewLowPassBiquad(segCfg.LowPassCutoffHz, cfg.SampleRate)
@@ -187,7 +204,7 @@ func New(cfg Config) (*Tracker, error) {
 	// earlier terrain. A full cycle plus several refractory distances
 	// covers both in practice; the equivalence suite pins this against
 	// whole-buffer detection on every seed activity.
-	t.lookback = int(math.Round(segCfg.MaxCycleS*cfg.SampleRate)) + 4*t.minDistSamp
+	t.lookback = max2(1, int(math.Round(segCfg.MaxCycleS*cfg.SampleRate))+4*t.minDistSamp)
 	if cfg.AdaptiveDelta {
 		t.adaptive = gaitid.NewAdaptiveThreshold(0)
 	}
@@ -197,6 +214,15 @@ func New(cfg Config) (*Tracker, error) {
 			return nil, fmt.Errorf("stream: %w", err)
 		}
 		t.est = est
+	}
+	if cfg.Condition != nil {
+		cc := *cfg.Condition
+		cc.NominalRate = cfg.SampleRate
+		cond, err := condition.NewStreamer(cc)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		t.cond = cond
 	}
 	return t, nil
 }
@@ -214,7 +240,26 @@ func (t *Tracker) Threshold() float64 {
 }
 
 // Push consumes one sample and returns any events that became decidable.
+// With Config.Condition set, the sample first passes through the online
+// conditioner: it may be buffered for reordering (emitting nothing yet),
+// rejected as a duplicate or non-finite reading, or released together
+// with earlier samples snapped onto the nominal grid.
 func (t *Tracker) Push(s trace.Sample) []Event {
+	if t.cond == nil {
+		return t.push(s)
+	}
+	var events []Event
+	for _, o := range t.cond.Push(s) {
+		if o.Split {
+			events = append(events, t.splitReset()...)
+		}
+		events = append(events, t.push(o.Sample)...)
+	}
+	return events
+}
+
+// push consumes one conditioned (or trusted-clean) sample.
+func (t *Tracker) push(s trace.Sample) []Event {
 	if !t.gravSet {
 		// Prime the gravity filter on the first sample; it refines as the
 		// stream proceeds (a real device carries its estimate over).
@@ -256,10 +301,48 @@ func (t *Tracker) Push(s trace.Sample) []Event {
 }
 
 // Flush reports any cycles that were still waiting for trailing context,
-// accepting reduced margins. Call at end of stream.
+// accepting reduced margins. With conditioning enabled it first releases
+// the samples still held in the reorder window. Call at end of stream.
 func (t *Tracker) Flush() []Event {
+	var events []Event
+	if t.cond != nil {
+		for _, o := range t.cond.Flush() {
+			if o.Split {
+				events = append(events, t.splitReset()...)
+			}
+			events = append(events, t.push(o.Sample)...)
+		}
+	}
+	tail := t.drainWith(true)
+	t.observeEvents(tail)
+	return append(events, tail...)
+}
+
+// ConditionReport returns the live defect report of the input
+// conditioner, or nil when Config.Condition is unset. Counts reflect
+// everything pushed so far.
+func (t *Tracker) ConditionReport() *condition.Report {
+	if t.cond == nil {
+		return nil
+	}
+	return t.cond.Report()
+}
+
+// splitReset finalises state at a conditioner split (a gap too long to
+// bridge): cycles still waiting for trailing context are decided with
+// whatever margin is buffered, the stepping confirmation streak breaks,
+// and a candidate barrier lands at the split so no gait cycle spans the
+// discontinuity.
+func (t *Tracker) splitReset() []Event {
 	events := t.drainWith(true)
 	t.observeEvents(events)
+	t.id.BreakStreak()
+	t.pendingStepping = t.pendingStepping[:0]
+	if t.absCount > 0 {
+		t.lastPeak = t.absCount - 1
+	}
+	t.prevCycleEnd = 0
+	t.sinceScan = 0
 	return events
 }
 
@@ -588,6 +671,13 @@ func reclaim(x []float64, off int) []float64 {
 
 func min2(a, b int) int {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
 		return a
 	}
 	return b

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -50,8 +51,25 @@ func WriteCSV(w io.Writer, tr *Trace) error {
 }
 
 // ReadCSV parses a trace previously written by WriteCSV, accepting both
-// the current 8-column and the legacy 5-column data layout.
+// the current 8-column and the legacy 5-column data layout. It enforces
+// the ingestion contract at load time: a trace with data rows must carry
+// a positive finite `#rate` (else the error wraps ErrMissingRate — a
+// zero rate would otherwise surface as divide-by-zero-derived configs
+// far downstream) and every field must be finite (else ErrNonFinite).
+// Use ReadCSVLenient to load a defective recording for repair by
+// internal/condition.
 func ReadCSV(r io.Reader) (*Trace, error) {
+	return readCSV(r, true)
+}
+
+// ReadCSVLenient parses like ReadCSV but skips the rate and finiteness
+// validation, so defective recordings (missing metadata, NaN/Inf
+// spikes) can be loaded and routed through the trace conditioner.
+func ReadCSVLenient(r io.Reader) (*Trace, error) {
+	return readCSV(r, false)
+}
+
+func readCSV(r io.Reader, strict bool) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // metadata rows have 2 fields
 
@@ -116,10 +134,18 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		} else {
 			s.Yaw = vals[4]
 		}
+		if strict && !s.Finite() {
+			return nil, fmt.Errorf("%w: line %d", ErrNonFinite, line)
+		}
 		tr.Samples = append(tr.Samples, s)
 	}
 	if columns == 0 && len(tr.Samples) == 0 && tr.SampleRate == 0 {
 		return nil, fmt.Errorf("trace: empty or unrecognised CSV input")
+	}
+	if strict && len(tr.Samples) > 0 &&
+		(!(tr.SampleRate > 0) || math.IsInf(tr.SampleRate, 1)) {
+		return nil, fmt.Errorf("%w: #rate %v with %d data rows",
+			ErrMissingRate, tr.SampleRate, len(tr.Samples))
 	}
 	return tr, nil
 }

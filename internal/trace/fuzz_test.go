@@ -16,8 +16,62 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("")
 	f.Add("#rate,abc\n")
 	f.Add("t,ax,ay,az,gx,gy,gz,yaw\n0,1,2,3,4,5,6,7\n")
+	// Defective recordings: the strict parser must reject these cleanly
+	// (never panic) while the lenient parser loads them for conditioning.
+	f.Add("#rate,100\nt,ax,ay,az,yaw\n0,NaN,2,3,0.5\n0.01,1,2,3,0.5\n")
+	f.Add("#rate,100\nt,ax,ay,az,yaw\n0,1,+Inf,3,0.5\n")
+	f.Add("#rate,0\nt,ax,ay,az,yaw\n0,1,2,3,0.5\n")
+	f.Add("#rate,+Inf\nt,ax,ay,az,yaw\n0,1,2,3,0.5\n")
+	f.Add("#rate,100\nt,ax,ay,az,yaw\n0.02,1,2,3,0.5\n0.01,1,2,3,0.5\n0.01,1,2,3,0.5\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			// Whatever the strict parser rejects, the lenient parser must
+			// still handle without panicking (it may reject too, e.g. on
+			// malformed CSV).
+			_, _ = ReadCSVLenient(strings.NewReader(in))
+			return
+		}
+		// Strict acceptance guarantees the ingestion rate/finiteness
+		// contract on every sample.
+		if len(tr.Samples) > 0 && tr.SampleRate <= 0 {
+			t.Fatalf("strict parser accepted %d samples with rate %v", len(tr.Samples), tr.SampleRate)
+		}
+		for i, s := range tr.Samples {
+			if !s.Finite() {
+				t.Fatalf("strict parser accepted non-finite sample %d: %+v", i, s)
+			}
+		}
+		// And the lenient parser must agree on well-formed input.
+		lt, lerr := ReadCSVLenient(strings.NewReader(in))
+		if lerr != nil {
+			t.Fatalf("lenient parser rejected strictly-valid input: %v", lerr)
+		}
+		if len(lt.Samples) != len(tr.Samples) {
+			t.Fatalf("lenient/strict sample count mismatch: %d vs %d", len(lt.Samples), len(tr.Samples))
+		}
+		var buf bytes.Buffer
+		if werr := WriteCSV(&buf, tr); werr != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", werr)
+		}
+		back, rerr := ReadCSV(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if len(back.Samples) != len(tr.Samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(tr.Samples), len(back.Samples))
+		}
+	})
+}
+
+// FuzzReadCSVLenient: the lenient parser must never panic and anything
+// it accepts must round-trip through WriteCSV with the same sample
+// count (non-finite values serialise as NaN/±Inf tokens).
+func FuzzReadCSVLenient(f *testing.F) {
+	f.Add("#rate,100\nt,ax,ay,az,yaw\n0,NaN,2,3,0.5\n0.01,1,-Inf,3,0.5\n")
+	f.Add("t,ax,ay,az,yaw\n5,1,2,3,0.5\n4,1,2,3,0.5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSVLenient(strings.NewReader(in))
 		if err != nil {
 			return
 		}
@@ -25,7 +79,7 @@ func FuzzReadCSV(f *testing.F) {
 		if werr := WriteCSV(&buf, tr); werr != nil {
 			t.Fatalf("accepted trace failed to serialise: %v", werr)
 		}
-		back, rerr := ReadCSV(&buf)
+		back, rerr := ReadCSVLenient(&buf)
 		if rerr != nil {
 			t.Fatalf("round trip failed: %v", rerr)
 		}

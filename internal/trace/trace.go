@@ -4,10 +4,28 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"ptrack/internal/vecmath"
+)
+
+// Typed validation errors. ReadCSV and Trace.Validate wrap these, so
+// callers can branch with errors.Is instead of matching message text.
+var (
+	// ErrMissingRate reports a trace with samples but no positive finite
+	// sample rate — processing it would divide by zero in every
+	// rate-derived configuration downstream.
+	ErrMissingRate = errors.New("trace: missing or invalid sample rate")
+	// ErrNonFinite reports a NaN or Inf sample field.
+	ErrNonFinite = errors.New("trace: non-finite sample value")
+	// ErrNonMonotonic reports timestamps that go backwards or repeat.
+	ErrNonMonotonic = errors.New("trace: non-monotonic timestamps")
+	// ErrIrregularTiming reports timestamps inconsistent with the
+	// declared sample rate (gaps, jitter beyond tolerance, clock drift).
+	ErrIrregularTiming = errors.New("trace: timestamps inconsistent with sample rate")
 )
 
 // Activity labels the motion that produced (part of) a trace. These mirror
@@ -146,6 +164,61 @@ func (tr *Trace) AccelSeries() (x, y, z []float64) {
 		x[i], y[i], z[i] = s.Accel.X, s.Accel.Y, s.Accel.Z
 	}
 	return x, y, z
+}
+
+// Finite reports whether every field of the sample is a finite number.
+func (s Sample) Finite() bool {
+	return finite(s.T) && finite(s.Accel.X) && finite(s.Accel.Y) && finite(s.Accel.Z) &&
+		finite(s.Gyro.X) && finite(s.Gyro.Y) && finite(s.Gyro.Z) && finite(s.Yaw)
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate checks the ingestion contract the DSP layers assume: a
+// positive finite sample rate, finite sample fields, and strictly
+// increasing timestamps that stay within half a sample period of the
+// uniform grid implied by the rate. It returns nil for traces whose
+// timestamps were never recorded (every T zero) — synthetic in-memory
+// traces are index-implied by construction. Errors wrap ErrMissingRate,
+// ErrNonFinite, ErrNonMonotonic or ErrIrregularTiming.
+//
+// Validate rejects; it does not repair. internal/condition turns the
+// same defects into a conditioned trace plus a report.
+func (tr *Trace) Validate() error {
+	if tr == nil || len(tr.Samples) == 0 {
+		return nil
+	}
+	if !(tr.SampleRate > 0) || math.IsInf(tr.SampleRate, 1) {
+		return fmt.Errorf("%w: %v Hz", ErrMissingRate, tr.SampleRate)
+	}
+	for i, s := range tr.Samples {
+		if !s.Finite() {
+			return fmt.Errorf("%w: sample %d", ErrNonFinite, i)
+		}
+	}
+	n := len(tr.Samples)
+	if n >= 2 && tr.Samples[0].T == 0 && tr.Samples[n-1].T == 0 {
+		// Timestamps unset: sample index implies time.
+		return nil
+	}
+	// Ordering defects are reported before grid deviation: a swapped
+	// pair also walks off the grid, and the more specific error is the
+	// actionable one.
+	for i := 1; i < n; i++ {
+		if tr.Samples[i].T <= tr.Samples[i-1].T {
+			return fmt.Errorf("%w: sample %d (t=%v after t=%v)",
+				ErrNonMonotonic, i, tr.Samples[i].T, tr.Samples[i-1].T)
+		}
+	}
+	dt := 1 / tr.SampleRate
+	t0 := tr.Samples[0].T
+	for i := 1; i < n; i++ {
+		if dev := tr.Samples[i].T - (t0 + float64(i)*dt); math.Abs(dev) > dt/2 {
+			return fmt.Errorf("%w: sample %d deviates %.4fs from the %g Hz grid",
+				ErrIrregularTiming, i, dev, tr.SampleRate)
+		}
+	}
+	return nil
 }
 
 // StepTruth records one true step taken during a trace.

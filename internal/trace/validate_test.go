@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateClean(t *testing.T) {
+	if err := makeTrace(100, 50, ActivityWalking).Validate(); err != nil {
+		t.Fatalf("clean trace failed validation: %v", err)
+	}
+	var nilTrace *Trace
+	if err := nilTrace.Validate(); err != nil {
+		t.Fatalf("nil trace must validate: %v", err)
+	}
+	if err := (&Trace{SampleRate: 100}).Validate(); err != nil {
+		t.Fatalf("empty trace must validate: %v", err)
+	}
+}
+
+func TestValidateUnsetTimestamps(t *testing.T) {
+	// Index-implied timing (all T zero) is the convention of ad-hoc
+	// synthetic traces; Validate must not reject it as non-monotonic.
+	tr := &Trace{SampleRate: 100, Samples: make([]Sample, 10)}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("zero-timestamp trace must validate: %v", err)
+	}
+}
+
+func TestValidateDefects(t *testing.T) {
+	base := func() *Trace { return makeTrace(100, 50, ActivityWalking) }
+
+	tr := base()
+	tr.SampleRate = 0
+	if err := tr.Validate(); !errors.Is(err, ErrMissingRate) {
+		t.Fatalf("zero rate: got %v, want ErrMissingRate", err)
+	}
+	tr = base()
+	tr.SampleRate = math.NaN()
+	if err := tr.Validate(); !errors.Is(err, ErrMissingRate) {
+		t.Fatalf("NaN rate: got %v, want ErrMissingRate", err)
+	}
+
+	tr = base()
+	tr.Samples[7].Accel.Y = math.NaN()
+	if err := tr.Validate(); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN sample: got %v, want ErrNonFinite", err)
+	}
+
+	tr = base()
+	tr.Samples[10].T, tr.Samples[11].T = tr.Samples[11].T, tr.Samples[10].T
+	if err := tr.Validate(); !errors.Is(err, ErrNonMonotonic) {
+		t.Fatalf("swapped timestamps: got %v, want ErrNonMonotonic", err)
+	}
+
+	tr = base()
+	for i := range tr.Samples {
+		// 10% clock drift walks off the declared grid within samples.
+		tr.Samples[i].T *= 1.1
+	}
+	if err := tr.Validate(); !errors.Is(err, ErrIrregularTiming) {
+		t.Fatalf("drifting clock: got %v, want ErrIrregularTiming", err)
+	}
+}
+
+func TestReadCSVStrictVsLenient(t *testing.T) {
+	defective := "#rate,100\nt,ax,ay,az,yaw\n0,NaN,2,3,0.5\n0.01,1,2,3,0.5\n"
+	if _, err := ReadCSV(strings.NewReader(defective)); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("strict NaN: got %v, want ErrNonFinite", err)
+	}
+	tr, err := ReadCSVLenient(strings.NewReader(defective))
+	if err != nil {
+		t.Fatalf("lenient parse: %v", err)
+	}
+	if len(tr.Samples) != 2 || !math.IsNaN(tr.Samples[0].Accel.X) {
+		t.Fatalf("lenient parse lost the defective sample: %+v", tr.Samples)
+	}
+
+	noRate := "t,ax,ay,az,yaw\n0,1,2,3,0.5\n"
+	if _, err := ReadCSV(strings.NewReader(noRate)); !errors.Is(err, ErrMissingRate) {
+		t.Fatalf("strict missing rate: got %v, want ErrMissingRate", err)
+	}
+	tr, err = ReadCSVLenient(strings.NewReader(noRate))
+	if err != nil || tr.SampleRate != 0 || len(tr.Samples) != 1 {
+		t.Fatalf("lenient missing rate: tr=%+v err=%v", tr, err)
+	}
+
+	// A strictly-valid trace parses identically both ways.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, makeTrace(100, 20, ActivityWalking)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	strict, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("strict parse of clean trace: %v", err)
+	}
+	lenient, err := ReadCSVLenient(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(lenient.Samples) != len(strict.Samples) {
+		t.Fatalf("lenient parse of clean trace diverged: err=%v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ptrack/internal/condition"
 	"ptrack/internal/core"
 	"ptrack/internal/gaitid"
 	"ptrack/internal/stream"
@@ -27,6 +28,7 @@ type options struct {
 	confirmCount    int
 	marginFraction  float64
 	adaptiveDelta   bool
+	conditioning    bool
 	observer        *Observer
 
 	// Hub-only knobs (see NewSessionHub); ignored elsewhere.
@@ -89,6 +91,22 @@ func WithIdleTimeout(d time.Duration) Option {
 // can be evicted. SessionHub only.
 func WithMaxSessions(n int) Option {
 	return func(o *options) { o.maxSessions = n }
+}
+
+// WithConditioning routes every input trace or sample stream through
+// the ingestion conditioner before processing. Defective recordings —
+// out-of-order or duplicated samples, timestamp jitter and rate drift,
+// NaN/Inf spikes, short dropouts — are repaired onto the clean
+// fixed-rate grid the DSP layers assume, long gaps split the recording,
+// and the repairs are tallied in Result.Conditioning (batch) or
+// Online.ConditionReport (streaming). A clean trace passes through
+// sample-identical.
+//
+// Without this option defective traces are rejected with
+// ErrDefectiveTrace rather than silently mis-processed. Honoured by
+// New, NewOnline, NewPool/BatchProcess and NewSessionHub.
+func WithConditioning() Option {
+	return func(o *options) { o.conditioning = true }
 }
 
 // WithAdaptiveThreshold replaces the fixed δ with the adaptive threshold
@@ -160,6 +178,23 @@ func (o *options) streamConfig(sampleRate float64) stream.Config {
 	if o.profile != nil {
 		sc := o.strideConfig()
 		cfg.Profile = &sc
+	}
+	if o.conditioning {
+		cfg.Condition = &condition.StreamConfig{Config: o.conditionConfig()}
+	}
+	return cfg
+}
+
+// conditionConfig materialises the trace-conditioner configuration
+// (package defaults, instrumented when an observer is attached).
+func (o *options) conditionConfig() condition.Config {
+	cfg := condition.Config{}
+	if o.observer != nil {
+		// Assign only when non-nil: a nil *Observer in a non-nil
+		// interface would defeat the conditioner's nil check (the calls
+		// would still be safe — hook methods tolerate nil receivers —
+		// but would cost interface dispatch per defect).
+		cfg.Hooks = o.observer
 	}
 	return cfg
 }

@@ -27,9 +27,12 @@
 package ptrack
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 
+	"ptrack/internal/condition"
 	"ptrack/internal/core"
 	"ptrack/internal/fitness"
 	"ptrack/internal/gaitid"
@@ -71,6 +74,12 @@ type (
 	StepEstimate = core.StepEstimate
 	// Label is a per-cycle gait classification.
 	Label = gaitid.Label
+
+	// ConditionReport tallies the defects the ingestion conditioner found
+	// and repaired in a trace (see WithConditioning and ConditionTrace).
+	ConditionReport = condition.Report
+	// ConditionGap describes one timing gap found by the conditioner.
+	ConditionGap = condition.Gap
 )
 
 // Activity constants (see the paper's evaluation, §II and §IV).
@@ -101,6 +110,9 @@ const (
 // see BatchProcess / NewPool.
 type Tracker struct {
 	pl *core.Pipeline
+	// cond is non-nil when WithConditioning is enabled; Process then
+	// repairs defective traces instead of rejecting them.
+	cond *condition.Config
 }
 
 // New builds a Tracker. Without WithProfile it counts steps only.
@@ -114,21 +126,91 @@ func New(opts ...Option) (*Tracker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}
-	return &Tracker{pl: pl}, nil
+	t := &Tracker{pl: pl}
+	if o.conditioning {
+		cc := o.conditionConfig()
+		t.cond = &cc
+	}
+	return t, nil
 }
 
 // Process runs the pipeline over a trace, returning steps, per-step
 // strides (when a profile is configured) and per-cycle diagnostics.
-// Trace errors wrap ErrEmptyTrace or ErrInvalidSampleRate.
+// Trace errors wrap ErrEmptyTrace or ErrInvalidSampleRate; a trace that
+// violates the ingestion contract (out-of-order timestamps, NaN/Inf
+// samples, timing inconsistent with the declared rate) is rejected with
+// ErrDefectiveTrace — unless the tracker was built WithConditioning, in
+// which case it is repaired first and the repairs are reported in
+// Result.Conditioning. A conditioned recording with unbridgeable gaps
+// is processed as independent segments whose step counts accumulate
+// into the one Result.
 func (t *Tracker) Process(tr *Trace) (*Result, error) {
-	if err := validTrace(tr); err != nil {
-		return nil, fmt.Errorf("ptrack: %w", err)
+	if t.cond == nil {
+		if err := validTrace(tr); err != nil {
+			return nil, fmt.Errorf("ptrack: %w", err)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("ptrack: %w: %v", ErrDefectiveTrace, err)
+		}
+		res, err := t.pl.Process(tr)
+		if err != nil {
+			return nil, fmt.Errorf("ptrack: %w", err)
+		}
+		return res, nil
 	}
-	res, err := t.pl.Process(tr)
+
+	if tr == nil || len(tr.Samples) == 0 {
+		return nil, fmt.Errorf("ptrack: %w", ErrEmptyTrace)
+	}
+	segs, rep, err := condition.Condition(tr, *t.cond)
 	if err != nil {
-		return nil, fmt.Errorf("ptrack: %w", err)
+		return nil, fmt.Errorf("ptrack: %w: %v", ErrDefectiveTrace, err)
 	}
-	return res, nil
+	merged := &Result{Conditioning: rep}
+	t0 := segs[0].Samples[0].T
+	for _, seg := range segs {
+		res, err := t.pl.Process(seg)
+		if err != nil {
+			return nil, fmt.Errorf("ptrack: %w", err)
+		}
+		mergeResult(merged, res, seg.Samples[0].T-t0, seg.SampleRate)
+	}
+	return merged, nil
+}
+
+// mergeResult accumulates one conditioned segment's result into dst,
+// shifting cycle and step times by the segment's offset within the
+// recording (the pipeline reports times relative to segment start).
+func mergeResult(dst, res *Result, offsetS, rate float64) {
+	offSamples := int(math.Round(offsetS * rate))
+	dst.Steps += res.Steps
+	dst.Distance += res.Distance
+	for _, c := range res.Cycles {
+		c.T += offsetS
+		c.Start += offSamples
+		c.End += offSamples
+		dst.Cycles = append(dst.Cycles, c)
+	}
+	for _, s := range res.StepLog {
+		s.T += offsetS
+		dst.StepLog = append(dst.StepLog, s)
+	}
+}
+
+// ConditionTrace runs the ingestion conditioner standalone: it returns
+// the repaired trace segments (split at unbridgeable gaps; a clean
+// trace comes back as its original pointer in a one-element slice) and
+// the defect report. Errors wrap ErrEmptyTrace or — when no usable
+// samples survive — ErrDefectiveTrace.
+func ConditionTrace(tr *Trace) ([]*Trace, *ConditionReport, error) {
+	segs, rep, err := condition.Condition(tr, condition.Config{})
+	if err != nil {
+		if errors.Is(err, condition.ErrEmpty) {
+			return nil, nil, fmt.Errorf("ptrack: %w", ErrEmptyTrace)
+		}
+		return nil, rep, fmt.Errorf("ptrack: %w: %v", ErrDefectiveTrace, err)
+	}
+	return segs, rep, nil
 }
 
 // TrainProfile runs the paper's self-training (§III-C2) over a recording
@@ -214,6 +296,11 @@ func (o *Online) Flush() []Event { return o.tk.Flush() }
 // Steps returns the running step count.
 func (o *Online) Steps() int { return o.tk.Steps() }
 
+// ConditionReport returns the live defect tally of the stream's input
+// conditioner, or nil when the tracker was built without
+// WithConditioning. Counts cover everything pushed so far.
+func (o *Online) ConditionReport() *ConditionReport { return o.tk.ConditionReport() }
+
 // Fitness types: the healthcare layer of the paper's motivation.
 type (
 	// UserBody carries the anthropometrics the energy model needs.
@@ -253,8 +340,16 @@ func Summarize(res *Result, body UserBody, traceDuration, windowS float64) (*Fit
 // WriteTraceCSV writes a trace in the library's CSV format.
 func WriteTraceCSV(w io.Writer, tr *Trace) error { return trace.WriteCSV(w, tr) }
 
-// ReadTraceCSV parses a trace previously written by WriteTraceCSV.
+// ReadTraceCSV parses a trace previously written by WriteTraceCSV. It
+// enforces the ingestion contract at load time: data rows require a
+// positive #rate metadata row and finite values. Use ReadRawTraceCSV to
+// load a defective recording for conditioning.
 func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// ReadRawTraceCSV parses a trace without the load-time validation of
+// ReadTraceCSV, so defective recordings (missing #rate, NaN/Inf spikes)
+// can be loaded and repaired via WithConditioning or ConditionTrace.
+func ReadRawTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSVLenient(r) }
 
 // WriteGroundTruthJSON serialises a recording's ground truth as JSON, for
 // storing alongside the trace CSV.
