@@ -1,0 +1,560 @@
+// Package client is the Go client for the ptrack serving layer. It
+// mirrors the facade over HTTP: a Session buffers samples and streams
+// them to the server in batches (Push/Flush/End ↔ Online.Push/Flush),
+// Events subscribes to a session's classification events over SSE, and
+// ProcessTrace/ProcessBatch run whole traces through the server's pool.
+//
+// The client speaks the wire formats of internal/wire — NDJSON by
+// default, the compact binary framing with WithBinary — and implements
+// the server's admission contract: on 429 and 5xx it backs off
+// exponentially with jitter (honouring Retry-After), resumes partially
+// accepted pushes from the server's reported offset, and respects
+// context cancellation everywhere.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ptrack"
+	"ptrack/internal/wire"
+)
+
+// ErrGiveUp wraps the last refusal after retries are exhausted.
+var ErrGiveUp = errors.New("client: retries exhausted")
+
+// A StatusError is a non-retryable HTTP refusal (4xx other than 429).
+type StatusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Msg)
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// a dedicated client with no global timeout — requests are bounded per
+// call by contexts, and SSE streams are long-lived by design).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithBinary selects the compact binary framing for sample pushes
+// (64 bytes per sample, alloc-free decode server-side) instead of
+// NDJSON.
+func WithBinary() Option { return func(c *Client) { c.binary = true } }
+
+// WithBatchSize sets how many samples a Session buffers before pushing
+// (default 256). Push sends immediately once the buffer is full; Flush
+// sends whatever is pending.
+func WithBatchSize(n int) Option { return func(c *Client) { c.batch = n } }
+
+// WithRetry tunes the backoff loop: at most maxRetries retries per
+// request, starting at base and doubling up to maxWait (defaults: 5,
+// 100ms, 5s). The server's Retry-After raises a step's wait when
+// longer. maxRetries of 0 disables retrying.
+func WithRetry(maxRetries int, base, maxWait time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.backoffBase, c.backoffMax = maxRetries, base, maxWait }
+}
+
+// Client talks to one ptrack server. Safe for concurrent use; Sessions
+// are not (use one per pushing goroutine, like Online).
+type Client struct {
+	base   string
+	hc     *http.Client
+	binary bool
+	batch  int
+
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+// Dial prepares a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). It validates the URL but does not contact
+// the server — the first request does.
+func Dial(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parse %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: unsupported scheme %q (want http or https)", u.Scheme)
+	}
+	c := &Client{
+		base:        strings.TrimRight(u.String(), "/"),
+		hc:          &http.Client{},
+		batch:       256,
+		maxRetries:  5,
+		backoffBase: 100 * time.Millisecond,
+		backoffMax:  5 * time.Second,
+		rng:         rand.New(rand.NewSource(rand.Int63())),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.batch <= 0 {
+		c.batch = 256
+	}
+	return c, nil
+}
+
+// Healthy reports whether the server answers /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: healthz: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Version returns the server's build banner.
+func (c *Client) Version(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/version", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: version: %w", err)
+	}
+	defer drainClose(resp.Body)
+	var v struct {
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return "", fmt.Errorf("client: version: %w", err)
+	}
+	return v.Version, nil
+}
+
+// --- sessions --------------------------------------------------------
+
+// Session buffers samples for one server-side session. Not safe for
+// concurrent use (mirror of Online); distinct Sessions of one Client
+// are independent.
+type Session struct {
+	c       *Client
+	id      string
+	pending []ptrack.Sample
+	buf     []byte // reusable encode buffer
+	ended   bool
+}
+
+// Session returns a handle for the given session ID. The server creates
+// the session on its first sample.
+func (c *Client) Session(id string) *Session {
+	return &Session{c: c, id: id}
+}
+
+// Push buffers samples, streaming full batches to the server. An error
+// leaves unsent samples pending, so a later Push or Flush retries them.
+func (s *Session) Push(ctx context.Context, samples ...ptrack.Sample) error {
+	if s.ended {
+		return errors.New("client: session ended")
+	}
+	s.pending = append(s.pending, samples...)
+	for len(s.pending) >= s.c.batch {
+		if err := s.send(ctx, s.pending[:s.c.batch]); err != nil {
+			return err
+		}
+		s.pending = s.pending[:copy(s.pending, s.pending[s.c.batch:])]
+	}
+	return nil
+}
+
+// Flush pushes all pending samples to the server.
+func (s *Session) Flush(ctx context.Context) error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	if err := s.send(ctx, s.pending); err != nil {
+		return err
+	}
+	s.pending = s.pending[:0]
+	return nil
+}
+
+// End flushes pending samples and ends the server-side session,
+// flushing its tracker so trailing events are delivered to subscribers.
+// The Session cannot be reused afterwards.
+func (s *Session) End(ctx context.Context) error {
+	if s.ended {
+		return nil
+	}
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	s.ended = true
+	resp, err := s.c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodDelete,
+			fmt.Sprintf("%s/v1/sessions/%s", s.c.base, url.PathEscape(s.id)), nil)
+	})
+	if err != nil {
+		return fmt.Errorf("client: end session: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("client: end session: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// send delivers one batch, resuming from the server's accepted count on
+// partial pushes (429 backpressure) and backing off per the retry
+// policy. batch stays intact on error.
+func (s *Session) send(ctx context.Context, batch []ptrack.Sample) error {
+	ct := wire.ContentTypeNDJSON
+	if s.c.binary {
+		ct = wire.ContentTypeBinary
+	}
+	u := fmt.Sprintf("%s/v1/sessions/%s/samples", s.c.base, url.PathEscape(s.id))
+	sent := 0
+	for attempt := 0; ; attempt++ {
+		s.buf = s.buf[:0]
+		if s.c.binary {
+			s.buf = wire.AppendBinaryHeader(s.buf)
+			for _, sm := range batch[sent:] {
+				s.buf = wire.AppendSampleBinary(s.buf, sm)
+			}
+		} else {
+			for _, sm := range batch[sent:] {
+				s.buf = wire.AppendSample(s.buf, sm)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(s.buf))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", ct)
+		resp, err := s.c.hc.Do(req)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if attempt >= s.c.maxRetries {
+				return fmt.Errorf("%w: %v", ErrGiveUp, err)
+			}
+			if err := s.c.sleep(ctx, attempt, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		var pr struct {
+			Accepted int    `json:"accepted"`
+			Error    string `json:"error"`
+		}
+		retryAfter := parseRetryAfter(resp.Header)
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&pr)
+		drainClose(resp.Body)
+
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if decErr != nil {
+				return fmt.Errorf("client: push response: %w", decErr)
+			}
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			if decErr == nil {
+				sent += pr.Accepted // resume after what the server took
+			}
+			if sent >= len(batch) {
+				return nil
+			}
+			if attempt >= s.c.maxRetries {
+				return fmt.Errorf("%w: status %d: %s", ErrGiveUp, resp.StatusCode, pr.Error)
+			}
+			if err := s.c.sleep(ctx, attempt, retryAfter); err != nil {
+				return err
+			}
+		default:
+			return &StatusError{Status: resp.StatusCode, Msg: pr.Error}
+		}
+	}
+}
+
+// --- events ----------------------------------------------------------
+
+// EventStream is a live subscription to one session's classification
+// events. Receive from Events(); the channel closes when the session
+// ends (server flush delivered) or the stream fails — check Err() after
+// the close to distinguish.
+type EventStream struct {
+	ch     chan ptrack.Event
+	cancel context.CancelFunc
+
+	mu  sync.Mutex
+	err error
+}
+
+// Events returns the receive channel. It closes on normal end-of-stream
+// and on error alike.
+func (es *EventStream) Events() <-chan ptrack.Event { return es.ch }
+
+// Err reports why the stream ended: nil after a normal end (the session
+// ended server-side), the context's error after cancellation, or the
+// transport/decoding failure.
+func (es *EventStream) Err() error {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.err
+}
+
+// Close tears the subscription down early.
+func (es *EventStream) Close() { es.cancel() }
+
+// Events subscribes to a session's event stream. Subscribing before the
+// first sample is the normal order for a client that wants every event.
+// The returned stream lives until the session ends, the context is
+// cancelled, or Close is called.
+func (c *Client) Events(ctx context.Context, session string) (*EventStream, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/v1/sessions/%s/events", c.base, url.PathEscape(session)), nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Accept", wire.ContentTypeSSE)
+		return req, nil
+	})
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("client: events: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		drainClose(resp.Body)
+		cancel()
+		return nil, fmt.Errorf("client: events: status %d", resp.StatusCode)
+	}
+	es := &EventStream{ch: make(chan ptrack.Event, 64), cancel: cancel}
+	go es.run(ctx, resp.Body)
+	return es, nil
+}
+
+// run parses the SSE stream: "event:"/"data:" lines grouped by blank
+// lines; a cycle event carries one encoded classification event, an end
+// event terminates the stream.
+func (es *EventStream) run(ctx context.Context, body io.ReadCloser) {
+	defer close(es.ch)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 4096), wire.MaxLineLen*2)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == wire.SSEEventEnd {
+				return
+			}
+			if event == wire.SSEEventCycle && data != "" {
+				ev, err := wire.ParseEventJSON([]byte(data))
+				if err != nil {
+					es.fail(fmt.Errorf("client: events: %w", err))
+					return
+				}
+				select {
+				case es.ch <- ev:
+				case <-ctx.Done():
+					es.fail(ctx.Err())
+					return
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(line[len("data:"):])
+		}
+		// Comment lines (": …") and unknown fields are ignored per SSE.
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		es.fail(fmt.Errorf("client: events: %w", err))
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		es.fail(err)
+	}
+	// A clean EOF without an end event means the server went away; the
+	// closed channel with nil error still marks end-of-stream.
+}
+
+func (es *EventStream) fail(err error) {
+	es.mu.Lock()
+	es.err = err
+	es.mu.Unlock()
+}
+
+// --- batch -----------------------------------------------------------
+
+// ProcessTrace runs one whole trace through the server's batch pool —
+// the remote mirror of Tracker.Process.
+func (c *Client) ProcessTrace(ctx context.Context, tr *ptrack.Trace) (*ptrack.Result, error) {
+	items, err := c.ProcessBatch(ctx, []*ptrack.Trace{tr})
+	if err != nil {
+		return nil, err
+	}
+	if items[0].Err != nil {
+		return nil, items[0].Err
+	}
+	return items[0].Result, nil
+}
+
+// ProcessBatch runs traces through POST /v1/batch, with the retry
+// policy applied to whole-request refusals (429/5xx). Like
+// Pool.Process, per-trace failures are reported in the items, not as a
+// call error.
+func (c *Client) ProcessBatch(ctx context.Context, traces []*ptrack.Trace) ([]ptrack.BatchItem, error) {
+	reqBody := wire.BatchRequest{Traces: make([]wire.BatchTrace, len(traces))}
+	for i, tr := range traces {
+		reqBody.Traces[i] = wire.FromTrace(tr)
+	}
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return nil, fmt.Errorf("client: batch: %w", err)
+	}
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", wire.ContentTypeJSON)
+		return req, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		drainClose(resp.Body)
+		return nil, &StatusError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	var br wire.BatchResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&br)
+	drainClose(resp.Body)
+	if decErr != nil {
+		return nil, fmt.Errorf("client: batch response: %w", decErr)
+	}
+	items := make([]ptrack.BatchItem, len(br.Results))
+	for i, res := range br.Results {
+		if res.Error != "" {
+			items[i].Err = errors.New(res.Error)
+		} else {
+			items[i].Result = res.Result
+		}
+	}
+	return items, nil
+}
+
+// --- retry machinery -------------------------------------------------
+
+// do issues a request with the retry policy: transport errors, 429 and
+// 5xx retry with exponential backoff (honouring Retry-After) until the
+// budget runs out. build is called per attempt so each request gets a
+// fresh body. On success the response is returned with its body open.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if attempt >= c.maxRetries {
+				return nil, fmt.Errorf("%w: %v", ErrGiveUp, err)
+			}
+			if err := c.sleep(ctx, attempt, 0); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			retryAfter := parseRetryAfter(resp.Header)
+			drainClose(resp.Body)
+			if attempt >= c.maxRetries {
+				return nil, fmt.Errorf("%w: status %d", ErrGiveUp, resp.StatusCode)
+			}
+			if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// sleep waits out one backoff step: exponential from the base, capped,
+// never below the server's Retry-After, with ±25% jitter so a fleet of
+// backing-off clients doesn't re-arrive in lockstep.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := c.backoffBase << uint(attempt)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2+1)) - time.Duration(int64(d)/4)
+	c.mu.Unlock()
+	d += jitter
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// drainClose consumes a bounded remainder of a response body before
+// closing so the underlying connection can be reused.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<16))
+	_ = body.Close()
+}

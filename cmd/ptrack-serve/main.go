@@ -1,0 +1,154 @@
+// Command ptrack-serve runs the PTrack network serving layer: an HTTP
+// service that ingests live sample streams into per-session trackers,
+// streams classification events back over SSE, and runs whole traces
+// through the concurrent batch pool.
+//
+// Usage:
+//
+//	ptrack-serve -addr :8080 -rate 50
+//	ptrack-serve -addr :8080 -rate 50 -condition -profile 0.62,0.90,2.35
+//	ptrack-serve -addr :8080 -rate 50 -rps 100 -max-inflight 128 \
+//	    -debug-addr localhost:6060 -log-level info
+//
+// The service drains gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, every live session is flushed, trailing events are delivered
+// to subscribers, then the listener closes. See docs/SERVING.md for the
+// API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptrack"
+	"ptrack/internal/buildinfo"
+	"ptrack/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ptrack-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until a termination signal (or a
+// test closes ready after reading the bound address). ready, when
+// non-nil, receives the listen address once serving — tests use it; the
+// command passes nil.
+func run(args []string, stdout io.Writer, ready chan string) error {
+	fs := flag.NewFlagSet("ptrack-serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		rate        = fs.Float64("rate", 50, "sample rate of ingested streams (Hz)")
+		profileFlag = fs.String("profile", "", "arm,leg,k user profile for stride estimation (e.g. 0.62,0.90,2.35)")
+		delta       = fs.Float64("delta", 0, "override the gait-identification threshold (0 = paper default 0.0325)")
+		repair      = fs.Bool("condition", false, "route ingested data through the trace conditioner (repairs NaN spikes, gaps, duplicates)")
+		workers     = fs.Int("workers", 0, "worker count for /v1/batch (0 = GOMAXPROCS)")
+		rps         = fs.Float64("rps", 0, "per-client rate limit in requests/second (0 = unlimited)")
+		burst       = fs.Int("burst", 0, "rate-limit burst (0 = 2x rps)")
+		maxInflight = fs.Int("max-inflight", 64, "max concurrently admitted ingestion requests (-1 = unlimited)")
+		maxBody     = fs.Int64("max-body", 8<<20, "request body cap in bytes")
+		eventBuf    = fs.Int("event-buffer", 256, "per-subscriber event buffer (events)")
+		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		logLevel    = fs.String("log-level", "info", "slog level: debug|info|warn|error")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("ptrack-serve"))
+		return nil
+	}
+	level, err := ptrack.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := ptrack.NewLogger(os.Stderr, level)
+
+	metrics := ptrack.NewMetrics()
+	observer := ptrack.NewObserver(metrics).WithCycleLogger(logger)
+	if *debugAddr != "" {
+		dbg, err := ptrack.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		logger.Info("debug server listening", "addr", dbg.Addr())
+	}
+
+	opts := []ptrack.Option{ptrack.WithObserver(observer)}
+	if *delta != 0 {
+		opts = append(opts, ptrack.WithOffsetThreshold(*delta))
+	}
+	if *profileFlag != "" {
+		arm, leg, k, err := parseProfile(*profileFlag)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, ptrack.WithProfile(arm, leg, k))
+	}
+
+	srv, err := server.New(server.Config{
+		SampleRate:   *rate,
+		Options:      opts,
+		Conditioning: *repair,
+		Workers:      *workers,
+		MaxInFlight:  *maxInflight,
+		RatePerSec:   *rps,
+		Burst:        *burst,
+		MaxBodyBytes: *maxBody,
+		EventBuffer:  *eventBuf,
+		Hooks:        observer,
+		Logger:       logger,
+		Version:      buildinfo.String("ptrack-serve"),
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	if ready != nil {
+		ready <- srv.Addr()
+		<-ready // test closes the channel to trigger shutdown
+	} else {
+		<-stop
+	}
+	logger.Info("shutting down")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// parseProfile parses "arm,leg,k" in metres/metres/unitless.
+func parseProfile(s string) (arm, leg, k float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("profile must be arm,leg,k (got %q)", s)
+	}
+	vals := make([]float64, 3)
+	for i, p := range parts {
+		vals[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("profile component %q: %w", p, err)
+		}
+	}
+	return vals[0], vals[1], vals[2], nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, nil); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.Contains(out.String(), "ptrack-serve") {
+		t.Errorf("version output %q does not name the tool", out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-rate", "0"},
+		{"-profile", "1,2"},
+		{"-profile", "a,b,c"},
+		{"-log-level", "loud"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestServeLifecycle boots the command on an ephemeral port, checks it
+// answers, and shuts it down through the signal path's test hook.
+func TestServeLifecycle(t *testing.T) {
+	ready := make(chan string)
+	errc := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-rate", "50", "-log-level", "error"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", resp.StatusCode)
+	}
+	close(ready)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "serving on") {
+		t.Errorf("stdout %q missing serving banner", out.String())
+	}
+}

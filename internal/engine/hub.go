@@ -47,6 +47,13 @@ type HubConfig struct {
 	// be safe for concurrent use. Nil discards events (the hub is then
 	// only useful for its side metrics, e.g. load testing).
 	OnEvent func(session string, ev stream.Event)
+	// OnSessionEnd is called once per session, from the session's
+	// goroutine, after its trailing (flush) events have been delivered —
+	// whether the session left via End, idle eviction, LRU eviction or
+	// Close. It lets fan-out layers (e.g. the HTTP serving layer's SSE
+	// broker) terminate downstream streams only after every event is
+	// out. Must be safe for concurrent use; nil disables it.
+	OnSessionEnd func(session string)
 	// Hooks receives the hub metrics (sessions-active gauge, queue-drop
 	// counter) in addition to the per-tracker stream metrics carried by
 	// Stream.Hooks. Nil disables them.
@@ -230,6 +237,9 @@ func (h *Hub) run(sess *session) {
 		for _, ev := range evs {
 			emit(sess.id, ev)
 		}
+	}
+	if h.cfg.OnSessionEnd != nil {
+		h.cfg.OnSessionEnd(sess.id)
 	}
 	h.cfg.Hooks.SessionClosed()
 }

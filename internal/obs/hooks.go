@@ -55,6 +55,24 @@ var (
 	// holes that split the trace (the bridge/split boundary defaults to
 	// 2 s, so the layout straddles it).
 	GapBuckets = []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1, 2, 5, 15}
+	// HTTPBuckets resolve serving-layer request latency: sample pushes
+	// are sub-millisecond, batch requests run whole traces and reach
+	// into seconds.
+	HTTPBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 5}
+)
+
+// Serving-layer label values, pre-registered so the hook methods stay
+// allocation- and lock-free. Routes mirror the internal/server mux;
+// unknown strings fall into "other".
+var (
+	httpRouteNames = []string{
+		"samples", "events", "end_session", "batch",
+		"healthz", "readyz", "version", "other",
+	}
+	httpRejectReasons = []string{
+		"rate_limit", "overload", "body_too_large", "draining",
+		"decode", "backpressure", "other",
+	}
 )
 
 // Conditioner label values, pre-registered so the hook methods stay
@@ -96,6 +114,12 @@ type Hooks struct {
 	conditionDefects map[string]*Counter
 	conditionStage   map[string]*Counter
 	conditionGapHist *Histogram
+
+	httpRequests map[string]*Counter
+	httpLatency  map[string]*Histogram
+	httpRejected map[string]*Counter
+	eventStreams *Gauge
+	eventsDrop   *Counter
 
 	logger *slog.Logger
 }
@@ -151,6 +175,23 @@ func NewHooks(reg *Registry) *Hooks {
 	}
 	h.conditionGapHist = reg.Histogram("ptrack_condition_gap_seconds",
 		"Timing gaps found by the ingestion conditioner (bridged or split).", GapBuckets)
+	h.httpRequests = make(map[string]*Counter, len(httpRouteNames))
+	h.httpLatency = make(map[string]*Histogram, len(httpRouteNames))
+	for _, route := range httpRouteNames {
+		h.httpRequests[route] = reg.Counter("ptrack_http_requests_total",
+			"Requests served by the HTTP serving layer, by route.", "route", route)
+		h.httpLatency[route] = reg.Histogram("ptrack_http_request_seconds",
+			"Serving-layer request latency, by route.", HTTPBuckets, "route", route)
+	}
+	h.httpRejected = make(map[string]*Counter, len(httpRejectReasons))
+	for _, reason := range httpRejectReasons {
+		h.httpRejected[reason] = reg.Counter("ptrack_http_rejected_total",
+			"Requests refused by the serving layer's admission machinery, by reason.", "reason", reason)
+	}
+	h.eventStreams = reg.Gauge("ptrack_http_event_streams_active",
+		"SSE event streams currently attached to the serving layer.")
+	h.eventsDrop = reg.Counter("ptrack_http_events_dropped_total",
+		"Events dropped because an SSE subscriber's fan-out buffer was full.")
 	return h
 }
 
@@ -319,6 +360,61 @@ func (h *Hooks) ConditionStageDone(stage string, seconds float64) {
 		seconds = 0
 	}
 	c.Add(seconds)
+}
+
+// HTTPRequest records one served request on the given route with its
+// wall time. Routes outside the pre-registered set land in "other".
+func (h *Hooks) HTTPRequest(route string, seconds float64) {
+	if h == nil {
+		return
+	}
+	c, ok := h.httpRequests[route]
+	if !ok {
+		route = "other"
+		c = h.httpRequests[route]
+	}
+	c.Inc()
+	if seconds < 0 {
+		seconds = 0
+	}
+	h.httpLatency[route].Observe(seconds)
+}
+
+// RequestRejected records one request refused by the serving layer's
+// admission machinery (rate limit, overload gate, drain, body cap …).
+func (h *Hooks) RequestRejected(reason string) {
+	if h == nil {
+		return
+	}
+	c, ok := h.httpRejected[reason]
+	if !ok {
+		c = h.httpRejected["other"]
+	}
+	c.Inc()
+}
+
+// EventStreamOpened records one SSE subscriber attaching.
+func (h *Hooks) EventStreamOpened() {
+	if h == nil {
+		return
+	}
+	h.eventStreams.Add(1)
+}
+
+// EventStreamClosed records one SSE subscriber detaching.
+func (h *Hooks) EventStreamClosed() {
+	if h == nil {
+		return
+	}
+	h.eventStreams.Add(-1)
+}
+
+// EventsDropped records n events lost to a full SSE fan-out buffer.
+func (h *Hooks) EventsDropped(n int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.eventsDrop.Add(float64(n))
 }
 
 // EventEmitted records the cycle-end-to-emission latency of one

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync"
+
+	"ptrack/internal/obs"
+)
+
+// broker fans classification events out to the SSE subscribers of each
+// session. Events arrive pre-encoded (one payload shared read-only by
+// every subscriber) from the hub's per-session goroutines; subscribers
+// drain bounded buffers, so a slow SSE client can fall behind and lose
+// events (counted) but can never stall the pipeline or other clients.
+type broker struct {
+	mu     sync.Mutex
+	feeds  map[string][]*subscriber
+	buf    int
+	hooks  *obs.Hooks
+	closed bool
+}
+
+// subscriber is one attached SSE stream. Its channel carries encoded
+// event payloads and is closed — after the trailing events — when the
+// session ends or the broker shuts down.
+type subscriber struct {
+	session string
+	ch      chan []byte
+	dropped int
+}
+
+func newBroker(buf int, hooks *obs.Hooks) *broker {
+	if buf <= 0 {
+		buf = 256
+	}
+	return &broker{feeds: make(map[string][]*subscriber), buf: buf, hooks: hooks}
+}
+
+// subscribe attaches a new subscriber to a session's event feed. The
+// session need not exist yet — subscribing before the first sample is
+// the normal order for a client that wants every event. Returns nil
+// after the broker closed (the caller turns that into a 503).
+func (b *broker) subscribe(session string) *subscriber {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	sub := &subscriber{session: session, ch: make(chan []byte, b.buf)}
+	b.feeds[session] = append(b.feeds[session], sub)
+	b.hooks.EventStreamOpened()
+	return sub
+}
+
+// unsubscribe detaches sub (idempotent; unknown subscribers are a
+// no-op, e.g. when the session ended concurrently).
+func (b *broker) unsubscribe(sub *subscriber) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.feeds[sub.session]
+	for i, s := range subs {
+		if s == sub {
+			subs[i] = subs[len(subs)-1]
+			subs = subs[:len(subs)-1]
+			if len(subs) == 0 {
+				delete(b.feeds, sub.session)
+			} else {
+				b.feeds[sub.session] = subs
+			}
+			b.hooks.EventStreamClosed()
+			return
+		}
+	}
+}
+
+// publish delivers one encoded event to every subscriber of the
+// session. Full subscriber buffers drop the event for that subscriber
+// only. Called from the hub's per-session goroutines.
+func (b *broker) publish(session string, payload []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, sub := range b.feeds[session] {
+		select {
+		case sub.ch <- payload:
+		default:
+			sub.dropped++
+			b.hooks.EventsDropped(1)
+		}
+	}
+}
+
+// endSession closes every subscriber of the session. Buffered events
+// stay readable; the closed channel is the end-of-stream marker the SSE
+// handler turns into an `end` event. Called by the hub's OnSessionEnd,
+// i.e. strictly after the session's trailing events were published.
+func (b *broker) endSession(session string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.feeds[session]
+	delete(b.feeds, session)
+	for _, sub := range subs {
+		close(sub.ch)
+		b.hooks.EventStreamClosed()
+	}
+}
+
+// close ends every feed and refuses new subscribers — the last step of
+// the drain sequence, after the hub has flushed.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for session, subs := range b.feeds {
+		delete(b.feeds, session)
+		for _, sub := range subs {
+			close(sub.ch)
+			b.hooks.EventStreamClosed()
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key (remote
+// host) accrues rate tokens per second up to burst, and every request
+// spends one. A deny reports how long until the next token — the
+// Retry-After the handler returns with the 429.
+//
+// State is one small struct per recently-seen client, swept inline once
+// the table grows past maxClients, so a scan of spoofed source
+// addresses cannot grow memory without bound.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	max     int
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting (allow
+// always returns true).
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, 2*rate)
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		clients: make(map[string]*bucket),
+		max:     10000,
+		now:     now,
+	}
+}
+
+// allow spends one token for key. When denied, retryAfter is the time
+// until the bucket next holds a full token.
+func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bk := l.clients[key]
+	if bk == nil {
+		if len(l.clients) >= l.max {
+			l.sweepLocked(now)
+		}
+		bk = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = bk
+	} else {
+		bk.tokens = math.Min(l.burst, bk.tokens+now.Sub(bk.last).Seconds()*l.rate)
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	need := (1 - bk.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// sweepLocked evicts clients whose buckets have fully refilled — idle
+// long enough that forgetting them loses nothing (a fresh bucket starts
+// full anyway).
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	fullAfter := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, bk := range l.clients {
+		if now.Sub(bk.last) >= fullAfter {
+			delete(l.clients, key)
+		}
+	}
+}

@@ -1,0 +1,588 @@
+// Package server is the network serving layer: it exposes the engine —
+// the session hub for live streams and the worker pool for whole
+// traces — over plain stdlib HTTP, with the admission machinery a
+// public-facing deployment needs in front of the DSP:
+//
+//	POST   /v1/sessions/{id}/samples   push samples (NDJSON or binary frames)
+//	GET    /v1/sessions/{id}/events    SSE stream of classification events
+//	DELETE /v1/sessions/{id}           end a session, flushing trailing events
+//	POST   /v1/batch                   run whole traces through the pool
+//	GET    /healthz                    liveness (always 200 while the process runs)
+//	GET    /readyz                     readiness (503 once draining)
+//	GET    /version                    build information
+//
+// Robustness model: per-client token-bucket rate limiting and a bounded
+// in-flight admission gate answer overload with 429 + Retry-After
+// before any pipeline work happens; request bodies are size-capped;
+// writes carry per-request deadlines (extended per event on SSE
+// streams so long-lived subscriptions survive). Shutdown stops
+// admitting, waits for in-flight ingestion, drains and flushes every
+// hub session, terminates event streams after their trailing events,
+// then closes the listener. Everything is instrumented through
+// internal/obs. See docs/SERVING.md for the full contract.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptrack"
+	"ptrack/internal/buildinfo"
+	"ptrack/internal/obs"
+	"ptrack/internal/wire"
+)
+
+// Limits that are policy rather than configuration: request paths that
+// accept unbounded client input all stop at fixed points.
+const (
+	// maxSessionIDLen bounds session identifiers; IDs are map keys and
+	// metric cardinality, not payload.
+	maxSessionIDLen = 128
+	// maxBatchTraces bounds one POST /v1/batch request.
+	maxBatchTraces = 256
+)
+
+// Config tunes a Server. The zero value plus a SampleRate is a working
+// development server; production deployments set the admission knobs.
+type Config struct {
+	// SampleRate is the hub's sample rate in Hz. Required.
+	SampleRate float64
+	// Options are facade options applied to both the session hub and
+	// the batch pool (profile, thresholds, observer, hub bounds …).
+	Options []ptrack.Option
+	// Conditioning routes all ingested data through the trace
+	// conditioner (WithConditioning). When off, non-finite samples are
+	// rejected at the door with 400 instead of reaching the DSP.
+	Conditioning bool
+	// Workers is the batch pool's parallelism (<= 0 selects GOMAXPROCS).
+	Workers int
+
+	// MaxInFlight bounds concurrently admitted ingestion requests
+	// (sample pushes and batch runs); excess requests get 429 +
+	// Retry-After. Default 64; negative disables the gate.
+	MaxInFlight int
+	// RatePerSec is the per-client token-bucket refill rate, in
+	// requests per second. 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket depth (default 2×RatePerSec, min 1).
+	Burst int
+	// MaxBodyBytes caps request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// EventBuffer is each SSE subscriber's fan-out buffer, in events; a
+	// full buffer drops events for that subscriber only. Default 256.
+	EventBuffer int
+	// WriteTimeout is the per-write deadline on responses (default
+	// 30 s). SSE streams extend it per event rather than per stream.
+	WriteTimeout time.Duration
+
+	// Hooks receives serving-layer metrics (plus the engine and
+	// pipeline metrics carried through Options' observer). Nil disables.
+	Hooks *obs.Hooks
+	// Logger receives structured request-rejection and lifecycle
+	// records. Nil discards them.
+	Logger *slog.Logger
+	// Version is the /version banner. Default: buildinfo for
+	// "ptrack-serve".
+	Version string
+
+	// now stubs time.Now in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Version == "" {
+		c.Version = buildinfo.String("ptrack-serve")
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the serving layer over one session hub and one batch pool.
+// Construct with New, expose via Handler (e.g. under httptest) or
+// Start, and always Shutdown — it owns the hub's drain.
+type Server struct {
+	cfg     Config
+	hub     *ptrack.SessionHub
+	pool    *ptrack.Pool
+	broker  *broker
+	limiter *rateLimiter
+	gate    chan struct{}
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // admitted ingestion requests
+
+	httpSrv *http.Server
+	ln      net.Listener
+	downMu  sync.Mutex
+	down    bool
+}
+
+// New builds a serving layer. Configuration errors wrap the facade
+// sentinels (ErrInvalidProfile, ErrInvalidSampleRate).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		broker:  newBroker(cfg.EventBuffer, cfg.Hooks),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.Burst, cfg.now),
+	}
+	if cfg.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInFlight)
+	}
+
+	opts := append([]ptrack.Option(nil), cfg.Options...)
+	if cfg.Conditioning {
+		opts = append(opts, ptrack.WithConditioning())
+	}
+	hubOpts := append(append([]ptrack.Option(nil), opts...),
+		ptrack.WithSessionEndHook(s.broker.endSession))
+	hub, err := ptrack.NewSessionHub(cfg.SampleRate, s.onEvent, hubOpts...)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := ptrack.NewPool(cfg.Workers, opts...)
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	s.hub, s.pool = hub, pool
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions/{id}/samples", s.instrument("samples", s.handleSamples))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("end_session", s.handleEndSession))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /version", s.instrument("version", s.handleVersion))
+	return s, nil
+}
+
+// onEvent encodes one hub event and fans it out. Runs on the session's
+// goroutine; the encode allocates one payload shared by all subscribers.
+func (s *Server) onEvent(session string, ev ptrack.Event) {
+	s.broker.publish(session, wire.AppendEvent(nil, ev))
+}
+
+// Handler returns the server's HTTP handler — the full API without a
+// listener, ready for httptest or composition under another mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (use port 0 for ephemeral) and serves in the
+// background until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logger.Error("serve", "err", err)
+		}
+	}()
+	s.cfg.Logger.Info("serving", "addr", ln.Addr().String())
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: stop admitting (readyz and all /v1 routes
+// answer 503 + Retry-After), wait for in-flight ingestion, flush every
+// hub session and deliver its trailing events, terminate event streams,
+// then close the listener. ctx bounds the wait for in-flight requests
+// and connection teardown; the hub flush itself always completes so no
+// accepted sample is silently lost. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.downMu.Lock()
+	already := s.down
+	s.down = true
+	s.downMu.Unlock()
+	if already {
+		return nil
+	}
+	s.draining.Store(true)
+	s.cfg.Logger.Info("draining")
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.hub.Close()    // drain queues, flush trackers, fan out trailing events
+	s.broker.close() // end subscriber streams that had no live session
+
+	if s.httpSrv != nil {
+		if serr := s.httpSrv.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	s.cfg.Logger.Info("drained")
+	return err
+}
+
+// --- middleware ------------------------------------------------------
+
+// instrument wraps a handler with the request counter and latency
+// histogram for its route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.now()
+		h(w, r)
+		s.cfg.Hooks.HTTPRequest(route, s.cfg.now().Sub(start).Seconds())
+	}
+}
+
+// admit runs the shared admission checks for /v1 ingestion routes:
+// drain state, per-client rate limit, and (when gated) the in-flight
+// bound. It reports whether the request may proceed, having already
+// written the refusal if not; the caller must call release() when done.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, gated bool) (release func(), ok bool) {
+	if s.draining.Load() {
+		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining", time.Second)
+		return nil, false
+	}
+	if allowed, retry := s.limiter.allow(clientKey(r)); !allowed {
+		s.reject(w, r, http.StatusTooManyRequests, "rate_limit", "client rate limit exceeded", retry)
+		return nil, false
+	}
+	if !gated || s.gate == nil {
+		return func() {}, true
+	}
+	select {
+	case s.gate <- struct{}{}:
+	default:
+		s.reject(w, r, http.StatusTooManyRequests, "overload", "server at capacity", time.Second)
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { <-s.gate; s.inflight.Done() }, true
+}
+
+// reject answers an inadmissible request: Retry-After for the statuses
+// that promise it, a JSON error body, a rejection metric and a debug log.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, status int, reason, msg string, retry time.Duration) {
+	s.cfg.Hooks.RequestRejected(reason)
+	s.cfg.Logger.Debug("rejected", "path", r.URL.Path, "reason", reason, "status", status)
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
+	}
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// retrySeconds rounds a wait up to whole seconds (the header's unit),
+// never advertising zero.
+func retrySeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// clientKey identifies a client for rate limiting: the remote host
+// without the ephemeral port. (Deployments behind a proxy would key on
+// a forwarded header; trusting one by default would let any client
+// spoof its identity, so we don't.)
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func sessionID(w http.ResponseWriter, r *http.Request) (string, bool) {
+	id := r.PathValue("id")
+	if id == "" || len(id) > maxSessionIDLen {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid session id"})
+		return "", false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// setWriteDeadline arms the per-request write deadline; SSE re-arms per
+// event instead of per stream.
+func (s *Server) setWriteDeadline(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(s.cfg.now().Add(s.cfg.WriteTimeout))
+}
+
+// --- handlers --------------------------------------------------------
+
+// pushResult is the JSON body answering a sample push: how many samples
+// were accepted (pushed into the session queue) before success, refusal
+// or error. A client seeing a 429 resumes from Accepted.
+type pushResult struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, true)
+	if !ok {
+		return
+	}
+	defer release()
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct != wire.ContentTypeNDJSON && ct != wire.ContentTypeBinary {
+		writeJSON(w, http.StatusUnsupportedMediaType, map[string]string{
+			"error": fmt.Sprintf("Content-Type must be %s or %s", wire.ContentTypeNDJSON, wire.ContentTypeBinary),
+		})
+		return
+	}
+	s.setWriteDeadline(w)
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := wire.NewDecoder(body, ct)
+	accepted := 0
+	for {
+		sample, err := dec.Next()
+		if err == io.EOF {
+			writeJSON(w, http.StatusOK, pushResult{Accepted: accepted})
+			return
+		}
+		if err != nil {
+			s.samplesDecodeError(w, r, accepted, err)
+			return
+		}
+		if !s.cfg.Conditioning && !sample.Finite() {
+			s.cfg.Hooks.RequestRejected("decode")
+			writeJSON(w, http.StatusBadRequest, pushResult{
+				Accepted: accepted,
+				Error:    fmt.Sprintf("sample %d: non-finite field (enable conditioning to repair)", dec.Decoded()-1),
+			})
+			return
+		}
+		if err := s.hub.Push(id, sample); err != nil {
+			s.samplesPushError(w, r, accepted, err)
+			return
+		}
+		accepted++
+	}
+}
+
+// samplesDecodeError classifies a decoder failure: body-cap overflows
+// are 413, malformed input is 400. Either way the client learns how
+// many samples were already accepted.
+func (s *Server) samplesDecodeError(w http.ResponseWriter, r *http.Request, accepted int, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.reject(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit), 0)
+		return
+	}
+	s.cfg.Hooks.RequestRejected("decode")
+	writeJSON(w, http.StatusBadRequest, pushResult{Accepted: accepted, Error: err.Error()})
+}
+
+// samplesPushError maps hub refusals onto backpressure responses. The
+// refused sample is not counted as accepted, so a client that resumes
+// from Accepted loses nothing.
+func (s *Server) samplesPushError(w http.ResponseWriter, r *http.Request, accepted int, err error) {
+	switch {
+	case errors.Is(err, ptrack.ErrSessionQueueFull):
+		s.cfg.Hooks.RequestRejected("backpressure")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, pushResult{Accepted: accepted, Error: "session queue full"})
+	case errors.Is(err, ptrack.ErrSessionLimit):
+		s.reject(w, r, http.StatusServiceUnavailable, "overload", "session limit reached", time.Second)
+	case errors.Is(err, ptrack.ErrHubClosed):
+		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining", time.Second)
+	default:
+		writeJSON(w, http.StatusBadRequest, pushResult{Accepted: accepted, Error: err.Error()})
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, false)
+	if !ok {
+		return
+	}
+	defer release()
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "response writer cannot stream"})
+		return
+	}
+	sub := s.broker.subscribe(id)
+	if sub == nil {
+		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining", time.Second)
+		return
+	}
+	defer s.broker.unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", wire.ContentTypeSSE)
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(s.cfg.now().Add(s.cfg.WriteTimeout))
+	fmt.Fprintf(w, ": attached session=%s\n\n", id)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case payload, open := <-sub.ch:
+			_ = rc.SetWriteDeadline(s.cfg.now().Add(s.cfg.WriteTimeout))
+			if !open {
+				fmt.Fprintf(w, "event: %s\ndata: {}\n\n", wire.SSEEventEnd)
+				flusher.Flush()
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", wire.SSEEventCycle, payload); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleEndSession(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, false)
+	if !ok {
+		return
+	}
+	defer release()
+	id, ok := sessionID(w, r)
+	if !ok {
+		return
+	}
+	s.setWriteDeadline(w)
+	// End blocks until the session's trailing events are delivered (and
+	// its subscribers ended); ending an unknown session is a no-op, so
+	// DELETE is idempotent.
+	s.hub.End(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r, true)
+	if !ok {
+		return
+	}
+	defer release()
+	s.setWriteDeadline(w)
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req wire.BatchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.samplesDecodeError(w, r, 0, err)
+		return
+	}
+	if len(req.Traces) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "no traces in request"})
+		return
+	}
+	if len(req.Traces) > maxBatchTraces {
+		s.reject(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("at most %d traces per batch", maxBatchTraces), 0)
+		return
+	}
+	traces := make([]*ptrack.Trace, len(req.Traces))
+	for i := range req.Traces {
+		traces[i] = req.Traces[i].ToTrace()
+	}
+	items, err := s.pool.Process(r.Context(), traces)
+	if err != nil {
+		// Only context failure reaches here; per-trace errors live in items.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	resp := wire.BatchResponse{Results: make([]wire.BatchResult, len(items))}
+	for i, it := range items {
+		if it.Err != nil {
+			resp.Results[i].Error = it.Err.Error()
+		} else {
+			resp.Results[i].Result = it.Result
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining", time.Second)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.hub.ActiveSessions(),
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": s.cfg.Version})
+}
+
+// discardHandler is a slog.Handler that drops everything (slog has no
+// stdlib discard handler until 1.24).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

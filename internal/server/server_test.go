@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ptrack/internal/obs"
+)
+
+// --- rate limiter ----------------------------------------------------
+
+func TestRateLimiterRefillAndRetryAfter(t *testing.T) {
+	clock := time.Unix(0, 0)
+	l := newRateLimiter(2, 2, func() time.Time { return clock }) // 2 rps, burst 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := l.allow("c")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	// Empty bucket at 2 rps: next token in 500ms.
+	if want := 500 * time.Millisecond; retry != want {
+		t.Errorf("retryAfter = %v, want %v", retry, want)
+	}
+
+	clock = clock.Add(500 * time.Millisecond)
+	if ok, _ := l.allow("c"); !ok {
+		t.Error("request after refill interval denied")
+	}
+
+	// Distinct clients have independent buckets.
+	if ok, _ := l.allow("other"); !ok {
+		t.Error("fresh client denied while another is throttled")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := newRateLimiter(0, 0, nil)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatal("disabled limiter denied a request")
+		}
+	}
+}
+
+func TestRateLimiterSweepBoundsClients(t *testing.T) {
+	clock := time.Unix(0, 0)
+	l := newRateLimiter(10, 10, func() time.Time { return clock })
+	l.max = 100
+
+	// A scan of distinct client keys, each idle immediately: the table
+	// must not exceed max + 1 (the newcomer that triggered the sweep is
+	// admitted after eviction).
+	for i := 0; i < 1000; i++ {
+		clock = clock.Add(2 * time.Second) // past full refill => sweepable
+		l.allow(string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)))
+		if len(l.clients) > l.max+1 {
+			t.Fatalf("client table grew to %d, cap %d", len(l.clients), l.max)
+		}
+	}
+}
+
+// --- broker ----------------------------------------------------------
+
+func TestBrokerFanOutAndDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	hooks := obs.NewHooks(reg)
+	b := newBroker(2, hooks)
+
+	fast := b.subscribe("s")
+	slow := b.subscribe("s")
+	other := b.subscribe("t")
+
+	payloads := [][]byte{[]byte("e1"), []byte("e2"), []byte("e3")}
+	for _, p := range payloads {
+		b.publish("s", p)
+		if len(fast.ch) > 0 {
+			<-fast.ch // fast consumer keeps up
+		}
+	}
+	// slow never drained its buffer of 2: one event dropped, for it only.
+	if slow.dropped != 1 {
+		t.Errorf("slow.dropped = %d, want 1", slow.dropped)
+	}
+	if fast.dropped != 0 {
+		t.Errorf("fast.dropped = %d, want 0", fast.dropped)
+	}
+	if len(other.ch) != 0 {
+		t.Error("subscriber of another session received events")
+	}
+	if got := reg.Counter("ptrack_http_events_dropped_total", "").Value(); got != 1 {
+		t.Errorf("drop counter = %v, want 1", got)
+	}
+
+	// endSession closes channels but leaves buffered events readable.
+	b.endSession("s")
+	var got int
+	for range slow.ch {
+		got++
+	}
+	if got != 2 {
+		t.Errorf("slow read %d buffered events after end, want 2", got)
+	}
+	if _, open := <-fast.ch; open {
+		t.Error("fast channel still open after endSession")
+	}
+
+	// unsubscribe after endSession is a no-op, not a panic.
+	b.unsubscribe(slow)
+
+	b.close()
+	if b.subscribe("u") != nil {
+		t.Error("subscribe after close returned a subscriber")
+	}
+	if _, open := <-other.ch; open {
+		t.Error("other session's channel still open after close")
+	}
+	if got := reg.Gauge("ptrack_http_event_streams_active", "").Value(); got != 0 {
+		t.Errorf("active-streams gauge = %v after close, want 0", got)
+	}
+}
+
+// --- admission gate --------------------------------------------------
+
+func TestAdmissionGate(t *testing.T) {
+	s, err := New(Config{SampleRate: 50, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	req := httptest.NewRequest("POST", "/v1/sessions/s/samples", nil)
+	req.RemoteAddr = "10.0.0.1:1234"
+
+	release1, ok := s.admit(httptest.NewRecorder(), req, true)
+	if !ok {
+		t.Fatal("first request not admitted")
+	}
+
+	w := httptest.NewRecorder()
+	if _, ok := s.admit(w, req, true); ok {
+		t.Fatal("second request admitted past MaxInFlight=1")
+	}
+	if w.Code != 429 {
+		t.Errorf("overload status = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("overload response missing Retry-After")
+	}
+
+	// Ungated routes pass regardless of the gate.
+	if _, ok := s.admit(httptest.NewRecorder(), req, false); !ok {
+		t.Error("ungated request blocked by a full gate")
+	}
+
+	release1()
+	release2, ok := s.admit(httptest.NewRecorder(), req, true)
+	if !ok {
+		t.Fatal("request after release not admitted")
+	}
+	release2()
+
+	// Draining beats everything.
+	s.draining.Store(true)
+	w = httptest.NewRecorder()
+	if _, ok := s.admit(w, req, true); ok {
+		t.Fatal("request admitted while draining")
+	}
+	if w.Code != 503 {
+		t.Errorf("draining status = %d, want 503", w.Code)
+	}
+	s.draining.Store(false)
+}
+
+func TestRetrySeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1200 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	}
+	for _, c := range cases {
+		if got := retrySeconds(c.d); got != c.want {
+			t.Errorf("retrySeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package wire
+
+import (
+	"ptrack/internal/core"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// BatchRequest is the JSON body of POST /v1/batch: whole traces to run
+// through the batch pool in one round trip.
+type BatchRequest struct {
+	Traces []BatchTrace `json:"traces"`
+}
+
+// BatchTrace is one trace on the wire. Samples are 8-element arrays in
+// the frame field order (t, ax, ay, az, gx, gy, gz, yaw) — an order of
+// magnitude denser than an object per sample.
+type BatchTrace struct {
+	Rate    float64      `json:"rate"`
+	Label   string       `json:"label,omitempty"`
+	Samples [][8]float64 `json:"samples"`
+}
+
+// BatchResponse is the JSON body answering POST /v1/batch. Results map
+// 1:1 onto the request's traces.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one trace's outcome: exactly one of Result and Error
+// is set, mirroring the facade's BatchItem.
+type BatchResult struct {
+	Result *core.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// ToTrace materialises the wire form as a trace.
+func (bt *BatchTrace) ToTrace() *trace.Trace {
+	tr := &trace.Trace{SampleRate: bt.Rate}
+	if bt.Label != "" {
+		if a, err := trace.ParseActivity(bt.Label); err == nil {
+			tr.Label = a
+		}
+	}
+	tr.Samples = make([]trace.Sample, len(bt.Samples))
+	for i, f := range bt.Samples {
+		tr.Samples[i] = trace.Sample{
+			T:     f[0],
+			Accel: vecmath.Vec3{X: f[1], Y: f[2], Z: f[3]},
+			Gyro:  vecmath.Vec3{X: f[4], Y: f[5], Z: f[6]},
+			Yaw:   f[7],
+		}
+	}
+	return tr
+}
+
+// FromTrace converts a trace into its wire form.
+func FromTrace(tr *trace.Trace) BatchTrace {
+	bt := BatchTrace{Rate: tr.SampleRate}
+	if tr.Label != trace.ActivityUnknown {
+		bt.Label = tr.Label.String()
+	}
+	bt.Samples = make([][8]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		bt.Samples[i] = [8]float64{
+			s.T, s.Accel.X, s.Accel.Y, s.Accel.Z,
+			s.Gyro.X, s.Gyro.Y, s.Gyro.Z, s.Yaw,
+		}
+	}
+	return bt
+}

@@ -1,0 +1,477 @@
+// Package wire defines the serving layer's wire formats, shared by
+// internal/server (decode side) and the public client package (encode
+// side) so the two can never drift apart:
+//
+//   - NDJSON samples: one JSON object per line, numeric fields t, ax,
+//     ay, az, gx, gy, gz, yaw (gyro fields optional, like the legacy
+//     CSV layout). Human-readable, greppable, curl-able.
+//   - Binary frames: a 4-byte "PTB1" stream magic followed by fixed
+//     64-byte frames of 8 little-endian float64s in the same field
+//     order. The compact format for high-rate uploads.
+//   - Events: the deterministic JSON encoding of one streaming
+//     classification event, used verbatim as the SSE data payload. The
+//     encoding is byte-stable for a given event, which is what lets the
+//     end-to-end tests demand byte-identical event sequences between
+//     the HTTP path and a directly-fed tracker.
+//   - Batch: the request/response JSON bodies of POST /v1/batch.
+//
+// Both sample decoders are alloc-free at steady state (enforced by
+// TestDecodeAllocFree and the bench-guard ceilings): they scan a
+// reusable buffer and parse numbers without constructing intermediate
+// strings. Floats round-trip exactly — encoders use strconv's shortest
+// form and decoders parse with strconv semantics — so a trace survives
+// the wire bit-identical.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"unsafe"
+
+	"ptrack/internal/gaitid"
+	"ptrack/internal/stream"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// Content types of the serving API. The sample decoders pick a format
+// from these; SSE responses use the standard text/event-stream.
+const (
+	ContentTypeNDJSON = "application/x-ndjson"
+	ContentTypeBinary = "application/x-ptrack-frames"
+	ContentTypeJSON   = "application/json"
+	ContentTypeSSE    = "text/event-stream"
+)
+
+// Binary framing constants.
+const (
+	// BinaryMagic opens every binary sample stream.
+	BinaryMagic = "PTB1"
+	// BinaryFrameSize is the fixed size of one encoded sample: 8
+	// little-endian float64s (t, ax, ay, az, gx, gy, gz, yaw).
+	BinaryFrameSize = 64
+)
+
+// MaxLineLen bounds one NDJSON line. A sample line is ~200 bytes at
+// full float precision; anything near this limit is hostile or corrupt
+// input, not data.
+const MaxLineLen = 4096
+
+// Decode errors. Decoders return them wrapped with position context;
+// test with errors.Is.
+var (
+	// ErrFormat reports malformed input: bad JSON framing, an unknown
+	// field, a truncated binary frame, or a missing stream magic.
+	ErrFormat = errors.New("wire: malformed sample stream")
+	// ErrLineTooLong reports an NDJSON line exceeding MaxLineLen.
+	ErrLineTooLong = errors.New("wire: line exceeds maximum length")
+)
+
+// AppendSample appends the NDJSON encoding of s (one object plus
+// newline) to dst and returns the extended slice. Floats use the
+// shortest exact representation, so DecodeSample returns s bit-identical.
+func AppendSample(dst []byte, s trace.Sample) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendFloat(dst, s.T, 'g', -1, 64)
+	dst = append(dst, `,"ax":`...)
+	dst = strconv.AppendFloat(dst, s.Accel.X, 'g', -1, 64)
+	dst = append(dst, `,"ay":`...)
+	dst = strconv.AppendFloat(dst, s.Accel.Y, 'g', -1, 64)
+	dst = append(dst, `,"az":`...)
+	dst = strconv.AppendFloat(dst, s.Accel.Z, 'g', -1, 64)
+	dst = append(dst, `,"gx":`...)
+	dst = strconv.AppendFloat(dst, s.Gyro.X, 'g', -1, 64)
+	dst = append(dst, `,"gy":`...)
+	dst = strconv.AppendFloat(dst, s.Gyro.Y, 'g', -1, 64)
+	dst = append(dst, `,"gz":`...)
+	dst = strconv.AppendFloat(dst, s.Gyro.Z, 'g', -1, 64)
+	dst = append(dst, `,"yaw":`...)
+	dst = strconv.AppendFloat(dst, s.Yaw, 'g', -1, 64)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// AppendSampleBinary appends the 64-byte binary frame of s to dst. The
+// stream magic is the caller's concern (see AppendBinaryHeader).
+func AppendSampleBinary(dst []byte, s trace.Sample) []byte {
+	for _, v := range [8]float64{
+		s.T, s.Accel.X, s.Accel.Y, s.Accel.Z,
+		s.Gyro.X, s.Gyro.Y, s.Gyro.Z, s.Yaw,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// AppendBinaryHeader appends the binary stream magic to dst.
+func AppendBinaryHeader(dst []byte) []byte { return append(dst, BinaryMagic...) }
+
+// Decoder reads samples from an NDJSON or binary request body. It
+// amortises reads through one internal buffer and parses in place, so
+// Next allocates nothing at steady state. Construct with NewDecoder and
+// call Next until io.EOF.
+type Decoder struct {
+	r       io.Reader
+	binary  bool
+	buf     []byte
+	start   int // unconsumed region is buf[start:end]
+	end     int
+	eof     bool
+	readErr error // non-EOF reader failure, surfaced once input runs dry
+	magic   bool  // binary magic already consumed
+	n       int   // samples decoded, for error positions
+}
+
+// NewDecoder returns a decoder for the given content type
+// (ContentTypeNDJSON or ContentTypeBinary; anything else defaults to
+// NDJSON — the server routes unknown content types away beforehand).
+func NewDecoder(r io.Reader, contentType string) *Decoder {
+	return &Decoder{
+		r:      r,
+		binary: contentType == ContentTypeBinary,
+		buf:    make([]byte, 0, 2*MaxLineLen),
+	}
+}
+
+// Next decodes one sample. It returns io.EOF at a clean end of stream
+// and an error wrapping ErrFormat or ErrLineTooLong on malformed input.
+// A reader failure (e.g. http.MaxBytesReader's cap) is returned as-is
+// once the buffered input runs dry, so callers can classify it — a
+// truncated trailing record is attributed to the read failure, not to
+// the format.
+func (d *Decoder) Next() (trace.Sample, error) {
+	if d.binary {
+		return d.nextBinary()
+	}
+	return d.nextLine()
+}
+
+// Decoded returns how many samples Next has returned so far.
+func (d *Decoder) Decoded() int { return d.n }
+
+// fill reads more input, compacting the buffer so the unconsumed tail
+// keeps its capacity. It returns false at EOF with no new data.
+func (d *Decoder) fill() bool {
+	if d.eof {
+		return false
+	}
+	if d.start > 0 {
+		d.end = copy(d.buf[:cap(d.buf)], d.buf[d.start:d.end])
+		d.start = 0
+		d.buf = d.buf[:d.end]
+	}
+	if d.end == cap(d.buf) {
+		// Buffer full without a complete record: only possible for
+		// NDJSON lines beyond MaxLineLen (capacity is 2*MaxLineLen);
+		// the caller turns this into ErrLineTooLong.
+		return false
+	}
+	n, err := d.r.Read(d.buf[d.end:cap(d.buf)])
+	d.end += n
+	d.buf = d.buf[:d.end]
+	if err != nil {
+		d.eof = true
+		if err != io.EOF {
+			d.readErr = err
+		}
+	}
+	return n > 0
+}
+
+func (d *Decoder) nextBinary() (trace.Sample, error) {
+	if !d.magic {
+		for d.end-d.start < len(BinaryMagic) {
+			if !d.fill() {
+				if d.readErr != nil {
+					return trace.Sample{}, d.readErr
+				}
+				if d.end == d.start {
+					return trace.Sample{}, io.EOF
+				}
+				return trace.Sample{}, fmt.Errorf("%w: truncated stream magic", ErrFormat)
+			}
+		}
+		if string(d.buf[d.start:d.start+len(BinaryMagic)]) != BinaryMagic {
+			return trace.Sample{}, fmt.Errorf("%w: missing %q stream magic", ErrFormat, BinaryMagic)
+		}
+		d.start += len(BinaryMagic)
+		d.magic = true
+	}
+	for d.end-d.start < BinaryFrameSize {
+		if !d.fill() {
+			if d.readErr != nil {
+				return trace.Sample{}, d.readErr
+			}
+			if d.end == d.start {
+				return trace.Sample{}, io.EOF
+			}
+			return trace.Sample{}, fmt.Errorf("%w: truncated frame after sample %d (%d trailing bytes)",
+				ErrFormat, d.n, d.end-d.start)
+		}
+	}
+	b := d.buf[d.start : d.start+BinaryFrameSize]
+	var f [8]float64
+	for i := range f {
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	d.start += BinaryFrameSize
+	d.n++
+	return trace.Sample{
+		T:     f[0],
+		Accel: vecmath.Vec3{X: f[1], Y: f[2], Z: f[3]},
+		Gyro:  vecmath.Vec3{X: f[4], Y: f[5], Z: f[6]},
+		Yaw:   f[7],
+	}, nil
+}
+
+func (d *Decoder) nextLine() (trace.Sample, error) {
+	for {
+		if i := indexByte(d.buf[d.start:d.end], '\n'); i >= 0 {
+			line := d.buf[d.start : d.start+i]
+			d.start += i + 1
+			if len(trimSpace(line)) == 0 {
+				continue // blank lines separate nothing; skip
+			}
+			if len(line) > MaxLineLen {
+				return trace.Sample{}, fmt.Errorf("sample %d: %w (%d bytes)", d.n, ErrLineTooLong, len(line))
+			}
+			s, err := parseSampleLine(line)
+			if err != nil {
+				return trace.Sample{}, fmt.Errorf("sample %d: %w", d.n, err)
+			}
+			d.n++
+			return s, nil
+		}
+		if d.end-d.start > MaxLineLen {
+			return trace.Sample{}, fmt.Errorf("sample %d: %w (%d bytes)", d.n, ErrLineTooLong, d.end-d.start)
+		}
+		if !d.fill() {
+			if d.readErr != nil {
+				return trace.Sample{}, d.readErr
+			}
+			rest := trimSpace(d.buf[d.start:d.end])
+			d.start = d.end
+			if len(rest) == 0 {
+				return trace.Sample{}, io.EOF
+			}
+			if len(rest) > MaxLineLen {
+				return trace.Sample{}, fmt.Errorf("sample %d: %w (%d bytes)", d.n, ErrLineTooLong, len(rest))
+			}
+			// Final line without trailing newline.
+			s, err := parseSampleLine(rest)
+			if err != nil {
+				return trace.Sample{}, fmt.Errorf("sample %d: %w", d.n, err)
+			}
+			d.n++
+			return s, nil
+		}
+	}
+}
+
+// parseSampleLine parses one NDJSON sample object. It accepts the
+// fields in any order and tolerates missing gyro fields (zero), like
+// the legacy CSV layout. Unknown keys and non-numeric values are
+// format errors — silently ignoring them would hide producer bugs.
+func parseSampleLine(b []byte) (trace.Sample, error) {
+	var s trace.Sample
+	b = trimSpace(b)
+	if len(b) < 2 || b[0] != '{' {
+		return s, fmt.Errorf("%w: expected JSON object", ErrFormat)
+	}
+	b = b[1:]
+	seenAny := false
+	for {
+		b = trimSpace(b)
+		if len(b) == 0 {
+			return s, fmt.Errorf("%w: unterminated object", ErrFormat)
+		}
+		if b[0] == '}' {
+			if len(trimSpace(b[1:])) != 0 {
+				return s, fmt.Errorf("%w: trailing data after object", ErrFormat)
+			}
+			return s, nil
+		}
+		if seenAny {
+			if b[0] != ',' {
+				return s, fmt.Errorf("%w: expected ',' between fields", ErrFormat)
+			}
+			b = trimSpace(b[1:])
+		}
+		seenAny = true
+		if len(b) == 0 || b[0] != '"' {
+			return s, fmt.Errorf("%w: expected field name", ErrFormat)
+		}
+		b = b[1:]
+		q := indexByte(b, '"')
+		if q < 0 {
+			return s, fmt.Errorf("%w: unterminated field name", ErrFormat)
+		}
+		key := b[:q]
+		b = trimSpace(b[q+1:])
+		if len(b) == 0 || b[0] != ':' {
+			return s, fmt.Errorf("%w: expected ':' after field name", ErrFormat)
+		}
+		b = trimSpace(b[1:])
+		num, rest, err := scanNumber(b)
+		if err != nil {
+			return s, err
+		}
+		v, err := parseFloat(num)
+		if err != nil {
+			return s, fmt.Errorf("%w: bad number %q", ErrFormat, num)
+		}
+		b = rest
+		switch string(key) { // compiled to an alloc-free switch on []byte
+		case "t":
+			s.T = v
+		case "ax":
+			s.Accel.X = v
+		case "ay":
+			s.Accel.Y = v
+		case "az":
+			s.Accel.Z = v
+		case "gx":
+			s.Gyro.X = v
+		case "gy":
+			s.Gyro.Y = v
+		case "gz":
+			s.Gyro.Z = v
+		case "yaw":
+			s.Yaw = v
+		default:
+			return s, fmt.Errorf("%w: unknown field %q", ErrFormat, key)
+		}
+	}
+}
+
+// scanNumber splits b into a leading JSON-ish number token and the rest.
+// It accepts the strconv superset (NaN, Inf, hex floats are rejected
+// later by parseFloat if malformed) — the serving layer decides whether
+// non-finite values are admissible, not the scanner.
+func scanNumber(b []byte) (num, rest []byte, err error) {
+	i := 0
+	for i < len(b) {
+		c := b[i]
+		if c == ',' || c == '}' || c == ' ' || c == '\t' || c == '\r' {
+			break
+		}
+		i++
+	}
+	if i == 0 {
+		return nil, nil, fmt.Errorf("%w: expected number", ErrFormat)
+	}
+	return b[:i], b[i:], nil
+}
+
+// parseFloat parses b with strconv.ParseFloat semantics without
+// allocating. The unsafe.String view is sound here: ParseFloat only
+// reads its argument during the call and retains it only inside the
+// returned error, which we rebuild from a safe copy — the view never
+// outlives b.
+func parseFloat(b []byte) (float64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("%w: empty number", ErrFormat)
+	}
+	v, err := strconv.ParseFloat(unsafe.String(&b[0], len(b)), 64)
+	if err != nil {
+		return strconv.ParseFloat(string(b), 64)
+	}
+	return v, nil
+}
+
+// Event is the JSON shape of one streaming classification event, the
+// SSE data payload. Label travels as its name ("walking") — readable
+// and stable across enum renumbering.
+type Event struct {
+	T          float64   `json:"t"`
+	Label      string    `json:"label"`
+	StepsAdded int       `json:"steps_added"`
+	Strides    []float64 `json:"strides,omitempty"`
+	TotalSteps int       `json:"total_steps"`
+	Offset     float64   `json:"offset"`
+}
+
+// SSE event names used on /v1/sessions/{id}/events.
+const (
+	SSEEventCycle = "cycle"
+	SSEEventEnd   = "end"
+)
+
+// AppendEvent appends the deterministic JSON encoding of ev to dst.
+// Field order and float formatting are fixed, so equal events encode to
+// equal bytes — the property the end-to-end parity tests pin.
+func AppendEvent(dst []byte, ev stream.Event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendFloat(dst, ev.T, 'g', -1, 64)
+	dst = append(dst, `,"label":"`...)
+	dst = append(dst, ev.Label.String()...)
+	dst = append(dst, `","steps_added":`...)
+	dst = strconv.AppendInt(dst, int64(ev.StepsAdded), 10)
+	if len(ev.Strides) > 0 {
+		dst = append(dst, `,"strides":[`...)
+		for i, v := range ev.Strides {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"total_steps":`...)
+	dst = strconv.AppendInt(dst, int64(ev.TotalSteps), 10)
+	dst = append(dst, `,"offset":`...)
+	dst = strconv.AppendFloat(dst, ev.Offset, 'g', -1, 64)
+	dst = append(dst, '}')
+	return dst
+}
+
+// ParseEventJSON decodes an SSE data payload produced by AppendEvent
+// back into a stream.Event.
+func ParseEventJSON(data []byte) (stream.Event, error) {
+	var we Event
+	if err := json.Unmarshal(data, &we); err != nil {
+		return stream.Event{}, fmt.Errorf("wire: decoding event: %w", err)
+	}
+	ev := stream.Event{
+		T:          we.T,
+		StepsAdded: we.StepsAdded,
+		Strides:    we.Strides,
+		TotalSteps: we.TotalSteps,
+		Offset:     we.Offset,
+	}
+	label, err := ParseLabel(we.Label)
+	if err != nil {
+		return stream.Event{}, err
+	}
+	ev.Label = label
+	return ev, nil
+}
+
+// ParseLabel converts a gaitid.Label name produced by Label.String back
+// into the label value.
+func ParseLabel(s string) (gaitid.Label, error) {
+	for _, l := range []gaitid.Label{gaitid.LabelInterference, gaitid.LabelWalking, gaitid.LabelStepping} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown cycle label %q", s)
+}
+
+func indexByte(b []byte, c byte) int { return bytes.IndexByte(b, c) }
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

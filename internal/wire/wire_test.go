@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ptrack/internal/gaitid"
+	"ptrack/internal/stream"
+	"ptrack/internal/trace"
+	"ptrack/internal/vecmath"
+)
+
+// randSample draws a sample with full-precision float64 fields — the
+// worst case for text round-tripping (17 significant digits).
+func randSample(rng *rand.Rand) trace.Sample {
+	f := func() float64 { return (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(40)-20) }
+	return trace.Sample{
+		T:     rng.Float64() * 1e4,
+		Accel: vecmath.Vec3{X: f(), Y: f(), Z: f()},
+		Gyro:  vecmath.Vec3{X: f(), Y: f(), Z: f()},
+		Yaw:   f(),
+	}
+}
+
+func decodeAll(t *testing.T, buf []byte, contentType string) []trace.Sample {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(buf), contentType)
+	var out []trace.Sample
+	for {
+		s, err := d.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode sample %d: %v", len(out), err)
+		}
+		out = append(out, s)
+	}
+}
+
+func TestSampleRoundTripNDJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var want []trace.Sample
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		s := randSample(rng)
+		want = append(want, s)
+		buf = AppendSample(buf, s)
+	}
+	got := decodeAll(t, buf, ContentTypeNDJSON)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("NDJSON round trip not bit-identical")
+	}
+}
+
+func TestSampleRoundTripBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var want []trace.Sample
+	buf := AppendBinaryHeader(nil)
+	for i := 0; i < 500; i++ {
+		s := randSample(rng)
+		want = append(want, s)
+		buf = AppendSampleBinary(buf, s)
+	}
+	got := decodeAll(t, buf, ContentTypeBinary)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("binary round trip not bit-identical")
+	}
+}
+
+// TestDecoderSmallReads feeds the decoders one byte at a time, forcing
+// every refill/compaction path.
+func TestDecoderSmallReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var want []trace.Sample
+	nd := []byte(nil)
+	bin := AppendBinaryHeader(nil)
+	for i := 0; i < 20; i++ {
+		s := randSample(rng)
+		want = append(want, s)
+		nd = AppendSample(nd, s)
+		bin = AppendSampleBinary(bin, s)
+	}
+	for _, tc := range []struct {
+		name, ct string
+		buf      []byte
+	}{
+		{"ndjson", ContentTypeNDJSON, nd},
+		{"binary", ContentTypeBinary, bin},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(iotest{r: bytes.NewReader(tc.buf)}, tc.ct)
+			var got []trace.Sample
+			for {
+				s, err := d.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, s)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("one-byte-read round trip mismatch")
+			}
+		})
+	}
+}
+
+// iotest yields one byte per Read.
+type iotest struct{ r io.Reader }
+
+func (o iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestDecoderNDJSONVariants(t *testing.T) {
+	// Field order and whitespace are free; gyro fields are optional;
+	// blank lines and a missing final newline are accepted.
+	in := "{\"ax\":1, \"t\":0.5,\"ay\":2,\"az\":3,\"yaw\":0.25}\n" +
+		"\n" +
+		"{\"t\":1,\"ax\":4,\"ay\":5,\"az\":6,\"gx\":7,\"gy\":8,\"gz\":9,\"yaw\":-1}"
+	got := decodeAll(t, []byte(in), ContentTypeNDJSON)
+	want := []trace.Sample{
+		{T: 0.5, Accel: vecmath.Vec3{X: 1, Y: 2, Z: 3}, Yaw: 0.25},
+		{T: 1, Accel: vecmath.Vec3{X: 4, Y: 5, Z: 6}, Gyro: vecmath.Vec3{X: 7, Y: 8, Z: 9}, Yaw: -1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	cases := []struct {
+		name, ct, in string
+		wantErr      error
+	}{
+		{"bad json", ContentTypeNDJSON, "not json\n", ErrFormat},
+		{"unknown field", ContentTypeNDJSON, `{"t":1,"bogus":2}` + "\n", ErrFormat},
+		{"bad number", ContentTypeNDJSON, `{"t":1x}` + "\n", ErrFormat},
+		{"string value", ContentTypeNDJSON, `{"t":"hi"}` + "\n", ErrFormat},
+		{"trailing garbage", ContentTypeNDJSON, `{"t":1} extra` + "\n", ErrFormat},
+		{"oversized line", ContentTypeNDJSON, `{"t":` + strings.Repeat("1", MaxLineLen+10) + "}\n", ErrLineTooLong},
+		{"oversized final line", ContentTypeNDJSON, `{"t":` + strings.Repeat("1", MaxLineLen+10), ErrLineTooLong},
+		{"missing magic", ContentTypeBinary, "XXXX" + strings.Repeat("\x00", 64), ErrFormat},
+		{"truncated magic", ContentTypeBinary, "PT", ErrFormat},
+		{"truncated frame", ContentTypeBinary, BinaryMagic + strings.Repeat("\x00", 63), ErrFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDecoder(strings.NewReader(tc.in), tc.ct)
+			var err error
+			for err == nil {
+				_, err = d.Next()
+			}
+			if err == io.EOF || !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecoderTruncatedFrameReportsCount(t *testing.T) {
+	buf := AppendBinaryHeader(nil)
+	buf = AppendSampleBinary(buf, trace.Sample{T: 1})
+	buf = append(buf, 0x01, 0x02) // 2 trailing bytes
+	d := NewDecoder(bytes.NewReader(buf), ContentTypeBinary)
+	if _, err := d.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Next()
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("got %v, want ErrFormat", err)
+	}
+	if d.Decoded() != 1 {
+		t.Fatalf("Decoded() = %d, want 1", d.Decoded())
+	}
+}
+
+// TestDecodeAllocFree pins the steady-state contract: once warmed up,
+// Next allocates nothing for either format (the same bar the stream
+// scan path holds).
+func TestDecodeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nd := []byte(nil)
+	bin := AppendBinaryHeader(nil)
+	for i := 0; i < 200; i++ {
+		s := randSample(rng)
+		nd = AppendSample(nd, s)
+		bin = AppendSampleBinary(bin, s)
+	}
+	for _, tc := range []struct {
+		name, ct string
+		buf      []byte
+	}{
+		{"ndjson", ContentTypeNDJSON, nd},
+		{"binary", ContentTypeBinary, bin},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := bytes.NewReader(tc.buf)
+			d := NewDecoder(r, tc.ct)
+			allocs := testing.AllocsPerRun(50, func() {
+				r.Reset(tc.buf)
+				d.r, d.start, d.end, d.eof, d.magic = r, 0, 0, false, false
+				d.buf = d.buf[:0]
+				for {
+					if _, err := d.Next(); err != nil {
+						if err != io.EOF {
+							t.Fatal(err)
+						}
+						break
+					}
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("decode allocated %.1f times per pass, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	evs := []stream.Event{
+		{T: 1.25, Label: gaitid.LabelWalking, StepsAdded: 2, Strides: []float64{0.71234567891234567, 0.69}, TotalSteps: 4, Offset: 0.0123456789012345},
+		{T: 3.5, Label: gaitid.LabelInterference, Offset: math.Pi},
+		{T: 4.5, Label: gaitid.LabelStepping, StepsAdded: 1, TotalSteps: 5, Offset: 0.01},
+	}
+	for _, ev := range evs {
+		enc := AppendEvent(nil, ev)
+		got, err := ParseEventJSON(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v\nwire %s", got, ev, enc)
+		}
+		// Determinism: re-encoding the decoded event reproduces the bytes.
+		if again := AppendEvent(nil, got); !bytes.Equal(again, enc) {
+			t.Fatalf("encoding not deterministic: %s vs %s", again, enc)
+		}
+	}
+}
+
+func TestParseLabelRejectsUnknown(t *testing.T) {
+	if _, err := ParseLabel("sprinting"); err == nil {
+		t.Fatal("expected error for unknown label")
+	}
+}
+
+func TestBatchTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := &trace.Trace{SampleRate: 100, Label: trace.ActivityWalking}
+	for i := 0; i < 50; i++ {
+		tr.Samples = append(tr.Samples, randSample(rng))
+	}
+	back := FromTrace(tr)
+	got := back.ToTrace()
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("batch trace round trip mismatch")
+	}
+}

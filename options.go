@@ -32,9 +32,10 @@ type options struct {
 	observer        *Observer
 
 	// Hub-only knobs (see NewSessionHub); ignored elsewhere.
-	queueSize   int
-	idleTimeout time.Duration
-	maxSessions int
+	queueSize    int
+	idleTimeout  time.Duration
+	maxSessions  int
+	onSessionEnd func(session string)
 }
 
 // Option configures any of the package's trackers or engines.
@@ -91,6 +92,17 @@ func WithIdleTimeout(d time.Duration) Option {
 // can be evicted. SessionHub only.
 func WithMaxSessions(n int) Option {
 	return func(o *options) { o.maxSessions = n }
+}
+
+// WithSessionEndHook registers fn to be called once per hub session,
+// after the session's trailing (flush) events have been delivered to
+// the event callback — whether the session left via End, idle or LRU
+// eviction, or Close. The serving layer uses it to terminate per-session
+// event streams only after every pending event is out. fn is called
+// from per-session goroutines and must be safe for concurrent use.
+// SessionHub only.
+func WithSessionEndHook(fn func(session string)) Option {
+	return func(o *options) { o.onSessionEnd = fn }
 }
 
 // WithConditioning routes every input trace or sample stream through

@@ -33,12 +33,13 @@ func NewSessionHub(sampleRate float64, onEvent func(session string, ev Event), o
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}
 	hub, err := engine.NewHub(engine.HubConfig{
-		Stream:      o.streamConfig(sampleRate),
-		QueueSize:   o.queueSize,
-		IdleTimeout: o.idleTimeout,
-		MaxSessions: o.maxSessions,
-		OnEvent:     onEvent,
-		Hooks:       o.observer,
+		Stream:       o.streamConfig(sampleRate),
+		QueueSize:    o.queueSize,
+		IdleTimeout:  o.idleTimeout,
+		MaxSessions:  o.maxSessions,
+		OnEvent:      onEvent,
+		OnSessionEnd: o.onSessionEnd,
+		Hooks:        o.observer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ptrack: %w", err)
