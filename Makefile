@@ -32,7 +32,23 @@ WIRE_NDJSON_MAX_NS_PER_SAMPLE ?= 2500
 WIRE_BINARY_MAX_NS_PER_SAMPLE ?= 120
 WIRE_MAX_ALLOCS_PER_SAMPLE ?= 0.01
 
-.PHONY: check fmt vet test race bench-guard bench-condition bench-json bench bench-batch build
+# Tracing-overhead ceilings (BenchmarkHubPush, snapshot in
+# BENCH_trace.json): the full hub pipeline — queue hop + streaming DSP —
+# measured ~870 ns/sample with no tracer attached and ~970 with
+# head-sampling at 1.0, i.e. the wave-batched span path costs ~11% on a
+# sampled request and nothing measurable otherwise. The nil-tracer
+# "tracing off is free" contract is pinned exactly (0 allocs) by
+# TestNilTracerAllocFree; the ns/sample drift gate against the committed
+# snapshot is padded far above the 1% design goal because run-to-run
+# timer noise on shared hosts was observed at ±20% — the absolute
+# ceilings are the hard gate, the drift gate only catches gross
+# regressions.
+TRACE_OFF_MAX_NS_PER_SAMPLE ?= 1125
+TRACE_SAMPLED_MAX_NS_PER_SAMPLE ?= 1250
+TRACE_MAX_ALLOCS_PER_SAMPLE ?= 0.75
+TRACE_REGRESS_WITHIN ?= 0.30
+
+.PHONY: check fmt vet test race bench-guard bench-condition bench-json bench-trace bench bench-batch build
 
 # race subsumes test (same suite under the race detector), so check runs
 # the suite once, raced.
@@ -77,6 +93,16 @@ bench-guard:
 		| $(GO) run ./cmd/benchjson \
 		-max-ns-per-sample $(WIRE_BINARY_MAX_NS_PER_SAMPLE) \
 		-max-allocs-per-sample $(WIRE_MAX_ALLOCS_PER_SAMPLE)
+	$(GO) test ./internal/obs/tracing -run 'TestNilTracerAllocFree' -count=1 -v
+	$(GO) test ./internal/engine -run NONE -bench 'BenchmarkHubPush/off$$' -benchmem -benchtime 1s \
+		| $(GO) run ./cmd/benchjson \
+		-max-ns-per-sample $(TRACE_OFF_MAX_NS_PER_SAMPLE) \
+		-max-allocs-per-sample $(TRACE_MAX_ALLOCS_PER_SAMPLE)
+	$(GO) test ./internal/engine -run NONE -bench 'BenchmarkHubPush$$' -benchmem -benchtime 1s \
+		| $(GO) run ./cmd/benchjson -out BENCH_trace.json \
+		-baseline BENCH_trace.json -regress-within $(TRACE_REGRESS_WITHIN) \
+		-max-ns-per-sample $(TRACE_SAMPLED_MAX_NS_PER_SAMPLE) \
+		-max-allocs-per-sample $(TRACE_MAX_ALLOCS_PER_SAMPLE)
 
 # The ingestion conditioner must stay a small fraction of the tracker's
 # per-sample budget: its ns/sample ceiling is ~25% of the streaming
@@ -93,6 +119,12 @@ bench-condition:
 bench-json:
 	$(GO) test . -run NONE -bench 'BenchmarkOnlineTracker' -benchmem -benchtime 2s \
 		| $(GO) run ./cmd/benchjson -out BENCH_stream.json
+
+# Refresh the committed tracing-overhead snapshot without enforcing
+# ceilings.
+bench-trace:
+	$(GO) test ./internal/engine -run NONE -bench 'BenchmarkHubPush' -benchmem -benchtime 1s \
+		| $(GO) run ./cmd/benchjson -out BENCH_trace.json
 
 # Serial vs pooled batch throughput on the 60 s reference trace ×16
 # (speedup only shows on multicore hosts; workers=1 bounds overhead).

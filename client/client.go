@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ptrack"
+	"ptrack/internal/obs/tracing"
 	"ptrack/internal/wire"
 )
 
@@ -71,6 +72,13 @@ func WithRetry(maxRetries int, base, maxWait time.Duration) Option {
 	return func(c *Client) { c.maxRetries, c.backoffBase, c.backoffMax = maxRetries, base, maxWait }
 }
 
+// WithTracer attaches a span tracer (see ptrack.NewTracer): pushes,
+// batch runs and event subscriptions then run under client spans —
+// children of whatever span rides the call's context — and every
+// request carries the W3C traceparent header, so a tracing server
+// continues the same trace. A nil tracer (the default) costs nothing.
+func WithTracer(t *ptrack.Tracer) Option { return func(c *Client) { c.tracer = t } }
+
 // Client talks to one ptrack server. Safe for concurrent use; Sessions
 // are not (use one per pushing goroutine, like Online).
 type Client struct {
@@ -82,6 +90,7 @@ type Client struct {
 	maxRetries  int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	tracer      *ptrack.Tracer
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -211,9 +220,18 @@ func (s *Session) End(ctx context.Context) error {
 		return err
 	}
 	s.ended = true
+	ctx, span := s.c.tracer.Start(ctx, "client.end_session")
+	span.SetKind(tracing.KindClient)
+	span.SetAttributes(tracing.Str("session", s.id))
+	defer span.End()
 	resp, err := s.c.do(ctx, func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodDelete,
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
 			fmt.Sprintf("%s/v1/sessions/%s", s.c.base, url.PathEscape(s.id)), nil)
+		if err != nil {
+			return nil, err
+		}
+		tracing.Inject(span.Context(), req.Header)
+		return req, nil
 	})
 	if err != nil {
 		return fmt.Errorf("client: end session: %w", err)
@@ -227,8 +245,22 @@ func (s *Session) End(ctx context.Context) error {
 
 // send delivers one batch, resuming from the server's accepted count on
 // partial pushes (429 backpressure) and backing off per the retry
-// policy. batch stays intact on error.
-func (s *Session) send(ctx context.Context, batch []ptrack.Sample) error {
+// policy. batch stays intact on error. With a tracer attached the whole
+// delivery (including retries) runs under one client.push span whose
+// identity every attempt propagates in its traceparent header.
+func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
+	ctx, span := s.c.tracer.Start(ctx, "client.push")
+	span.SetKind(tracing.KindClient)
+	span.SetAttributes(
+		tracing.Str("session", s.id),
+		tracing.Int("samples", int64(len(batch))),
+	)
+	defer func() {
+		if err != nil {
+			span.SetStatus(tracing.StatusError, err.Error())
+		}
+		span.End()
+	}()
 	ct := wire.ContentTypeNDJSON
 	if s.c.binary {
 		ct = wire.ContentTypeBinary
@@ -252,6 +284,7 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) error {
 			return err
 		}
 		req.Header.Set("Content-Type", ct)
+		tracing.Inject(span.Context(), req.Header)
 		resp, err := s.c.hc.Do(req)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -334,13 +367,20 @@ func (es *EventStream) Close() { es.cancel() }
 // cancelled, or Close is called.
 func (c *Client) Events(ctx context.Context, session string) (*EventStream, error) {
 	ctx, cancel := context.WithCancel(ctx)
-	resp, err := c.do(ctx, func() (*http.Request, error) {
+	// The span covers the subscribe handshake only — the stream itself is
+	// long-lived by design and would make a meaningless span duration.
+	spanCtx, span := c.tracer.Start(ctx, "client.events")
+	span.SetKind(tracing.KindClient)
+	span.SetAttributes(tracing.Str("session", session))
+	defer span.End()
+	resp, err := c.do(spanCtx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 			fmt.Sprintf("%s/v1/sessions/%s/events", c.base, url.PathEscape(session)), nil)
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Accept", wire.ContentTypeSSE)
+		tracing.Inject(span.Context(), req.Header)
 		return req, nil
 	})
 	if err != nil {
@@ -439,12 +479,17 @@ func (c *Client) ProcessBatch(ctx context.Context, traces []*ptrack.Trace) ([]pt
 	if err != nil {
 		return nil, fmt.Errorf("client: batch: %w", err)
 	}
+	ctx, span := c.tracer.Start(ctx, "client.batch")
+	span.SetKind(tracing.KindClient)
+	span.SetAttributes(tracing.Int("traces", int64(len(traces))))
+	defer span.End()
 	resp, err := c.do(ctx, func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", wire.ContentTypeJSON)
+		tracing.Inject(span.Context(), req.Header)
 		return req, nil
 	})
 	if err != nil {

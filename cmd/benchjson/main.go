@@ -22,6 +22,16 @@
 //	                        the flat-scaling check for the incremental
 //	                        front end (requires at least two such
 //	                        benchmarks).
+//	-baseline FILE          a previously committed benchjson report to
+//	                        compare against (typically the same file -out
+//	                        overwrites; the baseline is read first).
+//	-regress-within F       with -baseline: each benchmark's ns/sample may
+//	                        exceed the same-named baseline benchmark's by
+//	                        at most the fraction F — the anti-drift gate
+//	                        for the tracing-overhead snapshot
+//	                        (BENCH_trace.json). Benchmarks absent from the
+//	                        baseline pass; a missing baseline file is
+//	                        skipped so fresh snapshots can bootstrap.
 package main
 
 import (
@@ -66,6 +76,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxNsPerSample = fs.Float64("max-ns-per-sample", 0, "ceiling on the ns/sample metric (0 disables)")
 		maxAllocsPerSm = fs.Float64("max-allocs-per-sample", 0, "ceiling on allocs/op ÷ samples/op (0 disables)")
 		flatWithin     = fs.Float64("flat-within", 0, "max relative ns/sample spread across benchmarks (0 disables)")
+		baselineFile   = fs.String("baseline", "", "committed benchjson report to compare ns/sample against")
+		regressWithin  = fs.Float64("regress-within", 0, "max relative ns/sample regression vs -baseline (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +91,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
 
+	// Load the baseline before any writing: -out typically overwrites
+	// the very file the run is compared against.
+	var baseline *Report
+	if *baselineFile != "" && *regressWithin > 0 {
+		buf, err := os.ReadFile(*baselineFile)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Fprintf(stdout, "benchjson: baseline %s missing, skipping regression gate\n", *baselineFile)
+		case err != nil:
+			return err
+		default:
+			baseline = &Report{}
+			if err := json.Unmarshal(buf, baseline); err != nil {
+				return fmt.Errorf("baseline %s: %w", *baselineFile, err)
+			}
+		}
+	}
+
 	report.Ceilings = map[string]float64{}
 	if *maxNsPerSample > 0 {
 		report.Ceilings["max-ns-per-sample"] = *maxNsPerSample
@@ -88,6 +118,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *flatWithin > 0 {
 		report.Ceilings["flat-within"] = *flatWithin
+	}
+	if *regressWithin > 0 {
+		report.Ceilings["regress-within"] = *regressWithin
 	}
 	if len(report.Ceilings) == 0 {
 		report.Ceilings = nil
@@ -109,7 +142,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		stdout.Write(buf)
 	}
 
-	return enforce(report, *maxNsPerSample, *maxAllocsPerSm, *flatWithin)
+	return enforce(report, baseline, *maxNsPerSample, *maxAllocsPerSm, *flatWithin, *regressWithin)
 }
 
 func parse(r io.Reader) (*Report, error) {
@@ -160,13 +193,26 @@ func parse(r io.Reader) (*Report, error) {
 	return report, nil
 }
 
-func enforce(report *Report, maxNsPerSample, maxAllocsPerSample, flatWithin float64) error {
+func enforce(report, baseline *Report, maxNsPerSample, maxAllocsPerSample, flatWithin, regressWithin float64) error {
 	var failures []string
+	baseNs := map[string]float64{}
+	if baseline != nil && regressWithin > 0 {
+		for _, b := range baseline.Benchmarks {
+			if ns, ok := b.Metrics["ns/sample"]; ok {
+				baseNs[b.Name] = ns
+			}
+		}
+	}
 	sampleMin, sampleMax := 0.0, 0.0
 	nSampled := 0
 	for _, b := range report.Benchmarks {
 		ns, hasNs := b.Metrics["ns/sample"]
 		if hasNs {
+			if base, ok := baseNs[b.Name]; ok && base > 0 && ns > base*(1+regressWithin) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f ns/sample regressed %.1f%% past baseline %.1f (allowed %.1f%%)",
+					b.Name, ns, 100*(ns/base-1), base, 100*regressWithin))
+			}
 			if nSampled == 0 || ns < sampleMin {
 				sampleMin = ns
 			}

@@ -38,7 +38,7 @@ func TestParse(t *testing.T) {
 
 func TestEnforcePasses(t *testing.T) {
 	report, _ := parse(strings.NewReader(sampleOutput))
-	if err := enforce(report, 664, 0.75, 0.20); err != nil {
+	if err := enforce(report, nil, 664, 0.75, 0.20, 0); err != nil {
 		t.Errorf("ceilings should pass: %v", err)
 	}
 }
@@ -55,7 +55,7 @@ func TestEnforceCatchesViolations(t *testing.T) {
 		{"flat-within", 0, 0, 0.01, "spread"},
 	}
 	for _, c := range cases {
-		err := enforce(report, c.ns, c.allocs, c.flat)
+		err := enforce(report, nil, c.ns, c.allocs, c.flat, 0)
 		if err == nil || !strings.Contains(err.Error(), c.wantFragment) {
 			t.Errorf("%s: err = %v, want fragment %q", c.name, err, c.wantFragment)
 		}
@@ -65,7 +65,57 @@ func TestEnforceCatchesViolations(t *testing.T) {
 func TestEnforceFlatNeedsTwo(t *testing.T) {
 	report, _ := parse(strings.NewReader(`BenchmarkX 	 10	 100 ns/op	 5.0 ns/sample
 `))
-	if err := enforce(report, 0, 0, 0.2); err == nil {
+	if err := enforce(report, nil, 0, 0, 0.2, 0); err == nil {
 		t.Error("flat-within with one benchmark should fail")
+	}
+}
+
+func TestEnforceBaselineRegression(t *testing.T) {
+	report, _ := parse(strings.NewReader(sampleOutput)) // OnlineTracker at 513.1 ns/sample
+
+	baseline := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkOnlineTracker", Metrics: map[string]float64{"ns/sample": 500}},
+		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/sample": 1}},
+	}}
+	// 513.1 vs 500 is a 2.6% regression: passes a 5% gate, fails a 1% one.
+	if err := enforce(report, baseline, 0, 0, 0, 0.05); err != nil {
+		t.Errorf("2.6%% regression should pass a 5%% gate: %v", err)
+	}
+	err := enforce(report, baseline, 0, 0, 0, 0.01)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("2.6%% regression past a 1%% gate: err = %v, want regression failure", err)
+	}
+
+	// Benchmarks missing from the baseline are not compared.
+	fresh := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkSomethingElse", Metrics: map[string]float64{"ns/sample": 1}},
+	}}
+	if err := enforce(report, fresh, 0, 0, 0, 0.01); err != nil {
+		t.Errorf("baseline without matching names should pass: %v", err)
+	}
+}
+
+func TestRunBaselineRoundTrip(t *testing.T) {
+	// First run bootstraps the snapshot (missing baseline is skipped),
+	// the second compares against it — including when -out overwrites
+	// the same file the baseline was read from.
+	path := t.TempDir() + "/BENCH.json"
+	args := []string{"-out", path, "-baseline", path, "-regress-within", "0.05"}
+	var out strings.Builder
+	if err := run(args, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("bootstrap run: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipping regression gate") {
+		t.Errorf("bootstrap run did not report the missing baseline: %q", out.String())
+	}
+	if err := run(args, strings.NewReader(sampleOutput), &strings.Builder{}); err != nil {
+		t.Fatalf("identical re-run should pass the gate: %v", err)
+	}
+
+	// A third run 10% slower must fail against the committed snapshot.
+	slower := strings.ReplaceAll(sampleOutput, "513.1 ns/sample", "570.0 ns/sample")
+	err := run(args, strings.NewReader(slower), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("10%% slower run: err = %v, want regression failure", err)
 	}
 }

@@ -9,6 +9,15 @@
 //	ptrack-serve -addr :8080 -rate 50 -condition -profile 0.62,0.90,2.35
 //	ptrack-serve -addr :8080 -rate 50 -rps 100 -max-inflight 128 \
 //	    -debug-addr localhost:6060 -log-level info
+//	ptrack-serve -addr :8080 -rate 50 -debug-addr localhost:6060 \
+//	    -trace-sample 0.01 -trace-export /var/log/ptrack-traces.jsonl
+//
+// With -trace-sample > 0 (or -trace-export set), sampled requests are
+// decomposed into span trees browsable at /debug/traces on the debug
+// server; -trace-export additionally ships them as OTLP/JSON to a file
+// path or, when the value starts with http:// or https://, to an OTLP
+// HTTP endpoint. Live per-session state is served at /debug/sessions.
+// See docs/TRACING.md.
 //
 // The service drains gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, every live session is flushed, trailing events are delivered
@@ -30,6 +39,7 @@ import (
 
 	"ptrack"
 	"ptrack/internal/buildinfo"
+	"ptrack/internal/obs/tracing"
 	"ptrack/internal/server"
 )
 
@@ -59,7 +69,9 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 		maxBody     = fs.Int64("max-body", 8<<20, "request body cap in bytes")
 		eventBuf    = fs.Int("event-buffer", 256, "per-subscriber event buffer (events)")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
-		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/traces and /debug/sessions on this address")
+		traceSample = fs.Float64("trace-sample", 0, "head-sampling probability for request tracing in [0,1] (0 = trace nothing unless -trace-export is set, then errors only)")
+		traceExport = fs.String("trace-export", "", "ship sampled spans as OTLP/JSON to this file path, or to an OTLP endpoint when the value starts with http:// or https://")
 		logLevel    = fs.String("log-level", "info", "slog level: debug|info|warn|error")
 		version     = fs.Bool("version", false, "print version and exit")
 	)
@@ -78,13 +90,50 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 
 	metrics := ptrack.NewMetrics()
 	observer := ptrack.NewObserver(metrics).WithCycleLogger(logger)
-	if *debugAddr != "" {
-		dbg, err := ptrack.ServeDebug(*debugAddr, metrics)
-		if err != nil {
-			return err
+
+	// Tracing: the in-memory ring always backs /debug/traces when
+	// tracing is on; -trace-export adds an OTLP sink behind a bounded
+	// batcher. The batcher closes (flushing its queue) after Shutdown
+	// has drained the pipeline — defers run after the return value is
+	// computed.
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %v", *traceSample)
+	}
+	var ring *ptrack.TraceRing
+	if *traceSample > 0 || *traceExport != "" {
+		ring = ptrack.NewTraceRing(0)
+		exporter := ptrack.SpanExporter(ring)
+		if *traceExport != "" {
+			var sink tracing.Sink
+			if strings.HasPrefix(*traceExport, "http://") || strings.HasPrefix(*traceExport, "https://") {
+				sink = tracing.NewOTLPHTTPSink(*traceExport, "ptrack-serve", nil)
+			} else {
+				fileSink, err := tracing.NewOTLPFileSink(*traceExport, "ptrack-serve")
+				if err != nil {
+					return fmt.Errorf("-trace-export: %w", err)
+				}
+				sink = fileSink
+			}
+			batcher := tracing.NewBatcher(sink, tracing.BatcherConfig{
+				OnError: func(err error) { logger.Warn("trace export failed", "err", err) },
+			})
+			defer func() {
+				if err := batcher.Close(); err != nil {
+					logger.Warn("trace exporter close failed", "err", err)
+				}
+				if n := batcher.Dropped(); n > 0 {
+					logger.Warn("trace spans dropped on full export queue", "dropped", n)
+				}
+			}()
+			exporter = tracing.Multi(ring, batcher)
 		}
-		defer dbg.Close()
-		logger.Info("debug server listening", "addr", dbg.Addr())
+		tracer := ptrack.NewTracer(ptrack.TracerConfig{
+			Service:    "ptrack-serve",
+			SampleRate: *traceSample,
+			Exporter:   exporter,
+		})
+		observer = observer.WithTracer(tracer)
+		logger.Info("tracing enabled", "sample_rate", *traceSample, "export", *traceExport)
 	}
 
 	opts := []ptrack.Option{ptrack.WithObserver(observer)}
@@ -116,6 +165,22 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 	if err != nil {
 		return err
 	}
+
+	if *debugAddr != "" {
+		routes := []ptrack.DebugRoute{
+			{Pattern: "/debug/sessions", Handler: srv.SessionsHandler()},
+		}
+		if ring != nil {
+			routes = append(routes, ptrack.DebugRoute{Pattern: "/debug/traces", Handler: ring.Handler()})
+		}
+		dbg, err := ptrack.ServeDebug(*debugAddr, metrics, routes...)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		logger.Info("debug server listening", "addr", dbg.Addr())
+	}
+
 	if err := srv.Start(*addr); err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -24,6 +26,9 @@ func TestBadFlags(t *testing.T) {
 		{"-profile", "1,2"},
 		{"-profile", "a,b,c"},
 		{"-log-level", "loud"},
+		{"-trace-sample", "1.5"},
+		{"-trace-sample", "-0.1"},
+		{"-trace-export", "/nonexistent-dir/sub/traces.jsonl"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -69,5 +74,62 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "serving on") {
 		t.Errorf("stdout %q missing serving banner", out.String())
+	}
+}
+
+// TestServeTracingLifecycle boots the command with tracing on and an
+// OTLP file export, pushes one traced sample, and checks that shutdown
+// flushes the exported spans to the file.
+func TestServeTracingLifecycle(t *testing.T) {
+	exportPath := filepath.Join(t.TempDir(), "traces.jsonl")
+	ready := make(chan string)
+	errc := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0", "-rate", "50", "-log-level", "error",
+			"-trace-sample", "1", "-trace-export", exportPath,
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/sessions/traced/samples",
+		"application/x-ndjson",
+		strings.NewReader(`{"t":0,"ax":0.1,"ay":0.2,"az":9.8,"yaw":0.0}`+"\n"))
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push status = %d, want 200", resp.StatusCode)
+	}
+
+	close(ready)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	// The batcher closes after the drain; by now the ingest trace must
+	// be on disk as OTLP/JSON.
+	data, err := os.ReadFile(exportPath)
+	if err != nil {
+		t.Fatalf("trace export file: %v", err)
+	}
+	for _, want := range []string{"resourceSpans", "http.ingest", "ptrack-serve"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace export missing %q:\n%s", want, data)
+		}
 	}
 }

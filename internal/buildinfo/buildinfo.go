@@ -43,3 +43,25 @@ func String(tool string) string {
 	parts = append(parts, runtime.Version())
 	return strings.Join(parts, " ")
 }
+
+// Version returns the module version and (short) VCS revision embedded
+// in the binary, with "unknown" standing in when the toolchain recorded
+// neither (e.g. test builds). Label-friendly: no spaces, always
+// non-empty — the ptrack_build_info gauge uses these verbatim.
+func Version() (version, revision string) {
+	version, revision = "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			version = v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	return version, revision
+}

@@ -3,10 +3,14 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ptrack/internal/condition"
 	"ptrack/internal/obs"
+	"ptrack/internal/obs/tracing"
 	"ptrack/internal/stream"
 	"ptrack/internal/trace"
 )
@@ -47,6 +51,12 @@ type HubConfig struct {
 	// be safe for concurrent use. Nil discards events (the hub is then
 	// only useful for its side metrics, e.g. load testing).
 	OnEvent func(session string, ev stream.Event)
+	// OnEventCtx, when set, takes precedence over OnEvent and
+	// additionally receives the span context of the event.emit span the
+	// event was emitted under (the zero SpanContext when the session's
+	// trace is unsampled or tracing is off). This is how the serving
+	// layer's SSE broker parents its sse.deliver spans on the pipeline.
+	OnEventCtx func(session string, ev stream.Event, sc tracing.SpanContext)
 	// OnSessionEnd is called once per session, from the session's
 	// goroutine, after its trailing (flush) events have been delivered —
 	// whether the session left via End, idle eviction, LRU eviction or
@@ -104,6 +114,28 @@ type session struct {
 
 	lastMu   sync.Mutex
 	lastSeen time.Time
+
+	// traceCtx is the span context of the most recent sampled ingest
+	// request that pushed into this session (nil until one arrives).
+	// The run goroutine parents its tracker.push/event.emit spans on it;
+	// ingest handlers replace it via Hub.SetSessionTrace, so a session's
+	// asynchronous work is attributed to the latest sampled request
+	// touching it — an explicit, documented approximation (queued waves
+	// from an earlier request may land under the newer trace).
+	traceCtx atomic.Pointer[tracing.SpanContext]
+
+	// Introspection counters for /debug/sessions, updated by the run
+	// goroutine and Push (atomics: read lock-free by Hub.Stats).
+	samplesIn atomic.Int64
+	steps     atomic.Int64
+	events    atomic.Int64
+
+	// condReport is a periodic copy of the tracker's conditioner report
+	// (Stats must not touch tracker state owned by the run goroutine).
+	condMu     sync.Mutex
+	condReport *condition.Report
+
+	started time.Time
 }
 
 func (s *session) touch(t time.Time) {
@@ -118,6 +150,30 @@ func (s *session) seen() time.Time {
 	s.lastMu.Lock()
 	defer s.lastMu.Unlock()
 	return s.lastSeen
+}
+
+// storeCondReport snapshots the tracker's conditioner report for
+// lock-free readers (Hub.Stats). The Gaps slice is dropped — it grows
+// without bound and the introspection endpoint only needs the counts.
+func (s *session) storeCondReport(r *condition.Report) {
+	if r == nil {
+		return
+	}
+	cp := *r
+	cp.Gaps = nil
+	s.condMu.Lock()
+	s.condReport = &cp
+	s.condMu.Unlock()
+}
+
+func (s *session) loadCondReport() *condition.Report {
+	s.condMu.Lock()
+	defer s.condMu.Unlock()
+	if s.condReport == nil {
+		return nil
+	}
+	cp := *s.condReport
+	return &cp
 }
 
 // NewHub validates the template configuration and starts the eviction
@@ -207,6 +263,7 @@ func (h *Hub) startSessionLocked(id string) *session {
 		ch:       make(chan trace.Sample, h.cfg.QueueSize),
 		done:     make(chan struct{}),
 		lastSeen: h.cfg.now(),
+		started:  h.cfg.now(),
 	}
 	h.sessions[id] = sess
 	h.cfg.Hooks.SessionOpened()
@@ -214,6 +271,14 @@ func (h *Hub) startSessionLocked(id string) *session {
 	go h.run(sess)
 	return sess
 }
+
+// waveMaxSamples bounds how many samples a single tracker.push span may
+// cover. Per-sample spans would drown a trace (a one-second request
+// carries ~50 samples), so the run loop batches a sampled session's
+// pushes into "waves" and flushes a wave's span when it produces events
+// or reaches this size — the span's duration is then the wave's true
+// wall time and the trace stays a readable handful of spans.
+const waveMaxSamples = 64
 
 // run drains one session until its queue is closed, then flushes.
 func (h *Hub) run(sess *session) {
@@ -224,24 +289,122 @@ func (h *Hub) run(sess *session) {
 		// NewHub validated the identical configuration.
 		panic("engine: session tracker construction failed after validation: " + err.Error())
 	}
-	emit := h.cfg.OnEvent
-	for s := range sess.ch {
-		evs := tk.Push(s)
-		if emit != nil {
-			for _, ev := range evs {
-				emit(sess.id, ev)
-			}
+	tracer := h.cfg.Hooks.Tracer()
+
+	// deliver fans events out to the configured callback, minting one
+	// event.emit span per event when the wave is traced.
+	deliver := func(evs []stream.Event, parent tracing.SpanContext) {
+		if len(evs) == 0 {
+			return
 		}
-	}
-	if evs := tk.Flush(); emit != nil {
+		sess.events.Add(int64(len(evs)))
 		for _, ev := range evs {
-			emit(sess.id, ev)
+			var sc tracing.SpanContext
+			if parent.IsValid() && parent.Sampled() {
+				span := tracer.StartAt(parent, "event.emit", time.Time{})
+				span.SetKind(tracing.KindProducer)
+				span.SetAttributes(
+					tracing.Str("session", sess.id),
+					tracing.Str("event.label", ev.Label.String()),
+					tracing.Int("event.steps_added", int64(ev.StepsAdded)),
+					tracing.Int("event.total_steps", int64(ev.TotalSteps)),
+				)
+				sc = span.Context()
+				h.dispatch(sess.id, ev, sc)
+				span.End()
+				continue
+			}
+			h.dispatch(sess.id, ev, sc)
 		}
 	}
+
+	// Wave state: a run of consecutive samples processed under one
+	// sampled trace context, flushed into a single tracker.push span.
+	var (
+		waveSC      tracing.SpanContext
+		waveStart   time.Time
+		waveSamples int
+		waveCond    time.Duration
+	)
+	// flushWave ends the open wave's tracker.push span (plus its
+	// synthesized condition child) and returns the push span's context
+	// so the wave's events parent under it.
+	flushWave := func() tracing.SpanContext {
+		if waveSamples == 0 {
+			return tracing.SpanContext{}
+		}
+		span := tracer.StartAt(waveSC, "tracker.push", waveStart)
+		span.SetKind(tracing.KindConsumer)
+		span.SetAttributes(
+			tracing.Str("session", sess.id),
+			tracing.Int("samples", int64(waveSamples)),
+		)
+		if waveCond > 0 {
+			// The conditioner's share of the wave, honest in duration,
+			// synthesized in placement (it ran interleaved with the DSP).
+			cond := tracer.StartAt(span.Context(), "condition", waveStart)
+			cond.SetAttributes(tracing.Str("session", sess.id))
+			cond.EndAt(waveStart.Add(waveCond))
+		}
+		sc := span.Context()
+		span.End()
+		waveSamples, waveCond = 0, 0
+		return sc
+	}
+
+	condEvery := 0
+	for s := range sess.ch {
+		scp := sess.traceCtx.Load()
+		traced := tracer != nil && scp != nil && scp.Sampled()
+		var evs []stream.Event
+		if traced {
+			if waveSamples == 0 {
+				waveSC, waveStart = *scp, time.Now()
+			}
+			var condD time.Duration
+			evs, condD = tk.PushTimed(s)
+			waveCond += condD
+			waveSamples++
+		} else {
+			flushWave()
+			evs = tk.Push(s)
+		}
+		sess.samplesIn.Add(1)
+		sess.steps.Store(int64(tk.Steps()))
+		if condEvery++; condEvery >= 32 {
+			condEvery = 0
+			sess.storeCondReport(tk.ConditionReport())
+		}
+		if traced && (len(evs) > 0 || waveSamples >= waveMaxSamples) {
+			deliver(evs, flushWave())
+		} else {
+			deliver(evs, tracing.SpanContext{})
+		}
+	}
+	flushWave()
+	finEvs := tk.Flush()
+	sess.steps.Store(int64(tk.Steps()))
+	sess.storeCondReport(tk.ConditionReport())
+	var finSC tracing.SpanContext
+	if scp := sess.traceCtx.Load(); tracer != nil && scp != nil {
+		finSC = *scp
+	}
+	deliver(finEvs, finSC)
 	if h.cfg.OnSessionEnd != nil {
 		h.cfg.OnSessionEnd(sess.id)
 	}
 	h.cfg.Hooks.SessionClosed()
+}
+
+// dispatch routes one event to OnEventCtx (preferred) or OnEvent.
+func (h *Hub) dispatch(id string, ev stream.Event, sc tracing.SpanContext) {
+	if h.cfg.OnEventCtx != nil {
+		h.cfg.OnEventCtx(id, ev, sc)
+		return
+	}
+	if h.cfg.OnEvent != nil {
+		h.cfg.OnEvent(id, ev)
+	}
 }
 
 // removeLocked detaches a session and closes its queue; the session
@@ -313,6 +476,82 @@ func (h *Hub) Len() int {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	return len(h.sessions)
+}
+
+// SetSessionTrace records sc as the trace context governing the
+// session's asynchronous pipeline work (tracker waves, event emission).
+// The serving layer calls it once per sampled ingest request, after the
+// request's first accepted push; later sampled requests replace it.
+// Unknown sessions and invalid contexts are no-ops.
+func (h *Hub) SetSessionTrace(id string, sc tracing.SpanContext) {
+	if !sc.IsValid() {
+		return
+	}
+	h.mu.RLock()
+	sess := h.sessions[id]
+	h.mu.RUnlock()
+	if sess != nil {
+		sess.traceCtx.Store(&sc)
+	}
+}
+
+// SessionStat is one live session's introspection snapshot, served by
+// GET /debug/sessions.
+type SessionStat struct {
+	// ID is the session key.
+	ID string `json:"session"`
+	// QueueLen and QueueCap describe the bounded pending-sample queue at
+	// snapshot time.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// AgeSeconds is time since the session was created; IdleSeconds is
+	// time since its last accepted Push.
+	AgeSeconds  float64 `json:"age_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	// Samples is the count of samples drained by the session's tracker;
+	// Steps its cumulative credited steps; Events its emitted events.
+	Samples int64 `json:"samples"`
+	Steps   int64 `json:"steps"`
+	Events  int64 `json:"events"`
+	// TraceID identifies the sampled trace currently governing the
+	// session's async spans ("" when untraced).
+	TraceID string `json:"trace_id,omitempty"`
+	// Condition is a recent copy of the conditioner's defect report
+	// (counts only, no gap list; nil with conditioning disabled).
+	Condition *condition.Report `json:"condition,omitempty"`
+}
+
+// Stats snapshots every live session, sorted by ID. Counters lag the
+// run goroutines by at most a few samples (they are updated with
+// atomics, the conditioner report every ~32 samples).
+func (h *Hub) Stats() []SessionStat {
+	now := h.cfg.now()
+	h.mu.RLock()
+	sessions := make([]*session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.RUnlock()
+	out := make([]SessionStat, 0, len(sessions))
+	for _, s := range sessions {
+		st := SessionStat{
+			ID:          s.id,
+			QueueLen:    len(s.ch),
+			QueueCap:    cap(s.ch),
+			AgeSeconds:  now.Sub(s.started).Seconds(),
+			IdleSeconds: now.Sub(s.seen()).Seconds(),
+			Samples:     s.samplesIn.Load(),
+			Steps:       s.steps.Load(),
+			Events:      s.events.Load(),
+			Condition:   s.loadCondReport(),
+		}
+		if scp := s.traceCtx.Load(); scp != nil {
+			st.TraceID = scp.TraceID.String()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Close flushes and stops every session and the janitor. Pushes after

@@ -3,7 +3,11 @@ package obs
 import (
 	"context"
 	"log/slog"
+	"runtime"
 	"time"
+
+	"ptrack/internal/buildinfo"
+	"ptrack/internal/obs/tracing"
 )
 
 // Stage identifies one pipeline stage for the per-stage timers.
@@ -122,6 +126,7 @@ type Hooks struct {
 	eventsDrop   *Counter
 
 	logger *slog.Logger
+	tracer *tracing.Tracer
 }
 
 // NewHooks registers the full PTrack metric set in reg and returns hooks
@@ -192,6 +197,10 @@ func NewHooks(reg *Registry) *Hooks {
 		"SSE event streams currently attached to the serving layer.")
 	h.eventsDrop = reg.Counter("ptrack_http_events_dropped_total",
 		"Events dropped because an SSE subscriber's fan-out buffer was full.")
+	version, revision := buildinfo.Version()
+	reg.Gauge("ptrack_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		"version", version, "revision", revision, "go_version", runtime.Version()).Set(1)
 	return h
 }
 
@@ -202,6 +211,27 @@ func (h *Hooks) WithCycleLogger(l *slog.Logger) *Hooks {
 		h.logger = l
 	}
 	return h
+}
+
+// WithTracer attaches a span tracer; the serving layer and session hubs
+// sharing these hooks then decompose each request into child spans (see
+// docs/TRACING.md). Returns h for chaining. Attach before the hooks are
+// shared — the field is read without synchronization on the hot path.
+func (h *Hooks) WithTracer(t *tracing.Tracer) *Hooks {
+	if h != nil {
+		h.tracer = t
+	}
+	return h
+}
+
+// Tracer returns the attached span tracer. Nil hooks — and hooks with
+// no tracer attached — return a nil *tracing.Tracer, which is itself
+// the safe "tracing off" no-op, so callers use the result unchecked.
+func (h *Hooks) Tracer() *tracing.Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tracer
 }
 
 // StageDone records one completed stage invocation.

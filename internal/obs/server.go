@@ -11,14 +11,25 @@ import (
 	"time"
 )
 
+// Route is one extra endpoint mounted on the debug mux — how callers
+// attach /debug/traces (a trace ring's Handler) and /debug/sessions (a
+// server's session introspection) next to the built-in routes.
+type Route struct {
+	// Pattern is the http.ServeMux pattern, e.g. "/debug/traces".
+	Pattern string
+	// Handler serves it.
+	Handler http.Handler
+}
+
 // Handler returns the debug mux for a registry:
 //
 //	/metrics        Prometheus text exposition
 //	/debug/vars     expvar-style JSON (global expvars + the registry)
 //	/debug/pprof/*  the standard pprof profiles
 //
-// Use it directly with httptest, or let Serve run it on a listener.
-func Handler(reg *Registry) http.Handler {
+// plus any extra routes. Use it directly with httptest, or let Serve
+// run it on a listener.
+func Handler(reg *Registry, routes ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -30,6 +41,11 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range routes {
+		if r.Pattern != "" && r.Handler != nil {
+			mux.Handle(r.Pattern, r.Handler)
+		}
+	}
 	return mux
 }
 
@@ -68,15 +84,16 @@ type Server struct {
 }
 
 // Serve starts the debug server on addr (e.g. "localhost:6060"; use
-// port 0 for an ephemeral port) and returns once it is listening.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// port 0 for an ephemeral port) and returns once it is listening. Extra
+// routes are mounted alongside the built-ins (see Handler).
+func Serve(addr string, reg *Registry, routes ...Route) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ln:  ln,
-		srv: &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: Handler(reg, routes...), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

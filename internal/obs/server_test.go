@@ -69,6 +69,43 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+func TestHandlerExtraRoutes(t *testing.T) {
+	reg := NewRegistry()
+	extra := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+	srv := httptest.NewServer(Handler(reg,
+		Route{Pattern: "/debug/extra", Handler: extra},
+		Route{},                              // no pattern: skipped
+		Route{Pattern: "/debug/nil-handler"}, // no handler: skipped
+	))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/debug/extra")
+	if code != http.StatusOK || body != `{"ok":true}` {
+		t.Errorf("/debug/extra = %d %q, want 200 {\"ok\":true}", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/debug/nil-handler"); code != http.StatusNotFound {
+		t.Errorf("route with nil handler = %d, want 404", code)
+	}
+
+	// Extra routes must not displace the built-ins, and /metrics must
+	// keep the Prometheus text exposition content type.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status = %d with extra routes", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+}
+
 func TestServeAndClose(t *testing.T) {
 	reg := NewRegistry()
 	s, err := Serve("127.0.0.1:0", reg)

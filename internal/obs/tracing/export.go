@@ -1,0 +1,339 @@
+package tracing
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Exporter receives finished spans. Export is called from the
+// instrumented goroutine at Span.End and therefore must not block:
+// queue the span or drop it and count the drop. Close flushes whatever
+// buffering the exporter does.
+type Exporter interface {
+	Export(*Span)
+	Close() error
+}
+
+// Ring is a fixed-capacity in-memory exporter holding the most recent
+// finished spans. It backs tests and the /debug/traces endpoint: cheap,
+// always on, never blocks, silently overwrites the oldest span when
+// full.
+type Ring struct {
+	mu    sync.Mutex
+	spans []*Span
+	next  int
+	full  bool
+}
+
+// DefaultRingSize is the Ring capacity used when none is given.
+const DefaultRingSize = 2048
+
+// NewRing returns a ring buffer holding up to capacity spans
+// (DefaultRingSize if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{spans: make([]*Span, capacity)}
+}
+
+// Export stores the span, overwriting the oldest when full.
+func (r *Ring) Export(s *Span) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans[r.next] = s
+	r.next++
+	if r.next == len(r.spans) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Close is a no-op (the ring has nothing to flush).
+func (r *Ring) Close() error { return nil }
+
+// Len returns the number of spans currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.spans)
+	}
+	return r.next
+}
+
+// Spans returns the held spans, oldest first.
+func (r *Ring) Spans() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Span
+	if r.full {
+		out = make([]*Span, 0, len(r.spans))
+		out = append(out, r.spans[r.next:]...)
+		out = append(out, r.spans[:r.next]...)
+	} else {
+		out = append(out, r.spans[:r.next]...)
+	}
+	return out
+}
+
+// Trace returns the held spans belonging to one trace, oldest first.
+func (r *Ring) Trace(id TraceID) []*Span {
+	all := r.Spans()
+	out := all[:0]
+	for _, s := range all {
+		if s.Context().TraceID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Reset discards all held spans.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	clear(r.spans)
+	r.next, r.full = 0, false
+	r.mu.Unlock()
+}
+
+// traceSummary is one trace in the /debug/traces index.
+type traceSummary struct {
+	TraceID    string `json:"trace_id"`
+	Spans      int    `json:"spans"`
+	Root       string `json:"root,omitempty"`
+	DurationNS int64  `json:"duration_ns,omitempty"`
+	Error      bool   `json:"error,omitempty"`
+}
+
+// Handler serves the ring over HTTP for /debug/traces:
+//
+//	GET /debug/traces            → JSON index of held traces, newest first
+//	GET /debug/traces?trace=<id> → OTLP/JSON export of that trace's spans
+//	GET /debug/traces?all=1      → OTLP/JSON export of every held span
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if req.URL.Query().Get("all") != "" {
+			writeJSON(w, otlpPayload(r.Spans(), ""))
+			return
+		}
+		if q := req.URL.Query().Get("trace"); q != "" {
+			var id TraceID
+			if len(q) != 32 {
+				http.Error(w, `{"error":"malformed trace id"}`, http.StatusBadRequest)
+				return
+			}
+			if _, err := hex.Decode(id[:], []byte(q)); err != nil {
+				http.Error(w, `{"error":"malformed trace id"}`, http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, otlpPayload(r.Trace(id), ""))
+			return
+		}
+		// Index: group held spans by trace, newest activity first.
+		spans := r.Spans()
+		byTrace := make(map[TraceID]*traceSummary)
+		order := make([]TraceID, 0, 16)
+		for _, s := range spans {
+			id := s.Context().TraceID
+			sum := byTrace[id]
+			if sum == nil {
+				sum = &traceSummary{TraceID: id.String()}
+				byTrace[id] = sum
+				order = append(order, id)
+			}
+			sum.Spans++
+			if !s.Parent().IsValid() {
+				sum.Root = s.Name()
+				sum.DurationNS = int64(s.Duration())
+			}
+			if code, _ := s.Status(); code == StatusError {
+				sum.Error = true
+			}
+		}
+		out := make([]*traceSummary, 0, len(order))
+		for _, id := range order {
+			out = append(out, byTrace[id])
+		}
+		// Newest first: the ring is oldest-first, so reverse the
+		// first-seen order.
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		writeJSON(w, struct {
+			Traces []*traceSummary `json:"traces"`
+		}{out})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Sink is the batch-delivery half of the Batcher exporter: WriteBatch
+// persists one batch of finished spans (called from the batcher's
+// single worker goroutine, never concurrently). OTLPFileSink and
+// OTLPHTTPSink are the stdlib implementations.
+type Sink interface {
+	WriteBatch([]*Span) error
+	Close() error
+}
+
+// BatcherConfig tunes a Batcher.
+type BatcherConfig struct {
+	// QueueSize bounds the spans waiting for the worker (default 1024).
+	// Export drops (and counts) spans when the queue is full.
+	QueueSize int
+	// BatchSize is the maximum spans per WriteBatch (default 128).
+	BatchSize int
+	// OnError, when non-nil, observes WriteBatch failures.
+	OnError func(error)
+}
+
+// Batcher is an asynchronous exporter: Export enqueues onto a bounded
+// channel and never blocks; a single worker goroutine drains the queue
+// into batches and hands them to the Sink. Spans arriving while the
+// queue is full are dropped and counted — backpressure is never allowed
+// to reach the serving hot path.
+type Batcher struct {
+	sink    Sink
+	queue   chan *Span
+	batch   int
+	onError func(error)
+
+	dropped  atomic.Uint64
+	exported atomic.Uint64
+
+	mu     sync.RWMutex // guards closed vs. in-flight Export sends
+	closed bool
+	done   chan struct{}
+}
+
+// NewBatcher starts the worker and returns the exporter. Close it to
+// flush.
+func NewBatcher(sink Sink, cfg BatcherConfig) *Batcher {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 128
+	}
+	b := &Batcher{
+		sink:    sink,
+		queue:   make(chan *Span, cfg.QueueSize),
+		batch:   cfg.BatchSize,
+		onError: cfg.OnError,
+		done:    make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Export enqueues the span, dropping it (and counting the drop) if the
+// queue is full or the batcher is closed. Safe to race Close.
+func (b *Batcher) Export(s *Span) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		b.dropped.Add(1)
+		return
+	}
+	select {
+	case b.queue <- s:
+	default:
+		b.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many spans were discarded on a full queue.
+func (b *Batcher) Dropped() uint64 { return b.dropped.Load() }
+
+// Exported returns how many spans were handed to the sink.
+func (b *Batcher) Exported() uint64 { return b.exported.Load() }
+
+// Close drains the queue, flushes the final batch, closes the sink and
+// stops the worker. Idempotent. Exports racing Close are dropped and
+// counted.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.done
+	return b.sink.Close()
+}
+
+func (b *Batcher) run() {
+	defer close(b.done)
+	buf := make([]*Span, 0, b.batch)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		if err := b.sink.WriteBatch(buf); err != nil {
+			if b.onError != nil {
+				b.onError(err)
+			}
+		} else {
+			b.exported.Add(uint64(len(buf)))
+		}
+		buf = buf[:0]
+	}
+	for s := range b.queue {
+		buf = append(buf, s)
+		if len(buf) < b.batch {
+			// Opportunistically take whatever is already queued so quiet
+			// periods flush promptly instead of waiting to fill a batch.
+			drained := false
+			for !drained && len(buf) < b.batch {
+				select {
+				case more, ok := <-b.queue:
+					if !ok {
+						flush()
+						return
+					}
+					buf = append(buf, more)
+				default:
+					drained = true
+				}
+			}
+		}
+		flush()
+	}
+	flush()
+}
+
+// Multi fans Export out to several exporters (e.g. the debug ring plus
+// an OTLP batcher). Close closes each, returning the first error.
+func Multi(exps ...Exporter) Exporter { return multi(exps) }
+
+type multi []Exporter
+
+func (m multi) Export(s *Span) {
+	for _, e := range m {
+		e.Export(s)
+	}
+}
+
+func (m multi) Close() error {
+	var first error
+	for _, e := range m {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

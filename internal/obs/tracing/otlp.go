@@ -1,0 +1,272 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// OTLP/JSON encoding per the OpenTelemetry protocol's JSON mapping of
+// ExportTraceServiceRequest: trace/span IDs are lowercase hex,
+// timestamps are unix-epoch nanoseconds rendered as decimal strings,
+// attribute values are the {"stringValue": ...} tagged form, and enums
+// (span kind, status code) are their numeric values. Collectors accept
+// this on POST /v1/traces with Content-Type application/json.
+
+type otlpRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"`
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Events            []otlpEvent    `json:"events,omitempty"`
+	Status            *otlpStatus    `json:"status,omitempty"`
+	Flags             int            `json:"flags,omitempty"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string         `json:"timeUnixNano"`
+	Name         string         `json:"name"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpStatus struct {
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // int64 as string per OTLP JSON
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+func otlpAttr(a Attr) otlpKeyValue {
+	kv := otlpKeyValue{Key: a.Key}
+	switch a.kind {
+	case attrString:
+		kv.Value.StringValue = &a.str
+	case attrInt:
+		s := strconv.FormatInt(a.num, 10)
+		kv.Value.IntValue = &s
+	case attrFloat:
+		kv.Value.DoubleValue = &a.flt
+	case attrBool:
+		b := a.num != 0
+		kv.Value.BoolValue = &b
+	}
+	return kv
+}
+
+func otlpAttrs(attrs []Attr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, len(attrs))
+	for i, a := range attrs {
+		out[i] = otlpAttr(a)
+	}
+	return out
+}
+
+func unixNano(t time.Time) string {
+	if t.IsZero() {
+		return "0"
+	}
+	return strconv.FormatInt(t.UnixNano(), 10)
+}
+
+func otlpFromSpan(s *Span) otlpSpan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := otlpSpan{
+		TraceID:           s.sc.TraceID.String(),
+		SpanID:            s.sc.SpanID.String(),
+		Name:              s.name,
+		Kind:              int(s.kind),
+		StartTimeUnixNano: unixNano(s.start),
+		EndTimeUnixNano:   unixNano(s.end),
+		Attributes:        otlpAttrs(s.attrs),
+		Flags:             int(s.sc.Flags),
+	}
+	if s.parent.IsValid() {
+		out.ParentSpanID = s.parent.String()
+	}
+	for _, ev := range s.events {
+		out.Events = append(out.Events, otlpEvent{
+			TimeUnixNano: unixNano(ev.Time),
+			Name:         ev.Name,
+			Attributes:   otlpAttrs(ev.Attrs),
+		})
+	}
+	switch s.status {
+	case StatusOK:
+		out.Status = &otlpStatus{Code: 1, Message: s.message}
+	case StatusError:
+		out.Status = &otlpStatus{Code: 2, Message: s.message}
+	}
+	return out
+}
+
+// otlpPayload builds one ExportTraceServiceRequest for the spans.
+// service labels the resource ("ptrack" when empty; per-span tracer
+// services are not distinguished — one process, one resource).
+func otlpPayload(spans []*Span, service string) otlpRequest {
+	if service == "" {
+		service = "ptrack"
+		for _, s := range spans {
+			if s != nil && s.tracer != nil {
+				service = s.tracer.service
+				break
+			}
+		}
+	}
+	encoded := make([]otlpSpan, 0, len(spans))
+	for _, s := range spans {
+		if s == nil {
+			continue
+		}
+		encoded = append(encoded, otlpFromSpan(s))
+	}
+	return otlpRequest{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKeyValue{otlpAttr(Str("service.name", service))}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "ptrack/internal/obs/tracing"},
+			Spans: encoded,
+		}},
+	}}}
+}
+
+// MarshalOTLP renders the spans as one OTLP/JSON
+// ExportTraceServiceRequest document.
+func MarshalOTLP(spans []*Span, service string) ([]byte, error) {
+	return json.Marshal(otlpPayload(spans, service))
+}
+
+// OTLPFileSink appends one OTLP/JSON document per batch, newline
+// delimited, to a file — the zero-infrastructure export path: the
+// resulting file replays into any collector with curl, line by line.
+type OTLPFileSink struct {
+	mu      sync.Mutex
+	f       *os.File
+	service string
+}
+
+// NewOTLPFileSink opens (appending, creating) the file at path.
+func NewOTLPFileSink(path, service string) (*OTLPFileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tracing: open otlp file: %w", err)
+	}
+	return &OTLPFileSink{f: f, service: service}, nil
+}
+
+// WriteBatch appends one OTLP/JSON line for the batch.
+func (s *OTLPFileSink) WriteBatch(spans []*Span) error {
+	doc, err := MarshalOTLP(spans, s.service)
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("tracing: otlp file sink closed")
+	}
+	_, err = s.f.Write(doc)
+	return err
+}
+
+// Close syncs and closes the file. Idempotent.
+func (s *OTLPFileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// OTLPHTTPSink POSTs each batch as OTLP/JSON to a collector endpoint
+// (conventionally http://host:4318/v1/traces).
+type OTLPHTTPSink struct {
+	url     string
+	service string
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewOTLPHTTPSink returns a sink posting to url. client may be nil (a
+// dedicated client with sane timeouts is used).
+func NewOTLPHTTPSink(url, service string, client *http.Client) *OTLPHTTPSink {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &OTLPHTTPSink{url: url, service: service, client: client, timeout: 10 * time.Second}
+}
+
+// WriteBatch posts one batch; non-2xx responses are errors.
+func (s *OTLPHTTPSink) WriteBatch(spans []*Span) error {
+	doc, err := MarshalOTLP(spans, s.service)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("tracing: otlp export: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Close is a no-op (each POST is self-contained).
+func (s *OTLPHTTPSink) Close() error { return nil }

@@ -1,0 +1,81 @@
+package tracing
+
+import (
+	"encoding/hex"
+	"net/http"
+)
+
+// Header is the W3C Trace Context header name carrying the span
+// identity across process boundaries.
+const Header = "traceparent"
+
+// FormatTraceparent renders sc in the W3C version-00 form
+// "00-<traceid>-<spanid>-<flags>". Invalid contexts render as "" so
+// callers can skip injection with one check.
+func FormatTraceparent(sc SpanContext) string {
+	if !sc.IsValid() {
+		return ""
+	}
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, sc.TraceID[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, sc.SpanID[:])
+	buf = append(buf, '-')
+	const hexdigits = "0123456789abcdef"
+	buf = append(buf, hexdigits[sc.Flags>>4], hexdigits[sc.Flags&0x0f])
+	return string(buf)
+}
+
+// ParseTraceparent parses a W3C version-00 traceparent value. It
+// returns ok=false for anything malformed (wrong length, bad hex,
+// all-zero IDs, the reserved version ff) — per the spec, a parse
+// failure means "restart the trace", which callers get by passing the
+// zero SpanContext to StartRemote.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	// 00-32hex-16hex-2hex = 2+1+32+1+16+1+2 = 55 bytes.
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, false
+	}
+	if v[0] != '0' || v[1] != '0' {
+		// Unknown (or reserved "ff") version: a future version is allowed
+		// to have trailing fields, but our fixed-length check already
+		// rejected those; treat anything non-00 as unparseable.
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(v[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(v[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(v[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	sc.Flags = flags[0]
+	if !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Inject writes sc into h as a traceparent header. Invalid contexts
+// leave h untouched.
+func Inject(sc SpanContext, h http.Header) {
+	if tp := FormatTraceparent(sc); tp != "" {
+		h.Set(Header, tp)
+	}
+}
+
+// Extract reads the traceparent header from h. The zero SpanContext
+// (with ok=false) means none was present or it was malformed; both
+// cases start a fresh trace.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(Header)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(v)
+}

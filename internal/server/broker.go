@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ptrack/internal/obs"
+	"ptrack/internal/obs/tracing"
 )
 
 // broker fans classification events out to the SSE subscribers of each
@@ -19,12 +20,21 @@ type broker struct {
 	closed bool
 }
 
+// eventMsg is one published event: the encoded payload plus the span
+// context of the event.emit span it was born under (zero when the
+// session's request was unsampled), so the SSE handler can parent its
+// sse.deliver span on the pipeline.
+type eventMsg struct {
+	payload []byte
+	sc      tracing.SpanContext
+}
+
 // subscriber is one attached SSE stream. Its channel carries encoded
 // event payloads and is closed — after the trailing events — when the
 // session ends or the broker shuts down.
 type subscriber struct {
 	session string
-	ch      chan []byte
+	ch      chan eventMsg
 	dropped int
 }
 
@@ -45,7 +55,7 @@ func (b *broker) subscribe(session string) *subscriber {
 	if b.closed {
 		return nil
 	}
-	sub := &subscriber{session: session, ch: make(chan []byte, b.buf)}
+	sub := &subscriber{session: session, ch: make(chan eventMsg, b.buf)}
 	b.feeds[session] = append(b.feeds[session], sub)
 	b.hooks.EventStreamOpened()
 	return sub
@@ -72,15 +82,17 @@ func (b *broker) unsubscribe(sub *subscriber) {
 	}
 }
 
-// publish delivers one encoded event to every subscriber of the
-// session. Full subscriber buffers drop the event for that subscriber
-// only. Called from the hub's per-session goroutines.
-func (b *broker) publish(session string, payload []byte) {
+// publish delivers one encoded event — tagged with its emitting span's
+// context — to every subscriber of the session. Full subscriber buffers
+// drop the event for that subscriber only. Called from the hub's
+// per-session goroutines.
+func (b *broker) publish(session string, payload []byte, sc tracing.SpanContext) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	msg := eventMsg{payload: payload, sc: sc}
 	for _, sub := range b.feeds[session] {
 		select {
-		case sub.ch <- payload:
+		case sub.ch <- msg:
 		default:
 			sub.dropped++
 			b.hooks.EventsDropped(1)

@@ -39,6 +39,7 @@ import (
 	"ptrack"
 	"ptrack/internal/buildinfo"
 	"ptrack/internal/obs"
+	"ptrack/internal/obs/tracing"
 	"ptrack/internal/wire"
 )
 
@@ -160,8 +161,9 @@ func New(cfg Config) (*Server, error) {
 		opts = append(opts, ptrack.WithConditioning())
 	}
 	hubOpts := append(append([]ptrack.Option(nil), opts...),
-		ptrack.WithSessionEndHook(s.broker.endSession))
-	hub, err := ptrack.NewSessionHub(cfg.SampleRate, s.onEvent, hubOpts...)
+		ptrack.WithSessionEndHook(s.broker.endSession),
+		ptrack.WithTracedEventHook(s.onEvent))
+	hub, err := ptrack.NewSessionHub(cfg.SampleRate, nil, hubOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -183,15 +185,22 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// onEvent encodes one hub event and fans it out. Runs on the session's
-// goroutine; the encode allocates one payload shared by all subscribers.
-func (s *Server) onEvent(session string, ev ptrack.Event) {
-	s.broker.publish(session, wire.AppendEvent(nil, ev))
+// onEvent encodes one hub event and fans it out, forwarding the
+// event.emit span context so SSE delivery can continue the trace. Runs
+// on the session's goroutine; the encode allocates one payload shared
+// by all subscribers.
+func (s *Server) onEvent(session string, ev ptrack.Event, sc ptrack.SpanContext) {
+	s.broker.publish(session, wire.AppendEvent(nil, ev), sc)
 }
 
 // Handler returns the server's HTTP handler — the full API without a
 // listener, ready for httptest or composition under another mux.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SessionsHandler serves the hub's live per-session introspection
+// (queue depth, last-push age, totals, conditioner report, governing
+// trace) as JSON — mount it on the debug server as /debug/sessions.
+func (s *Server) SessionsHandler() http.Handler { return ptrack.SessionsHandler(s.hub) }
 
 // Start listens on addr (use port 0 for ephemeral) and serves in the
 // background until Shutdown.
@@ -264,11 +273,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // --- middleware ------------------------------------------------------
 
+// spanNames maps instrumented routes onto their server-span names; meta
+// routes (healthz, readyz, version) are absent and stay untraced —
+// load-balancer probes would otherwise dominate the sampled stream.
+var spanNames = map[string]string{
+	"samples":     "http.ingest",
+	"batch":       "http.batch",
+	"events":      "http.events",
+	"end_session": "http.end_session",
+}
+
 // instrument wraps a handler with the request counter and latency
-// histogram for its route.
+// histogram for its route, and — on traced routes with a tracer
+// attached — opens the request's server span, honouring an inbound W3C
+// traceparent header so the client's trace continues here. The span
+// rides the request context; reject() and the handlers annotate it.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	spanName := spanNames[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.now()
+		if tracer := s.cfg.Hooks.Tracer(); tracer != nil && spanName != "" {
+			parent, _ := tracing.Extract(r.Header)
+			ctx, span := tracer.StartRemote(r.Context(), spanName, parent)
+			span.SetKind(tracing.KindServer)
+			span.SetAttributes(
+				tracing.Str("http.route", route),
+				tracing.Str("http.method", r.Method),
+			)
+			r = r.WithContext(ctx)
+			defer span.End()
+		}
 		h(w, r)
 		s.cfg.Hooks.HTTPRequest(route, s.cfg.now().Sub(start).Seconds())
 	}
@@ -301,10 +335,20 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, gated bool) (rele
 }
 
 // reject answers an inadmissible request: Retry-After for the statuses
-// that promise it, a JSON error body, a rejection metric and a debug log.
+// that promise it, a JSON error body, a rejection metric and a debug
+// log. On traced requests the request span is marked failed (which also
+// forces its export) and the log record carries the trace/span IDs.
 func (s *Server) reject(w http.ResponseWriter, r *http.Request, status int, reason, msg string, retry time.Duration) {
 	s.cfg.Hooks.RequestRejected(reason)
-	s.cfg.Logger.Debug("rejected", "path", r.URL.Path, "reason", reason, "status", status)
+	span := tracing.SpanFromContext(r.Context())
+	span.SetStatus(tracing.StatusError, reason)
+	span.SetAttributes(tracing.Int("http.status_code", int64(status)))
+	if sc := span.Context(); sc.IsValid() {
+		s.cfg.Logger.Debug("rejected", "path", r.URL.Path, "reason", reason, "status", status,
+			"trace_id", sc.TraceID.String(), "span_id", sc.SpanID.String())
+	} else {
+		s.cfg.Logger.Debug("rejected", "path", r.URL.Path, "reason", reason, "status", status)
+	}
 	if retry > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
 	}
@@ -366,6 +410,45 @@ type pushResult struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// accumTimer accumulates the total time spent in one phase of an
+// interleaved loop (decode, enqueue) so a single child span can later
+// represent the phase honestly: start at the first interval, duration =
+// the sum. Disabled timers never read the clock — the untraced ingest
+// path stays free of time syscalls beyond what it already had.
+type accumTimer struct {
+	enabled bool
+	first   time.Time
+	mark    time.Time
+	accum   time.Duration
+}
+
+func (t *accumTimer) start() {
+	if !t.enabled {
+		return
+	}
+	t.mark = time.Now()
+	if t.first.IsZero() {
+		t.first = t.mark
+	}
+}
+
+func (t *accumTimer) stop() {
+	if !t.enabled {
+		return
+	}
+	t.accum += time.Since(t.mark)
+}
+
+// emit synthesizes the phase's child span under parent.
+func (t *accumTimer) emit(tracer *tracing.Tracer, parent tracing.SpanContext, name string, attrs ...tracing.Attr) {
+	if !t.enabled || t.first.IsZero() {
+		return
+	}
+	span := tracer.StartAt(parent, name, t.first)
+	span.SetAttributes(attrs...)
+	span.EndAt(t.first.Add(t.accum))
+}
+
 func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.admit(w, r, true)
 	if !ok {
@@ -385,30 +468,58 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	}
 	s.setWriteDeadline(w)
 
+	span := tracing.SpanFromContext(r.Context())
+	span.SetAttributes(tracing.Str("session", id))
+	tracer := s.cfg.Hooks.Tracer()
+	decodeT := accumTimer{enabled: span.Sampled()}
+	enqueueT := accumTimer{enabled: span.Sampled()}
+	finish := func(accepted int) {
+		span.SetAttributes(tracing.Int("samples.accepted", int64(accepted)))
+		decodeT.emit(tracer, span.Context(), "wire.decode",
+			tracing.Str("codec", ct), tracing.Int("samples", int64(accepted)))
+		enqueueT.emit(tracer, span.Context(), "hub.enqueue",
+			tracing.Int("samples", int64(accepted)))
+	}
+
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := wire.NewDecoder(body, ct)
 	accepted := 0
 	for {
+		decodeT.start()
 		sample, err := dec.Next()
+		decodeT.stop()
 		if err == io.EOF {
+			finish(accepted)
 			writeJSON(w, http.StatusOK, pushResult{Accepted: accepted})
 			return
 		}
 		if err != nil {
+			finish(accepted)
 			s.samplesDecodeError(w, r, accepted, err)
 			return
 		}
 		if !s.cfg.Conditioning && !sample.Finite() {
+			finish(accepted)
 			s.cfg.Hooks.RequestRejected("decode")
+			span.SetStatus(tracing.StatusError, "non-finite sample")
 			writeJSON(w, http.StatusBadRequest, pushResult{
 				Accepted: accepted,
 				Error:    fmt.Sprintf("sample %d: non-finite field (enable conditioning to repair)", dec.Decoded()-1),
 			})
 			return
 		}
-		if err := s.hub.Push(id, sample); err != nil {
+		enqueueT.start()
+		err = s.hub.Push(id, sample)
+		enqueueT.stop()
+		if err != nil {
+			finish(accepted)
 			s.samplesPushError(w, r, accepted, err)
 			return
+		}
+		if accepted == 0 && span.Sampled() {
+			// First accepted push of a sampled request: this request's
+			// trace now governs the session's asynchronous pipeline spans.
+			s.hub.SetTrace(id, span.Context())
 		}
 		accepted++
 	}
@@ -425,6 +536,8 @@ func (s *Server) samplesDecodeError(w http.ResponseWriter, r *http.Request, acce
 		return
 	}
 	s.cfg.Hooks.RequestRejected("decode")
+	span := tracing.SpanFromContext(r.Context())
+	span.SetStatus(tracing.StatusError, "decode")
 	writeJSON(w, http.StatusBadRequest, pushResult{Accepted: accepted, Error: err.Error()})
 }
 
@@ -478,21 +591,37 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, ": attached session=%s\n\n", id)
 	flusher.Flush()
 
+	tracer := s.cfg.Hooks.Tracer()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case payload, open := <-sub.ch:
+		case msg, open := <-sub.ch:
 			_ = rc.SetWriteDeadline(s.cfg.now().Add(s.cfg.WriteTimeout))
 			if !open {
 				fmt.Fprintf(w, "event: %s\ndata: {}\n\n", wire.SSEEventEnd)
 				flusher.Flush()
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", wire.SSEEventCycle, payload); err != nil {
+			// sse.deliver continues the pipeline trace: its parent is the
+			// event.emit span the hub minted when this event left the
+			// tracker (zero context when the request was unsampled).
+			var deliver *tracing.Span
+			if msg.sc.IsValid() && msg.sc.Sampled() {
+				deliver = tracer.StartAt(msg.sc, "sse.deliver", time.Time{})
+				deliver.SetAttributes(
+					tracing.Str("session", id),
+					tracing.Int("payload_bytes", int64(len(msg.payload))),
+				)
+			}
+			_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", wire.SSEEventCycle, msg.payload)
+			if err != nil {
+				deliver.SetStatus(tracing.StatusError, "write failed")
+				deliver.End()
 				return
 			}
 			flusher.Flush()
+			deliver.End()
 		}
 	}
 }
@@ -565,7 +694,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining", time.Second)
+		// Report the drain distinctly the moment Shutdown begins: a load
+		// balancer polling readiness should eject this replica before the
+		// in-flight wait completes. Deliberately NOT a reject(): probe
+		// traffic would otherwise inflate the rejection counters on every
+		// poll of a draining replica.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "draining",
+			"error":  "server is draining",
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

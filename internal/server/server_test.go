@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ptrack/internal/obs"
+	"ptrack/internal/obs/tracing"
 )
 
 // --- rate limiter ----------------------------------------------------
@@ -79,7 +80,7 @@ func TestBrokerFanOutAndDrop(t *testing.T) {
 
 	payloads := [][]byte{[]byte("e1"), []byte("e2"), []byte("e3")}
 	for _, p := range payloads {
-		b.publish("s", p)
+		b.publish("s", p, tracing.SpanContext{})
 		if len(fast.ch) > 0 {
 			<-fast.ch // fast consumer keeps up
 		}

@@ -1,0 +1,241 @@
+package server_test
+
+// End-to-end tracing test: one sampled request driven through
+// client → HTTP ingest → hub → tracker → SSE must export a single
+// connected span tree under the client's root span, with the trace ID
+// propagated over the wire via traceparent. Also covers the debug
+// endpoints that expose the live session and the finished trace.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"ptrack"
+	"ptrack/client"
+	"ptrack/internal/obs"
+	"ptrack/internal/obs/tracing"
+	"ptrack/internal/server"
+)
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status = %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("GET %s Content-Type = %q", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func spanNameCount(spans []*tracing.Span) map[string]int {
+	names := make(map[string]int)
+	for _, s := range spans {
+		names[s.Name()]++
+	}
+	return names
+}
+
+func TestE2ETracePropagation(t *testing.T) {
+	tr := walkingTrace(t, 10)
+	ring := tracing.NewRing(0)
+
+	reg := obs.NewRegistry()
+	hooks := obs.NewHooks(reg).WithTracer(tracing.New(tracing.Config{
+		Service: "ptrack-serve", SampleRate: 1, Exporter: ring,
+	}))
+	// The observer carries the tracer into the hub's pipeline (Options),
+	// while Hooks instruments the serving layer itself.
+	srv, base := startServer(t, server.Config{
+		SampleRate: tr.SampleRate,
+		Hooks:      hooks,
+		Options:    []ptrack.Option{ptrack.WithObserver(hooks)},
+	})
+
+	// The client shares the ring so its root span and the server's
+	// remote children land in one place. One batch = one push request =
+	// one ingest trace covering the whole stream.
+	clientTracer := tracing.New(tracing.Config{
+		Service: "ptrack-client", SampleRate: 1, Exporter: ring,
+	})
+	c, err := client.Dial(base,
+		client.WithBatchSize(len(tr.Samples)),
+		client.WithTracer(clientTracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	es, err := c.Events(ctx, "traced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.Session("traced")
+	if err := sess.Push(ctx, tr.Samples...); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the session is live, /debug/sessions must expose it —
+	// including the trace ID its sampled request stamped on it.
+	dbg, err := obs.Serve("127.0.0.1:0", reg,
+		obs.Route{Pattern: "/debug/sessions", Handler: srv.SessionsHandler()},
+		obs.Route{Pattern: "/debug/traces", Handler: ring.Handler()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+	dbgURL := "http://" + dbg.Addr()
+
+	var sessions struct {
+		Sessions []struct {
+			Session  string `json:"session"`
+			QueueCap int    `json:"queue_cap"`
+			Samples  int64  `json:"samples"`
+			TraceID  string `json:"trace_id"`
+		} `json:"sessions"`
+	}
+	getJSON(t, dbgURL+"/debug/sessions", &sessions)
+	if len(sessions.Sessions) != 1 || sessions.Sessions[0].Session != "traced" {
+		t.Fatalf("/debug/sessions = %+v, want exactly the live session 'traced'", sessions.Sessions)
+	}
+	if sessions.Sessions[0].QueueCap == 0 {
+		t.Error("live session reports zero queue capacity")
+	}
+	if sessions.Sessions[0].TraceID == "" {
+		t.Error("live session has no trace_id despite a sampled request")
+	}
+
+	if err := sess.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if evs := collectEvents(t, es); len(evs) == 0 {
+		t.Fatal("no events delivered")
+	}
+
+	// The pipeline's asynchronous spans (tracker.push, event.emit,
+	// sse.deliver) end on the hub and SSE goroutines; poll until the
+	// full set has been exported.
+	want := []string{
+		"client.push", "http.ingest", "wire.decode", "hub.enqueue",
+		"tracker.push", "event.emit", "sse.deliver",
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var names map[string]int
+	for {
+		names = spanNameCount(ring.Spans())
+		complete := true
+		for _, n := range want {
+			if names[n] == 0 {
+				complete = false
+			}
+		}
+		if complete || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Locate the push trace via the client's root span.
+	var root *tracing.Span
+	for _, s := range ring.Spans() {
+		if s.Name() == "client.push" {
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatalf("no client.push span exported; have %v", names)
+	}
+	traceID := root.Context().TraceID
+	spans := ring.Trace(traceID)
+	inTrace := spanNameCount(spans)
+	for _, n := range want {
+		if inTrace[n] == 0 {
+			t.Errorf("trace %s missing span %q (trace has %v, ring has %v)",
+				traceID, n, inTrace, names)
+		}
+	}
+
+	// The trace must be one connected tree rooted at the client span:
+	// every span's parent is another span of the trace, except the root.
+	ids := make(map[tracing.SpanID]string, len(spans))
+	for _, s := range spans {
+		ids[s.Context().SpanID] = s.Name()
+	}
+	roots := 0
+	for _, s := range spans {
+		parent := s.Parent()
+		if !parent.IsValid() {
+			roots++
+			if s.Name() != "client.push" {
+				t.Errorf("unexpected root span %q", s.Name())
+			}
+			continue
+		}
+		if _, ok := ids[parent]; !ok {
+			t.Errorf("span %q has dangling parent %s", s.Name(), parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want 1", roots)
+	}
+
+	// /debug/traces: the index lists the trace; the detail view exports
+	// its spans as OTLP/JSON.
+	var index struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Spans   int    `json:"spans"`
+		} `json:"traces"`
+	}
+	getJSON(t, dbgURL+"/debug/traces", &index)
+	found := false
+	for _, tr := range index.Traces {
+		if tr.TraceID == traceID.String() {
+			found = true
+			if tr.Spans != len(spans) {
+				t.Errorf("/debug/traces reports %d spans for %s, want %d", tr.Spans, tr.TraceID, len(spans))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("/debug/traces index missing trace %s", traceID)
+	}
+
+	var otlp struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID string `json:"traceId"`
+					Name    string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	getJSON(t, dbgURL+"/debug/traces?trace="+traceID.String(), &otlp)
+	exported := 0
+	for _, rs := range otlp.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				if sp.TraceID != traceID.String() {
+					t.Errorf("OTLP span %q has traceId %s, want %s", sp.Name, sp.TraceID, traceID)
+				}
+				exported++
+			}
+		}
+	}
+	if exported != len(spans) {
+		t.Errorf("OTLP export has %d spans, want %d", exported, len(spans))
+	}
+}

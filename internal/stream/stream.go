@@ -23,6 +23,7 @@ package stream
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ptrack/internal/condition"
 	"ptrack/internal/dsp"
@@ -256,6 +257,28 @@ func (t *Tracker) Push(s trace.Sample) []Event {
 		events = append(events, t.push(o.Sample)...)
 	}
 	return events
+}
+
+// PushTimed is Push plus a measurement of the time spent inside the
+// input conditioner (0 with conditioning disabled). The session hub
+// calls it instead of Push only when the session belongs to a sampled
+// trace, so the clock readings never touch the untraced hot path; the
+// measurement becomes the synthesized "condition" child span.
+func (t *Tracker) PushTimed(s trace.Sample) ([]Event, time.Duration) {
+	if t.cond == nil {
+		return t.push(s), 0
+	}
+	start := time.Now()
+	outs := t.cond.Push(s)
+	condTime := time.Since(start)
+	var events []Event
+	for _, o := range outs {
+		if o.Split {
+			events = append(events, t.splitReset()...)
+		}
+		events = append(events, t.push(o.Sample)...)
+	}
+	return events, condTime
 }
 
 // push consumes one conditioned (or trusted-clean) sample.

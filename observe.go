@@ -1,10 +1,13 @@
 package ptrack
 
 import (
+	"encoding/json"
 	"io"
 	"log/slog"
+	"net/http"
 
 	"ptrack/internal/obs"
+	"ptrack/internal/obs/tracing"
 )
 
 // Observability layer. The type aliases expose the internal/obs
@@ -31,6 +34,32 @@ type (
 	Observer = obs.Hooks
 	// DebugServer is a running debug HTTP endpoint; see ServeDebug.
 	DebugServer = obs.Server
+	// DebugRoute mounts one extra endpoint on the debug server — e.g.
+	// a TraceRing's Handler at /debug/traces.
+	DebugRoute = obs.Route
+
+	// Tracer creates distributed-tracing spans. A nil *Tracer is the
+	// documented "tracing off" state: span creation returns nil spans,
+	// costs no allocations, and every span method is a no-op. Attach one
+	// to an Observer with Observer.WithTracer to have the serving layer
+	// and session hubs decompose sampled requests into span trees; see
+	// docs/TRACING.md.
+	Tracer = tracing.Tracer
+	// TracerConfig tunes a Tracer: service name, head-sampling
+	// probability and exporter.
+	TracerConfig = tracing.Config
+	// Span is one timed operation in a trace. All methods are safe on a
+	// nil *Span.
+	Span = tracing.Span
+	// SpanContext is a span's propagable identity (trace ID, span ID,
+	// sampled flag) — what travels in W3C traceparent headers.
+	SpanContext = tracing.SpanContext
+	// SpanExporter receives finished spans; see NewTraceRing and the
+	// tracing package's Batcher/OTLP sinks for implementations.
+	SpanExporter = tracing.Exporter
+	// TraceRing is a fixed-capacity in-memory span store whose Handler
+	// serves /debug/traces.
+	TraceRing = tracing.Ring
 )
 
 // NewMetrics returns an empty metrics registry (with Go runtime gauges
@@ -49,11 +78,40 @@ func WithObserver(o *Observer) Option {
 	return func(opts *options) { opts.observer = o }
 }
 
+// NewTracer returns a span tracer. Wire it into the pipeline with
+// Observer.WithTracer; give spans somewhere to go via cfg.Exporter
+// (e.g. NewTraceRing, or the tracing package's OTLP batcher).
+func NewTracer(cfg TracerConfig) *Tracer { return tracing.New(cfg) }
+
+// NewTraceRing returns an in-memory exporter holding the most recent
+// spans (capacity <= 0 means the default 2048). Mount its Handler on
+// the debug server to browse traces:
+//
+//	ring := ptrack.NewTraceRing(0)
+//	tracer := ptrack.NewTracer(ptrack.TracerConfig{SampleRate: 0.01, Exporter: ring})
+//	observer.WithTracer(tracer)
+//	srv, _ := ptrack.ServeDebug("localhost:6060", metrics,
+//		ptrack.DebugRoute{Pattern: "/debug/traces", Handler: ring.Handler()})
+func NewTraceRing(capacity int) *TraceRing { return tracing.NewRing(capacity) }
+
 // ServeDebug starts an HTTP server on addr exposing /metrics,
-// /debug/vars and /debug/pprof/* for m. Close the returned server when
-// done.
-func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
-	return obs.Serve(addr, m)
+// /debug/vars and /debug/pprof/* for m, plus any extra routes (e.g.
+// /debug/traces, /debug/sessions). Close the returned server when done.
+func ServeDebug(addr string, m *Metrics, routes ...DebugRoute) (*DebugServer, error) {
+	return obs.Serve(addr, m, routes...)
+}
+
+// SessionsHandler serves a SessionHub's live introspection snapshot as
+// JSON — mount it on the debug server as /debug/sessions.
+func SessionsHandler(h *SessionHub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Sessions []SessionStat `json:"sessions"`
+		}{h.SessionStats()})
+	})
 }
 
 // ParseLogLevel converts "debug", "info", "warn" or "error" into a

@@ -36,6 +36,7 @@ type options struct {
 	idleTimeout  time.Duration
 	maxSessions  int
 	onSessionEnd func(session string)
+	onEventCtx   func(session string, ev Event, sc SpanContext)
 }
 
 // Option configures any of the package's trackers or engines.
@@ -103,6 +104,17 @@ func WithMaxSessions(n int) Option {
 // SessionHub only.
 func WithSessionEndHook(fn func(session string)) Option {
 	return func(o *options) { o.onSessionEnd = fn }
+}
+
+// WithTracedEventHook registers fn as the hub's event callback in place
+// of NewSessionHub's onEvent parameter (which is then ignored). fn
+// additionally receives the span context of the event's event.emit span
+// — the zero SpanContext when the session's request was not sampled or
+// no tracer is attached — so downstream fan-out (e.g. SSE delivery) can
+// parent its own spans on the pipeline. fn is called from per-session
+// goroutines and must be safe for concurrent use. SessionHub only.
+func WithTracedEventHook(fn func(session string, ev Event, sc SpanContext)) Option {
+	return func(o *options) { o.onEventCtx = fn }
 }
 
 // WithConditioning routes every input trace or sample stream through

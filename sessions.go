@@ -17,6 +17,11 @@ type SessionHub struct {
 	hub *engine.Hub
 }
 
+// SessionStat is one live hub session's introspection snapshot (queue
+// occupancy, counters, governing trace ID, conditioner report); see
+// SessionHub.SessionStats and the debug server's /debug/sessions.
+type SessionStat = engine.SessionStat
+
 // NewSessionHub builds a hub for streams sampled at sampleRate. onEvent
 // receives every classification event tagged with its session ID; it is
 // called from per-session goroutines and must be safe for concurrent
@@ -38,6 +43,7 @@ func NewSessionHub(sampleRate float64, onEvent func(session string, ev Event), o
 		IdleTimeout:  o.idleTimeout,
 		MaxSessions:  o.maxSessions,
 		OnEvent:      onEvent,
+		OnEventCtx:   o.onEventCtx,
 		OnSessionEnd: o.onSessionEnd,
 		Hooks:        o.observer,
 	})
@@ -64,6 +70,21 @@ func (h *SessionHub) End(session string) { h.hub.End(session) }
 
 // ActiveSessions returns the number of live sessions.
 func (h *SessionHub) ActiveSessions() int { return h.hub.Len() }
+
+// SetTrace attributes the session's asynchronous pipeline work
+// (tracker waves, event emission) to the given sampled span context —
+// typically the server-side ingest span of the request that pushed the
+// session's samples. Later calls replace the context; unknown sessions
+// and invalid contexts are no-ops. See docs/TRACING.md.
+func (h *SessionHub) SetTrace(session string, sc SpanContext) {
+	h.hub.SetSessionTrace(session, sc)
+}
+
+// SessionStats snapshots every live session's introspection state
+// (queue occupancy, sample/step/event counters, governing trace ID,
+// conditioner report), sorted by session ID. This is what the debug
+// server's /debug/sessions endpoint serves.
+func (h *SessionHub) SessionStats() []SessionStat { return h.hub.Stats() }
 
 // Close flushes and stops every session. Pushes after Close fail with
 // ErrHubClosed. Close blocks until all trailing events are delivered;
