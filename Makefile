@@ -48,11 +48,22 @@ TRACE_SAMPLED_MAX_NS_PER_SAMPLE ?= 1250
 TRACE_MAX_ALLOCS_PER_SAMPLE ?= 0.75
 TRACE_REGRESS_WITHIN ?= 0.30
 
-.PHONY: check fmt vet test race bench-guard bench-condition bench-json bench-trace bench bench-batch build
+# Durable-session-state ceilings (BenchmarkSnapshot/BenchmarkRestore,
+# snapshot in BENCH_state.json): a warm 60 s walking session snapshots
+# in ~21 µs into ~58 KB — cheap enough to checkpoint every session of a
+# full hub inside one checkpoint interval. The ns ceiling is padded
+# ~10x for shared-host timer noise; the byte ceiling is the hard
+# "compact blob" contract (a session must never approach raw-trace
+# size, which would be ~500 KB/min).
+STATE_MAX_SNAPSHOT_NS ?= 250000
+STATE_MAX_BYTES_PER_SESSION ?= 131072
+
+.PHONY: check fmt vet test race conformance bench-guard bench-condition bench-json bench-trace bench-state bench bench-batch build
 
 # race subsumes test (same suite under the race detector), so check runs
-# the suite once, raced.
-check: fmt vet race bench-guard bench-condition
+# the suite once, raced; conformance re-runs the SessionStore contract
+# suite on its own so a store regression is named, not buried.
+check: fmt vet race conformance bench-guard bench-condition
 
 build:
 	$(GO) build ./...
@@ -69,6 +80,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The SessionStore conformance suite, run against every backend under
+# the race detector (docs/SESSIONS.md documents the contract).
+conformance:
+	$(GO) test ./internal/store -run 'TestConformance' -count=1 -race -v
 
 # The alloc-ceiling tests fail if the hot path regresses: the one-shot
 # and hook-enabled paths must stay under the post-recycling ceiling
@@ -103,6 +119,10 @@ bench-guard:
 		-baseline BENCH_trace.json -regress-within $(TRACE_REGRESS_WITHIN) \
 		-max-ns-per-sample $(TRACE_SAMPLED_MAX_NS_PER_SAMPLE) \
 		-max-allocs-per-sample $(TRACE_MAX_ALLOCS_PER_SAMPLE)
+	$(GO) test ./internal/stream -run NONE -bench 'BenchmarkSnapshot|BenchmarkRestore' -benchmem -benchtime 1000x \
+		| $(GO) run ./cmd/benchjson -out BENCH_state.json \
+		-max ns/op=$(STATE_MAX_SNAPSHOT_NS) \
+		-max bytes/session=$(STATE_MAX_BYTES_PER_SESSION)
 
 # The ingestion conditioner must stay a small fraction of the tracker's
 # per-sample budget: its ns/sample ceiling is ~25% of the streaming
@@ -125,6 +145,12 @@ bench-json:
 bench-trace:
 	$(GO) test ./internal/engine -run NONE -bench 'BenchmarkHubPush' -benchmem -benchtime 1s \
 		| $(GO) run ./cmd/benchjson -out BENCH_trace.json
+
+# Refresh the committed session-state snapshot (checkpoint latency and
+# bytes/session) without enforcing ceilings.
+bench-state:
+	$(GO) test ./internal/stream -run NONE -bench 'BenchmarkSnapshot|BenchmarkRestore' -benchmem -benchtime 1000x \
+		| $(GO) run ./cmd/benchjson -out BENCH_state.json
 
 # Serial vs pooled batch throughput on the 60 s reference trace ×16
 # (speedup only shows on multicore hosts; workers=1 bounds overhead).

@@ -113,8 +113,11 @@ func TestConstructorSentinels(t *testing.T) {
 	if _, err := NewPool(4, WithProfile(-1, 0.9, 2.3)); !errors.Is(err, ErrInvalidProfile) {
 		t.Errorf("NewPool error = %v, want ErrInvalidProfile", err)
 	}
-	if _, err := NewSessionHub(math.Inf(1), nil); !errors.Is(err, ErrInvalidSampleRate) {
+	if _, err := NewSessionHub(math.Inf(1)); !errors.Is(err, ErrInvalidSampleRate) {
 		t.Errorf("NewSessionHub error = %v, want ErrInvalidSampleRate", err)
+	}
+	if _, err := NewSessionHubFunc(math.Inf(1), nil); !errors.Is(err, ErrInvalidSampleRate) {
+		t.Errorf("NewSessionHubFunc error = %v, want ErrInvalidSampleRate", err)
 	}
 
 	tk, err := New()
@@ -147,11 +150,11 @@ func TestSessionHubMatchesOnline(t *testing.T) {
 
 	var mu sync.Mutex
 	steps := make(map[string]int)
-	hub, err := NewSessionHub(tr.SampleRate, func(session string, ev Event) {
+	hub, err := NewSessionHub(tr.SampleRate, WithEventHook(func(session string, ev Event) {
 		mu.Lock()
 		steps[session] += ev.StepsAdded
 		mu.Unlock()
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}

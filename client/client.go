@@ -37,13 +37,45 @@ import (
 var ErrGiveUp = errors.New("client: retries exhausted")
 
 // A StatusError is a non-retryable HTTP refusal (4xx other than 429).
+// Code carries the server's stable machine-readable reason from the
+// unified error envelope ("bad_request", "decode", "body_too_large", …;
+// empty when the server predates the envelope) — branch on it, not on
+// the message text.
 type StatusError struct {
 	Status int
+	Code   string
 	Msg    string
 }
 
 func (e *StatusError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: server returned %d (%s): %s", e.Status, e.Code, e.Msg)
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Msg)
+}
+
+// errorBody mirrors the server's unified error envelope
+// (docs/SERVING.md): message, stable code, the Retry-After wait
+// mirrored into the body, and — on push refusals — how many samples
+// were accepted before the refusal.
+type errorBody struct {
+	Error       string `json:"error"`
+	Code        string `json:"code"`
+	RetryAfterS int    `json:"retry_after_s"`
+	Accepted    *int   `json:"accepted"`
+}
+
+// retryWait reconciles the Retry-After header with the envelope's
+// mirrored copy: the header wins when present, the body fills in when a
+// proxy stripped it.
+func retryWait(h http.Header, body errorBody) time.Duration {
+	if d := parseRetryAfter(h); d > 0 {
+		return d
+	}
+	if body.RetryAfterS > 0 {
+		return time.Duration(body.RetryAfterS) * time.Second
+	}
+	return 0
 }
 
 // Option configures a Client.
@@ -298,12 +330,10 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 			}
 			continue
 		}
-		var pr struct {
-			Accepted int    `json:"accepted"`
-			Error    string `json:"error"`
-		}
-		retryAfter := parseRetryAfter(resp.Header)
-		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&pr)
+		// One decode serves every outcome: a success body carries only
+		// accepted, a refusal the full envelope.
+		var eb errorBody
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
 		drainClose(resp.Body)
 
 		switch {
@@ -313,20 +343,20 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 			}
 			return nil
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-			if decErr == nil {
-				sent += pr.Accepted // resume after what the server took
+			if decErr == nil && eb.Accepted != nil {
+				sent += *eb.Accepted // resume after what the server took
 			}
 			if sent >= len(batch) {
 				return nil
 			}
 			if attempt >= s.c.maxRetries {
-				return fmt.Errorf("%w: status %d: %s", ErrGiveUp, resp.StatusCode, pr.Error)
+				return fmt.Errorf("%w: status %d (%s): %s", ErrGiveUp, resp.StatusCode, eb.Code, eb.Error)
 			}
-			if err := s.c.sleep(ctx, attempt, retryAfter); err != nil {
+			if err := s.c.sleep(ctx, attempt, retryWait(resp.Header, eb)); err != nil {
 				return err
 			}
 		default:
-			return &StatusError{Status: resp.StatusCode, Msg: pr.Error}
+			return &StatusError{Status: resp.StatusCode, Code: eb.Code, Msg: eb.Error}
 		}
 	}
 }
@@ -496,12 +526,10 @@ func (c *Client) ProcessBatch(ctx context.Context, traces []*ptrack.Trace) ([]pt
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		var eb errorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
 		drainClose(resp.Body)
-		return nil, &StatusError{Status: resp.StatusCode, Msg: e.Error}
+		return nil, &StatusError{Status: resp.StatusCode, Code: eb.Code, Msg: eb.Error}
 	}
 	var br wire.BatchResponse
 	decErr := json.NewDecoder(resp.Body).Decode(&br)
@@ -546,12 +574,13 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			continue
 		}
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
-			retryAfter := parseRetryAfter(resp.Header)
+			var eb errorBody
+			_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
 			drainClose(resp.Body)
 			if attempt >= c.maxRetries {
-				return nil, fmt.Errorf("%w: status %d", ErrGiveUp, resp.StatusCode)
+				return nil, fmt.Errorf("%w: status %d (%s): %s", ErrGiveUp, resp.StatusCode, eb.Code, eb.Error)
 			}
-			if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			if err := c.sleep(ctx, attempt, retryWait(resp.Header, eb)); err != nil {
 				return nil, err
 			}
 			continue
@@ -561,8 +590,10 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 }
 
 // sleep waits out one backoff step: exponential from the base, capped,
-// never below the server's Retry-After, with ±25% jitter so a fleet of
-// backing-off clients doesn't re-arrive in lockstep.
+// with ±25% jitter so a fleet of backing-off clients doesn't re-arrive
+// in lockstep — but never below the server's Retry-After, which is a
+// promise about when capacity returns, not a suggestion the jitter may
+// undercut (the floor applies after the jitter, on 429 and 503 alike).
 func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
 	d := c.backoffBase << uint(attempt)
 	if d > c.backoffMax || d <= 0 {
@@ -575,6 +606,9 @@ func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duratio
 	jitter := time.Duration(c.rng.Int63n(int64(d)/2+1)) - time.Duration(int64(d)/4)
 	c.mu.Unlock()
 	d += jitter
+	if retryAfter > 0 && d < retryAfter {
+		d = retryAfter
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

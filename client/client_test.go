@@ -1,0 +1,119 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ptrack"
+	"ptrack/internal/wire"
+)
+
+// TestStatusErrorCarriesCode proves the client surfaces the server's
+// unified error envelope as a typed error: status, stable code and
+// message, available to errors.As callers.
+func TestStatusErrorCarriesCode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", wire.ContentTypeJSON)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"sample 3: non-finite field","code":"decode","accepted":3}`))
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, WithRetry(0, time.Millisecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.Session("s")
+	err = sess.Push(context.Background(), make([]ptrack.Sample, 300)...)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("Push error = %v (%T), want *StatusError", err, err)
+	}
+	if se.Status != http.StatusBadRequest || se.Code != "decode" {
+		t.Fatalf("StatusError = %+v, want status 400 code %q", se, "decode")
+	}
+	if se.Msg != "sample 3: non-finite field" {
+		t.Fatalf("StatusError.Msg = %q", se.Msg)
+	}
+}
+
+// TestRetryAfterFloorsBackoff proves the 503 path honours Retry-After
+// exactly like 429: the wait between attempts never undercuts the
+// server's promise, jitter notwithstanding.
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		var calls atomic.Int32
+		var gap atomic.Int64
+		var first time.Time
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch calls.Add(1) {
+			case 1:
+				first = time.Now()
+				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Content-Type", wire.ContentTypeJSON)
+				w.WriteHeader(status)
+				w.Write([]byte(`{"error":"later","code":"overload","retry_after_s":1,"accepted":0}`))
+			default:
+				gap.Store(int64(time.Since(first)))
+				w.Header().Set("Content-Type", wire.ContentTypeJSON)
+				w.Write([]byte(`{"accepted":300}`))
+			}
+		}))
+
+		// A tiny backoff base would normally retry in microseconds; only
+		// the Retry-After floor can stretch the gap to a full second.
+		c, err := Dial(srv.URL, WithRetry(2, time.Microsecond, time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := c.Session("s")
+		if err := sess.Push(context.Background(), make([]ptrack.Sample, 300)...); err != nil {
+			t.Fatalf("status %d: Push = %v", status, err)
+		}
+		if calls.Load() != 2 {
+			t.Fatalf("status %d: %d requests, want 2", status, calls.Load())
+		}
+		if got := time.Duration(gap.Load()); got < time.Second {
+			t.Fatalf("status %d: retried after %v, promised Retry-After of 1s", status, got)
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryAfterBodyFallback proves the envelope's retry_after_s floors
+// the backoff even when a proxy strips the Retry-After header.
+func TestRetryAfterBodyFallback(t *testing.T) {
+	var calls atomic.Int32
+	var first time.Time
+	var gap atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first = time.Now()
+			w.Header().Set("Content-Type", wire.ContentTypeJSON)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining","code":"draining","retry_after_s":1}`))
+		default:
+			gap.Store(int64(time.Since(first)))
+			w.Write([]byte(`{"accepted":300}`))
+		}
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, WithRetry(2, time.Microsecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.Session("s")
+	if err := sess.Push(context.Background(), make([]ptrack.Sample, 300)...); err != nil {
+		t.Fatalf("Push = %v", err)
+	}
+	if got := time.Duration(gap.Load()); got < time.Second {
+		t.Fatalf("retried after %v despite body retry_after_s of 1s", got)
+	}
+}

@@ -22,6 +22,11 @@
 //	                        the flat-scaling check for the incremental
 //	                        front end (requires at least two such
 //	                        benchmarks).
+//	-max METRIC=N           generic repeatable ceiling: every benchmark
+//	                        reporting METRIC (any unit string, e.g.
+//	                        "bytes/session", "ns/op") must stay at or
+//	                        below N. Benchmarks not reporting METRIC are
+//	                        unaffected.
 //	-baseline FILE          a previously committed benchjson report to
 //	                        compare against (typically the same file -out
 //	                        overwrites; the baseline is read first).
@@ -41,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -50,6 +56,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// maxFlags collects repeatable -max METRIC=N ceilings.
+type maxFlags map[string]float64
+
+func (m maxFlags) String() string {
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m maxFlags) Set(s string) error {
+	metric, val, ok := strings.Cut(s, "=")
+	if !ok || metric == "" {
+		return fmt.Errorf("-max wants METRIC=N, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("-max %s: %w", s, err)
+	}
+	m[metric] = f
+	return nil
 }
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -79,6 +109,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		baselineFile   = fs.String("baseline", "", "committed benchjson report to compare ns/sample against")
 		regressWithin  = fs.Float64("regress-within", 0, "max relative ns/sample regression vs -baseline (0 disables)")
 	)
+	maxes := maxFlags{}
+	fs.Var(maxes, "max", "repeatable METRIC=N ceiling on any reported metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +154,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *regressWithin > 0 {
 		report.Ceilings["regress-within"] = *regressWithin
 	}
+	for metric, ceiling := range maxes {
+		report.Ceilings["max:"+metric] = ceiling
+	}
 	if len(report.Ceilings) == 0 {
 		report.Ceilings = nil
 	}
@@ -142,7 +177,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		stdout.Write(buf)
 	}
 
-	return enforce(report, baseline, *maxNsPerSample, *maxAllocsPerSm, *flatWithin, *regressWithin)
+	return enforce(report, baseline, maxes, *maxNsPerSample, *maxAllocsPerSm, *flatWithin, *regressWithin)
 }
 
 func parse(r io.Reader) (*Report, error) {
@@ -193,7 +228,7 @@ func parse(r io.Reader) (*Report, error) {
 	return report, nil
 }
 
-func enforce(report, baseline *Report, maxNsPerSample, maxAllocsPerSample, flatWithin, regressWithin float64) error {
+func enforce(report, baseline *Report, maxes maxFlags, maxNsPerSample, maxAllocsPerSample, flatWithin, regressWithin float64) error {
 	var failures []string
 	baseNs := map[string]float64{}
 	if baseline != nil && regressWithin > 0 {
@@ -233,6 +268,12 @@ func enforce(report, baseline *Report, maxNsPerSample, maxAllocsPerSample, flatW
 					"%s: %.3f allocs/sample exceeds ceiling %.3f", b.Name, per, maxAllocsPerSample))
 			}
 		}
+		for _, metric := range sortedKeys(maxes) {
+			if v, ok := b.Metrics[metric]; ok && v > maxes[metric] {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f %s exceeds ceiling %.1f", b.Name, v, metric, maxes[metric]))
+			}
+		}
 	}
 	if flatWithin > 0 {
 		if nSampled < 2 {
@@ -248,4 +289,13 @@ func enforce(report, baseline *Report, maxNsPerSample, maxAllocsPerSample, flatW
 		return fmt.Errorf("performance ceilings violated:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+func sortedKeys(m maxFlags) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

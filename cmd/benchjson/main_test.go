@@ -38,7 +38,7 @@ func TestParse(t *testing.T) {
 
 func TestEnforcePasses(t *testing.T) {
 	report, _ := parse(strings.NewReader(sampleOutput))
-	if err := enforce(report, nil, 664, 0.75, 0.20, 0); err != nil {
+	if err := enforce(report, nil, nil, 664, 0.75, 0.20, 0); err != nil {
 		t.Errorf("ceilings should pass: %v", err)
 	}
 }
@@ -55,7 +55,7 @@ func TestEnforceCatchesViolations(t *testing.T) {
 		{"flat-within", 0, 0, 0.01, "spread"},
 	}
 	for _, c := range cases {
-		err := enforce(report, nil, c.ns, c.allocs, c.flat, 0)
+		err := enforce(report, nil, nil, c.ns, c.allocs, c.flat, 0)
 		if err == nil || !strings.Contains(err.Error(), c.wantFragment) {
 			t.Errorf("%s: err = %v, want fragment %q", c.name, err, c.wantFragment)
 		}
@@ -65,7 +65,7 @@ func TestEnforceCatchesViolations(t *testing.T) {
 func TestEnforceFlatNeedsTwo(t *testing.T) {
 	report, _ := parse(strings.NewReader(`BenchmarkX 	 10	 100 ns/op	 5.0 ns/sample
 `))
-	if err := enforce(report, nil, 0, 0, 0.2, 0); err == nil {
+	if err := enforce(report, nil, nil, 0, 0, 0.2, 0); err == nil {
 		t.Error("flat-within with one benchmark should fail")
 	}
 }
@@ -78,10 +78,10 @@ func TestEnforceBaselineRegression(t *testing.T) {
 		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/sample": 1}},
 	}}
 	// 513.1 vs 500 is a 2.6% regression: passes a 5% gate, fails a 1% one.
-	if err := enforce(report, baseline, 0, 0, 0, 0.05); err != nil {
+	if err := enforce(report, baseline, nil, 0, 0, 0, 0.05); err != nil {
 		t.Errorf("2.6%% regression should pass a 5%% gate: %v", err)
 	}
-	err := enforce(report, baseline, 0, 0, 0, 0.01)
+	err := enforce(report, baseline, nil, 0, 0, 0, 0.01)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Errorf("2.6%% regression past a 1%% gate: err = %v, want regression failure", err)
 	}
@@ -90,8 +90,61 @@ func TestEnforceBaselineRegression(t *testing.T) {
 	fresh := &Report{Benchmarks: []Benchmark{
 		{Name: "BenchmarkSomethingElse", Metrics: map[string]float64{"ns/sample": 1}},
 	}}
-	if err := enforce(report, fresh, 0, 0, 0, 0.01); err != nil {
+	if err := enforce(report, fresh, nil, 0, 0, 0, 0.01); err != nil {
 		t.Errorf("baseline without matching names should pass: %v", err)
+	}
+}
+
+func TestGenericMaxCeilings(t *testing.T) {
+	// The state-snapshot benchmarks report custom metrics the dedicated
+	// flags know nothing about; -max METRIC=N gates any of them.
+	stateOutput := `pkg: ptrack/internal/stream
+BenchmarkSnapshot/plain 	 50000	 20484 ns/op	 57726 bytes/session	 0 B/op	 0 allocs/op
+BenchmarkSnapshot/full 	 50000	 22064 ns/op	 59499 bytes/session	 1912 B/op	 8 allocs/op
+`
+	report, err := parse(strings.NewReader(stateOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enforce(report, nil, maxFlags{"bytes/session": 65536, "ns/op": 1e6}, 0, 0, 0, 0); err != nil {
+		t.Errorf("generous generic ceilings should pass: %v", err)
+	}
+	err = enforce(report, nil, maxFlags{"bytes/session": 58000}, 0, 0, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "bytes/session exceeds") {
+		t.Errorf("bytes ceiling: err = %v, want bytes/session violation", err)
+	}
+	// Only the offender is named.
+	if err != nil && strings.Contains(err.Error(), "plain") {
+		t.Errorf("benchmark under the ceiling flagged: %v", err)
+	}
+	// A metric no benchmark reports never trips.
+	if err := enforce(report, nil, maxFlags{"widgets/op": 1}, 0, 0, 0, 0); err != nil {
+		t.Errorf("absent metric should not trip: %v", err)
+	}
+
+	// Flag parsing: repeatable, rejects malformed values, and the
+	// ceilings land in the report.
+	var m maxFlags = maxFlags{}
+	if err := m.Set("bytes/session=4096"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("ns/op=100"); err != nil {
+		t.Fatal(err)
+	}
+	if m["bytes/session"] != 4096 || m["ns/op"] != 100 {
+		t.Errorf("parsed maxes = %v", m)
+	}
+	for _, bad := range []string{"noequals", "=5", "x=notanumber"} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-max", "bytes/session=65536"}, strings.NewReader(stateOutput), &out); err != nil {
+		t.Fatalf("run with -max: %v", err)
+	}
+	if !strings.Contains(out.String(), `"max:bytes/session": 65536`) {
+		t.Errorf("ceiling not recorded in report: %s", out.String())
 	}
 }
 

@@ -11,6 +11,12 @@
 //	    -debug-addr localhost:6060 -log-level info
 //	ptrack-serve -addr :8080 -rate 50 -debug-addr localhost:6060 \
 //	    -trace-sample 0.01 -trace-export /var/log/ptrack-traces.jsonl
+//	ptrack-serve -addr :8080 -rate 50 -state-dir /var/lib/ptrack/state
+//
+// With -state-dir, session state is durable: every live session is
+// checkpointed into the directory (periodically and on shutdown), and a
+// restarted server resumes mid-stream sessions from it — step totals
+// continue instead of resetting. See docs/SESSIONS.md.
 //
 // With -trace-sample > 0 (or -trace-export set), sampled requests are
 // decomposed into span trees browsable at /debug/traces on the debug
@@ -68,6 +74,8 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 		maxInflight = fs.Int("max-inflight", 64, "max concurrently admitted ingestion requests (-1 = unlimited)")
 		maxBody     = fs.Int64("max-body", 8<<20, "request body cap in bytes")
 		eventBuf    = fs.Int("event-buffer", 256, "per-subscriber event buffer (events)")
+		stateDir    = fs.String("state-dir", "", "persist session state under this directory; a restarted server resumes mid-stream sessions from it")
+		checkpoint  = fs.Duration("checkpoint", 0, "periodic session-checkpoint interval (0 = 30s default, negative = end-of-session only; needs -state-dir)")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/traces and /debug/sessions on this address")
 		traceSample = fs.Float64("trace-sample", 0, "head-sampling probability for request tracing in [0,1] (0 = trace nothing unless -trace-export is set, then errors only)")
@@ -148,19 +156,30 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 		opts = append(opts, ptrack.WithProfile(arm, leg, k))
 	}
 
+	var stateStore ptrack.SessionStore
+	if *stateDir != "" {
+		stateStore, err = ptrack.NewDirSessionStore(*stateDir)
+		if err != nil {
+			return err
+		}
+		logger.Info("session state is durable", "dir", *stateDir)
+	}
+
 	srv, err := server.New(server.Config{
-		SampleRate:   *rate,
-		Options:      opts,
-		Conditioning: *repair,
-		Workers:      *workers,
-		MaxInFlight:  *maxInflight,
-		RatePerSec:   *rps,
-		Burst:        *burst,
-		MaxBodyBytes: *maxBody,
-		EventBuffer:  *eventBuf,
-		Hooks:        observer,
-		Logger:       logger,
-		Version:      buildinfo.String("ptrack-serve"),
+		SampleRate:         *rate,
+		Options:            opts,
+		Conditioning:       *repair,
+		Workers:            *workers,
+		Store:              stateStore,
+		CheckpointInterval: *checkpoint,
+		MaxInFlight:        *maxInflight,
+		RatePerSec:         *rps,
+		Burst:              *burst,
+		MaxBodyBytes:       *maxBody,
+		EventBuffer:        *eventBuf,
+		Hooks:              observer,
+		Logger:             logger,
+		Version:            buildinfo.String("ptrack-serve"),
 	})
 	if err != nil {
 		return err

@@ -65,11 +65,12 @@ func main() {
 	}
 	var mu sync.Mutex
 	steps := make(map[string]int)
-	hub, err := ptrack.NewSessionHub(rec.Trace.SampleRate, func(session string, ev ptrack.Event) {
-		mu.Lock()
-		steps[session] += ev.StepsAdded
-		mu.Unlock()
-	})
+	hub, err := ptrack.NewSessionHub(rec.Trace.SampleRate,
+		ptrack.WithEventHook(func(session string, ev ptrack.Event) {
+			mu.Lock()
+			steps[session] += ev.StepsAdded
+			mu.Unlock()
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -85,6 +85,16 @@ func (f *Biquad) Process(x float64) float64 {
 // Reset clears the filter state.
 func (f *Biquad) Reset() { f.x1, f.x2, f.y1, f.y2 = 0, 0, 0, 0 }
 
+// State returns the recursion state (the two most recent inputs and
+// outputs) for snapshotting a mid-stream filter. Coefficients are not
+// part of the state: they are a pure function of the constructor
+// parameters.
+func (f *Biquad) State() (x1, x2, y1, y2 float64) { return f.x1, f.x2, f.y1, f.y2 }
+
+// SetState restores recursion state captured by State. The filter then
+// continues bit-identically to the one the state was taken from.
+func (f *Biquad) SetState(x1, x2, y1, y2 float64) { f.x1, f.x2, f.y1, f.y2 = x1, x2, y1, y2 }
+
 // Seed sets the filter state to the steady-state response to the constant
 // input v — the priming Apply uses to suppress start-up transients. A
 // unity-DC-gain low-pass settled on v outputs v, so all four state

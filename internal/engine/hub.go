@@ -11,6 +11,7 @@ import (
 	"ptrack/internal/condition"
 	"ptrack/internal/obs"
 	"ptrack/internal/obs/tracing"
+	"ptrack/internal/store"
 	"ptrack/internal/stream"
 	"ptrack/internal/trace"
 )
@@ -69,6 +70,21 @@ type HubConfig struct {
 	// Stream.Hooks. Nil disables them.
 	Hooks *obs.Hooks
 
+	// Store, when set, makes session state durable: each session is
+	// checkpointed into it (periodically while streaming, and finally
+	// when evicted or when the hub closes), and a session whose ID has a
+	// stored snapshot resumes from it on its first Push instead of
+	// starting fresh. An explicitly ended session (End) is terminal: its
+	// snapshot is deleted. Store errors never fail the stream — the
+	// session proceeds (fresh, or without durability) and the failure is
+	// counted on Hooks. Nil disables durability.
+	Store store.Store
+	// CheckpointInterval is how often a session with new samples since
+	// its last checkpoint is snapshotted into Store. Default 30 seconds;
+	// negative disables periodic checkpoints (end-of-session checkpoints
+	// still happen). Ignored without a Store.
+	CheckpointInterval time.Duration
+
 	// now stubs time.Now in tests.
 	now func() time.Time
 }
@@ -79,6 +95,9 @@ func (c HubConfig) withDefaults() HubConfig {
 	}
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -134,6 +153,15 @@ type session struct {
 	// (Stats must not touch tracker state owned by the run goroutine).
 	condMu     sync.Mutex
 	condReport *condition.Report
+
+	// terminal marks a session removed by an explicit End: its stored
+	// snapshot is deleted instead of refreshed, since the caller declared
+	// the stream over. Evictions and hub close leave terminal false, so
+	// the final checkpoint keeps the session resumable.
+	terminal atomic.Bool
+	// restored records that the session resumed from a stored snapshot
+	// (surfaced by Stats).
+	restored atomic.Bool
 
 	started time.Time
 }
@@ -291,6 +319,51 @@ func (h *Hub) run(sess *session) {
 	}
 	tracer := h.cfg.Hooks.Tracer()
 
+	// Resume from a stored snapshot, if the session has one. A failed
+	// restore (corrupt blob, format revision, config drift) is counted
+	// and the session starts fresh — Restore is all-or-nothing, so the
+	// tracker is untouched by the failure.
+	if h.cfg.Store != nil {
+		switch blob, err := h.cfg.Store.Load(sess.id); {
+		case err == nil:
+			if err := tk.Restore(blob); err != nil {
+				h.cfg.Hooks.SessionCheckpoint("error")
+			} else {
+				h.cfg.Hooks.SessionCheckpoint("restore")
+				sess.restored.Store(true)
+				sess.steps.Store(int64(tk.Steps()))
+			}
+		case errors.Is(err, store.ErrNotFound):
+			// First sight of this session: nothing to resume.
+		default:
+			h.cfg.Hooks.SessionCheckpoint("error")
+		}
+	}
+
+	// checkpoint snapshots the tracker into the store, recycling one
+	// buffer across the session's lifetime. sinceCkpt gates it so an idle
+	// session is not re-snapshotted every tick.
+	var snapBuf []byte
+	sinceCkpt := 0
+	checkpoint := func() {
+		if h.cfg.Store == nil || sinceCkpt == 0 {
+			return
+		}
+		sinceCkpt = 0
+		snapBuf = tk.Snapshot(snapBuf[:0])
+		if err := h.cfg.Store.Save(sess.id, snapBuf); err != nil {
+			h.cfg.Hooks.SessionCheckpoint("error")
+			return
+		}
+		h.cfg.Hooks.SessionCheckpoint("save")
+	}
+	var tickC <-chan time.Time
+	if h.cfg.Store != nil && h.cfg.CheckpointInterval > 0 {
+		ticker := time.NewTicker(h.cfg.CheckpointInterval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+
 	// deliver fans events out to the configured callback, minting one
 	// event.emit span per event when the wave is traced.
 	deliver := func(evs []stream.Event, parent tracing.SpanContext) {
@@ -353,7 +426,21 @@ func (h *Hub) run(sess *session) {
 	}
 
 	condEvery := 0
-	for s := range sess.ch {
+drain:
+	for {
+		var s trace.Sample
+		select {
+		case smp, ok := <-sess.ch:
+			if !ok {
+				break drain
+			}
+			s = smp
+		case <-tickC:
+			// Periodic checkpoint, between samples (the run goroutine owns
+			// the tracker, so this is the required sample boundary).
+			checkpoint()
+			continue
+		}
 		scp := sess.traceCtx.Load()
 		traced := tracer != nil && scp != nil && scp.Sampled()
 		var evs []stream.Event
@@ -371,6 +458,7 @@ func (h *Hub) run(sess *session) {
 		}
 		sess.samplesIn.Add(1)
 		sess.steps.Store(int64(tk.Steps()))
+		sinceCkpt++
 		if condEvery++; condEvery >= 32 {
 			condEvery = 0
 			sess.storeCondReport(tk.ConditionReport())
@@ -390,6 +478,23 @@ func (h *Hub) run(sess *session) {
 		finSC = *scp
 	}
 	deliver(finEvs, finSC)
+	if h.cfg.Store != nil {
+		if sess.terminal.Load() {
+			// The caller declared the stream over: durable state for the
+			// ID would resurrect a finished session, so drop it.
+			if err := h.cfg.Store.Delete(sess.id); err != nil {
+				h.cfg.Hooks.SessionCheckpoint("error")
+			} else {
+				h.cfg.Hooks.SessionCheckpoint("delete")
+			}
+		} else {
+			// Final checkpoint, taken after Flush so the snapshot agrees
+			// with what was delivered: a restored session continues past
+			// the flushed trailing events instead of re-emitting them.
+			sinceCkpt++
+			checkpoint()
+		}
+	}
 	if h.cfg.OnSessionEnd != nil {
 		h.cfg.OnSessionEnd(sess.id)
 	}
@@ -458,16 +563,29 @@ func (h *Hub) evictIdle() {
 }
 
 // End flushes and removes one session, waiting for its trailing events
-// to be delivered. Ending an unknown session is a no-op.
+// to be delivered. End is terminal: with a Store configured the
+// session's snapshot is deleted, unlike eviction or Close which
+// checkpoint it for later resumption. Ending an unknown session is a
+// no-op — except that with a Store it also deletes any dormant
+// snapshot, so a client can end a session the hub has already evicted.
 func (h *Hub) End(id string) {
 	h.mu.Lock()
 	sess := h.sessions[id]
 	if sess != nil {
+		sess.terminal.Store(true)
 		h.removeLocked(sess)
 	}
 	h.mu.Unlock()
 	if sess != nil {
 		<-sess.done
+		return
+	}
+	if h.cfg.Store != nil {
+		if err := h.cfg.Store.Delete(id); err != nil {
+			h.cfg.Hooks.SessionCheckpoint("error")
+		} else {
+			h.cfg.Hooks.SessionCheckpoint("delete")
+		}
 	}
 }
 
@@ -513,6 +631,9 @@ type SessionStat struct {
 	Samples int64 `json:"samples"`
 	Steps   int64 `json:"steps"`
 	Events  int64 `json:"events"`
+	// Restored reports that the session resumed from a stored snapshot
+	// rather than starting fresh.
+	Restored bool `json:"restored,omitempty"`
 	// TraceID identifies the sampled trace currently governing the
 	// session's async spans ("" when untraced).
 	TraceID string `json:"trace_id,omitempty"`
@@ -543,6 +664,7 @@ func (h *Hub) Stats() []SessionStat {
 			Samples:     s.samplesIn.Load(),
 			Steps:       s.steps.Load(),
 			Events:      s.events.Load(),
+			Restored:    s.restored.Load(),
 			Condition:   s.loadCondReport(),
 		}
 		if scp := s.traceCtx.Load(); scp != nil {

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ptrack/internal/statecodec"
+	"ptrack/internal/store"
+	"ptrack/internal/stream"
+	"ptrack/internal/trace"
+)
+
+// stepLog collects delivered events in order for one hub generation.
+type stepLog struct {
+	mu     sync.Mutex
+	events []stream.Event
+}
+
+func (l *stepLog) hook(session string, ev stream.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *stepLog) snapshot() []stream.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]stream.Event(nil), l.events...)
+}
+
+// pushSamples pushes a sample slice into one session, retrying
+// full-queue drops so every sample lands.
+func pushSamples(t testing.TB, h *Hub, id string, samples []trace.Sample) {
+	t.Helper()
+	for _, s := range samples {
+		for {
+			err := h.Push(id, s)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("session %s: %v", id, err)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// TestHubCheckpointResume kills a hub mid-stream and replays the rest of
+// the trace through a new hub sharing the same store: the session must
+// resume (Restored in Stats), keep counting from where it left off, and
+// never double-deliver — the cumulative TotalSteps stays monotonic
+// across the restart and equals the sum of every delivered StepsAdded.
+func TestHubCheckpointResume(t *testing.T) {
+	tr := walkingTrace(t, 30)
+	cut := len(tr.Samples) / 2
+	st := store.NewMem()
+
+	newGen := func(log *stepLog) *Hub {
+		cfg := hubConfig(tr)
+		cfg.Store = st
+		cfg.OnEvent = log.hook
+		h, err := NewHub(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	var logA stepLog
+	hubA := newGen(&logA)
+	pushSamples(t, hubA, "traveler", tr.Samples[:cut])
+	hubA.Close() // flushes, then checkpoints the post-flush state
+	stepsA := 0
+	for _, ev := range logA.snapshot() {
+		stepsA += ev.StepsAdded
+	}
+	if stepsA == 0 {
+		t.Fatal("first generation delivered no steps; trace too short for the test")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d snapshots after Close, want 1", st.Len())
+	}
+
+	var logB stepLog
+	hubB := newGen(&logB)
+	pushSamples(t, hubB, "traveler", tr.Samples[cut:])
+	// The session must be marked as restored while still live.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stats := hubB.Stats()
+		if len(stats) == 1 && stats[0].Restored && stats[0].Steps >= int64(stepsA) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never reported as restored with carried-over steps: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hubB.Close()
+
+	// Continuity: TotalSteps is cumulative across both generations.
+	total := 0
+	last := 0
+	for _, ev := range append(logA.snapshot(), logB.snapshot()...) {
+		total += ev.StepsAdded
+		if ev.TotalSteps < last {
+			t.Fatalf("TotalSteps went backwards across restart: %d after %d", ev.TotalSteps, last)
+		}
+		last = ev.TotalSteps
+	}
+	if total != last {
+		t.Fatalf("sum of StepsAdded = %d but final TotalSteps = %d (double delivery?)", total, last)
+	}
+	if last <= stepsA {
+		t.Fatalf("second generation added no steps: final total %d, first generation %d", last, stepsA)
+	}
+}
+
+// TestHubEndDeletesSnapshot proves End is terminal: the stored snapshot
+// is removed, both for a live session and for one the hub has already
+// evicted (dormant snapshot).
+func TestHubEndDeletesSnapshot(t *testing.T) {
+	tr := walkingTrace(t, 10)
+	st := store.NewMem()
+	cfg := hubConfig(tr)
+	cfg.Store = st
+	h, err := NewHub(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	pushAll(t, h, "walker", tr)
+	h.End("walker")
+	if st.Len() != 0 {
+		t.Fatalf("store holds %d snapshots after End, want 0", st.Len())
+	}
+
+	// Dormant snapshot: no live session, End still clears the store.
+	if err := st.Save("ghost", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	h.End("ghost")
+	if st.Len() != 0 {
+		t.Fatalf("store holds %d snapshots after End of dormant session, want 0", st.Len())
+	}
+}
+
+// TestHubPeriodicCheckpoint proves a long-lived session is checkpointed
+// while still streaming, not only at eviction.
+func TestHubPeriodicCheckpoint(t *testing.T) {
+	tr := walkingTrace(t, 10)
+	st := store.NewMem()
+	cfg := hubConfig(tr)
+	cfg.Store = st
+	cfg.CheckpointInterval = 5 * time.Millisecond
+	h, err := NewHub(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	pushAll(t, h, "walker", tr)
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint appeared while the session was live")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("session gone before Close: Len = %d", h.Len())
+	}
+}
+
+// TestHubRestoreFailureStartsFresh proves a corrupt stored snapshot
+// cannot take a session down: the restore fails, the session starts
+// fresh and still counts steps.
+func TestHubRestoreFailureStartsFresh(t *testing.T) {
+	tr := walkingTrace(t, 15)
+	st := store.NewMem()
+	// A wrong-version blob with a valid CRC: decodes far enough to fail
+	// only at the version check inside Tracker.Restore.
+	if err := st.Save("walker", statecodec.NewEnc(nil, 250).Finish()); err != nil {
+		t.Fatal(err)
+	}
+
+	var log stepLog
+	cfg := hubConfig(tr)
+	cfg.Store = st
+	cfg.OnEvent = log.hook
+	h, err := NewHub(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, h, "walker", tr)
+	h.Close()
+
+	steps := 0
+	for _, ev := range log.snapshot() {
+		steps += ev.StepsAdded
+	}
+	if steps == 0 {
+		t.Fatal("session delivered no steps after failed restore")
+	}
+	// Close must have replaced the corrupt snapshot with a good one.
+	blob, err := st.Load("walker")
+	if err != nil {
+		t.Fatalf("no snapshot after Close: %v", err)
+	}
+	fresh, err := stream.New(stream.Config{SampleRate: tr.SampleRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(blob); err != nil {
+		t.Fatalf("snapshot written at Close does not restore: %v", err)
+	}
+}

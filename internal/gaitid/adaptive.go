@@ -42,6 +42,30 @@ func NewAdaptiveThreshold(window int) *AdaptiveThreshold {
 	}
 }
 
+// State returns the offset history ring for snapshotting: the backing
+// slice (its length is the configured window), the next write position
+// and whether the ring has wrapped. The returned slice is the live
+// backing array — copy before mutating.
+func (a *AdaptiveThreshold) State() (history []float64, next int, full bool) {
+	return a.history, a.next, a.full
+}
+
+// SetState restores a history ring captured by State into a threshold
+// built with the same window size; a length mismatch restores the
+// overlap and leaves the remainder at the fallback behaviour (treated
+// as not yet observed).
+func (a *AdaptiveThreshold) SetState(history []float64, next int, full bool) {
+	n := copy(a.history, history)
+	if next < 0 || next >= len(a.history) || n < len(a.history) && full {
+		// Foreign window size: keep only what fits and restart the write
+		// cursor inside the valid range rather than corrupt the ring.
+		next = n % len(a.history)
+		full = false
+	}
+	a.next = next
+	a.full = full
+}
+
 // Observe records one cycle's offset.
 func (a *AdaptiveThreshold) Observe(offset float64) {
 	a.history[a.next] = offset

@@ -135,6 +135,38 @@ func (id *Identifier) Reset() {
 	id.steps = 0
 }
 
+// State is the identifier's mutable state — everything Fig. 4's machine
+// carries between cycles — for snapshotting a mid-stream identifier.
+type State struct {
+	Steps       int
+	Consecutive int
+	Confirmed   bool
+	// Threshold is the live δ (it drifts from the configured value under
+	// adaptive tuning via SetThreshold).
+	Threshold float64
+}
+
+// State captures the identifier's mutable state.
+func (id *Identifier) State() State {
+	return State{
+		Steps:       id.steps,
+		Consecutive: id.consecutive,
+		Confirmed:   id.confirmed,
+		Threshold:   id.cfg.OffsetThreshold,
+	}
+}
+
+// SetState restores state captured by State into an identifier built
+// with the same configuration and sample rate.
+func (id *Identifier) SetState(s State) {
+	id.steps = s.Steps
+	id.consecutive = s.Consecutive
+	id.confirmed = s.Confirmed
+	if s.Threshold > 0 {
+		id.cfg.OffsetThreshold = s.Threshold
+	}
+}
+
 // Classify consumes one projected gait-cycle candidate (vertical and
 // anterior series of equal length) and updates the step counter following
 // Fig. 4:

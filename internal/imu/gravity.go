@@ -44,6 +44,19 @@ func (g *GravityEstimator) Update(accel vecmath.Vec3) vecmath.Vec3 {
 // Gravity returns the current estimate without updating.
 func (g *GravityEstimator) Gravity() vecmath.Vec3 { return g.gravity }
 
+// State returns the estimator's mutable state (the running gravity
+// vector and whether the first sample has primed it) for snapshotting.
+func (g *GravityEstimator) State() (gravity vecmath.Vec3, primed bool) {
+	return g.gravity, g.primed
+}
+
+// SetState restores state captured by State; alpha stays whatever the
+// constructor derived, so the restored estimator must be built with the
+// same cutoff and rate.
+func (g *GravityEstimator) SetState(gravity vecmath.Vec3, primed bool) {
+	g.gravity, g.primed = gravity, primed
+}
+
 // Projection is a per-sample decomposition of linear acceleration into the
 // vertical axis and a fixed horizontal basis.
 type Projection struct {
@@ -97,3 +110,10 @@ func (p *Projector) Warmup(accel vecmath.Vec3, n int) {
 		p.grav.Update(accel)
 	}
 }
+
+// State exposes the underlying gravity estimator's state for
+// snapshotting; see GravityEstimator.State.
+func (p *Projector) State() (gravity vecmath.Vec3, primed bool) { return p.grav.State() }
+
+// SetState restores estimator state captured by State.
+func (p *Projector) SetState(gravity vecmath.Vec3, primed bool) { p.grav.SetState(gravity, primed) }

@@ -91,6 +91,12 @@ var (
 	conditionStageNames = []string{"inspect", "order", "rate", "resample", "other"}
 )
 
+// Checkpoint operation label values, pre-registered so the hook method
+// stays allocation- and lock-free. They mirror the session-store
+// operations performed by the engine hub; unknown strings fall into
+// "other".
+var checkpointOpNames = []string{"save", "restore", "delete", "error", "other"}
+
 // Hooks is the instrumentation surface the batch (internal/core) and
 // streaming (internal/stream) pipelines report into. All methods are
 // safe on a nil receiver — a nil *Hooks is the documented "observability
@@ -114,6 +120,7 @@ type Hooks struct {
 	batchTraceHist *Histogram
 	sessionsActive *Gauge
 	sessionDrops   *Counter
+	checkpointOps  map[string]*Counter
 
 	conditionDefects map[string]*Counter
 	conditionStage   map[string]*Counter
@@ -168,6 +175,11 @@ func NewHooks(reg *Registry) *Hooks {
 		"Streaming sessions currently held by session hubs.")
 	h.sessionDrops = reg.Counter("ptrack_session_dropped_samples_total",
 		"Samples rejected because a session's bounded queue was full.")
+	h.checkpointOps = make(map[string]*Counter, len(checkpointOpNames))
+	for _, op := range checkpointOpNames {
+		h.checkpointOps[op] = reg.Counter("ptrack_session_checkpoints_total",
+			"Session-store operations performed by hub checkpointing, by op.", "op", op)
+	}
 	h.conditionDefects = make(map[string]*Counter, len(conditionDefectKinds))
 	for _, kind := range conditionDefectKinds {
 		h.conditionDefects[kind] = reg.Counter("ptrack_condition_defects_total",
@@ -350,6 +362,20 @@ func (h *Hooks) SessionSamplesDropped(n int) {
 		return
 	}
 	h.sessionDrops.Add(float64(n))
+}
+
+// SessionCheckpoint records one session-store operation ("save",
+// "restore", "delete", or "error" for any failed operation) performed
+// by a hub's durable-state machinery.
+func (h *Hooks) SessionCheckpoint(op string) {
+	if h == nil {
+		return
+	}
+	c, ok := h.checkpointOps[op]
+	if !ok {
+		c = h.checkpointOps["other"]
+	}
+	c.Add(1)
 }
 
 // ConditionDefect records n trace defects of the given kind found by the

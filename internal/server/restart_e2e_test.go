@@ -1,0 +1,133 @@
+package server_test
+
+// Kill-and-restart durability over loopback HTTP: a session streamed
+// into one server process survives that process's death when a session
+// store is configured, and a fresh server on the same store resumes it
+// with monotonic step totals — the acceptance bar for `ptrack-serve
+// -state-dir`.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ptrack"
+	"ptrack/client"
+	"ptrack/internal/server"
+)
+
+// drainEvents consumes an event stream until it closes (session end or
+// server drain) and returns the decoded events.
+func drainEvents(t *testing.T, es *client.EventStream) []ptrack.Event {
+	t.Helper()
+	var evs []ptrack.Event
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case ev, open := <-es.Events():
+			if !open {
+				if err := es.Err(); err != nil {
+					t.Fatalf("event stream failed: %v", err)
+				}
+				return evs
+			}
+			evs = append(evs, ev)
+		case <-timeout:
+			t.Fatal("event stream did not end")
+		}
+	}
+}
+
+// TestE2ERestartResumesSession is the serving layer's durability bar:
+// half a trace flows into server A backed by a directory store, A is
+// shut down (its graceful drain checkpoints every session), server B
+// boots on the same directory, and the second half of the trace resumes
+// the same session — TotalSteps continues from where A left off instead
+// of resetting, and the step ledger stays consistent end to end.
+func TestE2ERestartResumesSession(t *testing.T) {
+	tr := walkingTrace(t, 30)
+	dir := t.TempDir()
+	cut := len(tr.Samples) / 2
+
+	// newStore mimics a process restart: each server generation opens the
+	// directory anew, exactly as `ptrack-serve -state-dir` would.
+	newStore := func() ptrack.SessionStore {
+		st, err := ptrack.NewDirSessionStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Generation A: push the first half, then die gracefully.
+	srvA, baseA := startServer(t, server.Config{SampleRate: tr.SampleRate, Store: newStore()})
+	cA, err := client.Dial(baseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esA, err := cA.Events(ctx, "wrist-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cA.Session("wrist-9").Push(ctx, tr.Samples[:cut]...); err != nil {
+		t.Fatal(err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := srvA.Shutdown(sctx); err != nil {
+		scancel()
+		t.Fatalf("shutdown A: %v", err)
+	}
+	scancel()
+	evsA := drainEvents(t, esA)
+	if len(evsA) == 0 {
+		t.Fatal("generation A delivered no events")
+	}
+	lastA := evsA[len(evsA)-1].TotalSteps
+	if lastA == 0 {
+		t.Fatal("generation A counted no steps")
+	}
+
+	// Generation B: same directory, same session ID, rest of the trace.
+	_, baseB := startServer(t, server.Config{SampleRate: tr.SampleRate, Store: newStore()})
+	cB, err := client.Dial(baseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esB, err := cB.Events(ctx, "wrist-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB := cB.Session("wrist-9")
+	if err := sessB.Push(ctx, tr.Samples[cut:]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessB.End(ctx); err != nil {
+		t.Fatal(err)
+	}
+	evsB := drainEvents(t, esB)
+	if len(evsB) == 0 {
+		t.Fatal("generation B delivered no events")
+	}
+
+	// Continuity: the restored session's totals extend A's, never reset.
+	if first := evsB[0].TotalSteps; first < lastA {
+		t.Fatalf("restart reset the session: first TotalSteps after restore = %d, last before = %d", first, lastA)
+	}
+	total, last := 0, 0
+	for i, ev := range append(append([]ptrack.Event(nil), evsA...), evsB...) {
+		total += ev.StepsAdded
+		if ev.TotalSteps < last {
+			t.Fatalf("event %d: TotalSteps went backwards: %d after %d", i, ev.TotalSteps, last)
+		}
+		last = ev.TotalSteps
+	}
+	if total != last {
+		t.Fatalf("sum of StepsAdded = %d but final TotalSteps = %d", total, last)
+	}
+	if last <= lastA {
+		t.Fatalf("second half added no steps: final %d, at restart %d", last, lastA)
+	}
+}

@@ -67,6 +67,16 @@ type Config struct {
 	Conditioning bool
 	// Workers is the batch pool's parallelism (<= 0 selects GOMAXPROCS).
 	Workers int
+	// Store, when set, makes session state durable: the hub checkpoints
+	// sessions into it and resumes them from it, so a restarted server
+	// picks up mid-stream sessions (monotonic step totals) instead of
+	// resetting them. ptrack-serve wires a directory store here via its
+	// -state-dir flag.
+	Store ptrack.SessionStore
+	// CheckpointInterval is the hub's periodic checkpoint cadence
+	// (default 30 s; negative leaves only end-of-session checkpoints).
+	// Ignored without Store.
+	CheckpointInterval time.Duration
 
 	// MaxInFlight bounds concurrently admitted ingestion requests
 	// (sample pushes and batch runs); excess requests get 429 +
@@ -163,7 +173,11 @@ func New(cfg Config) (*Server, error) {
 	hubOpts := append(append([]ptrack.Option(nil), opts...),
 		ptrack.WithSessionEndHook(s.broker.endSession),
 		ptrack.WithTracedEventHook(s.onEvent))
-	hub, err := ptrack.NewSessionHub(cfg.SampleRate, nil, hubOpts...)
+	if cfg.Store != nil {
+		hubOpts = append(hubOpts, ptrack.WithSessionStore(cfg.Store),
+			ptrack.WithCheckpointInterval(cfg.CheckpointInterval))
+	}
+	hub, err := ptrack.NewSessionHub(cfg.SampleRate, hubOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -349,10 +363,25 @@ func (s *Server) reject(w http.ResponseWriter, r *http.Request, status int, reas
 	} else {
 		s.cfg.Logger.Debug("rejected", "path", r.URL.Path, "reason", reason, "status", status)
 	}
+	writeError(w, status, reason, msg, retry, -1)
+}
+
+// writeError answers with the unified error envelope (wire.ErrorBody,
+// documented in docs/SERVING.md): a message, a stable machine-readable
+// code, and — when retry > 0 — a Retry-After header mirrored into the
+// body. accepted >= 0 adds the push-path resume offset; pass -1
+// elsewhere.
+func writeError(w http.ResponseWriter, status int, code, msg string, retry time.Duration, accepted int) {
+	body := wire.ErrorBody{Error: msg, Code: code}
 	if retry > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retry)))
+		sec := retrySeconds(retry)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		body.RetryAfterS = sec
 	}
-	writeJSON(w, status, map[string]string{"error": msg})
+	if accepted >= 0 {
+		body.Accepted = &accepted
+	}
+	writeJSON(w, status, body)
 }
 
 // retrySeconds rounds a wait up to whole seconds (the header's unit),
@@ -380,7 +409,7 @@ func clientKey(r *http.Request) string {
 func sessionID(w http.ResponseWriter, r *http.Request) (string, bool) {
 	id := r.PathValue("id")
 	if id == "" || len(id) > maxSessionIDLen {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid session id"})
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "invalid session id", 0, -1)
 		return "", false
 	}
 	return id, true
@@ -402,12 +431,12 @@ func (s *Server) setWriteDeadline(w http.ResponseWriter) {
 
 // --- handlers --------------------------------------------------------
 
-// pushResult is the JSON body answering a sample push: how many samples
-// were accepted (pushed into the session queue) before success, refusal
-// or error. A client seeing a 429 resumes from Accepted.
+// pushResult is the JSON body answering a successful sample push: how
+// many samples were accepted (pushed into the session queue). Refusals
+// carry the same field inside the unified error envelope instead, so a
+// client seeing a 429 resumes from Accepted either way.
 type pushResult struct {
-	Accepted int    `json:"accepted"`
-	Error    string `json:"error,omitempty"`
+	Accepted int `json:"accepted"`
 }
 
 // accumTimer accumulates the total time spent in one phase of an
@@ -461,9 +490,8 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	}
 	ct := r.Header.Get("Content-Type")
 	if ct != wire.ContentTypeNDJSON && ct != wire.ContentTypeBinary {
-		writeJSON(w, http.StatusUnsupportedMediaType, map[string]string{
-			"error": fmt.Sprintf("Content-Type must be %s or %s", wire.ContentTypeNDJSON, wire.ContentTypeBinary),
-		})
+		writeError(w, http.StatusUnsupportedMediaType, wire.CodeBadRequest,
+			fmt.Sprintf("Content-Type must be %s or %s", wire.ContentTypeNDJSON, wire.ContentTypeBinary), 0, -1)
 		return
 	}
 	s.setWriteDeadline(w)
@@ -502,10 +530,8 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 			finish(accepted)
 			s.cfg.Hooks.RequestRejected("decode")
 			span.SetStatus(tracing.StatusError, "non-finite sample")
-			writeJSON(w, http.StatusBadRequest, pushResult{
-				Accepted: accepted,
-				Error:    fmt.Sprintf("sample %d: non-finite field (enable conditioning to repair)", dec.Decoded()-1),
-			})
+			writeError(w, http.StatusBadRequest, wire.CodeDecode,
+				fmt.Sprintf("sample %d: non-finite field (enable conditioning to repair)", dec.Decoded()-1), 0, accepted)
 			return
 		}
 		enqueueT.start()
@@ -538,7 +564,7 @@ func (s *Server) samplesDecodeError(w http.ResponseWriter, r *http.Request, acce
 	s.cfg.Hooks.RequestRejected("decode")
 	span := tracing.SpanFromContext(r.Context())
 	span.SetStatus(tracing.StatusError, "decode")
-	writeJSON(w, http.StatusBadRequest, pushResult{Accepted: accepted, Error: err.Error()})
+	writeError(w, http.StatusBadRequest, wire.CodeDecode, err.Error(), 0, accepted)
 }
 
 // samplesPushError maps hub refusals onto backpressure responses. The
@@ -548,14 +574,13 @@ func (s *Server) samplesPushError(w http.ResponseWriter, r *http.Request, accept
 	switch {
 	case errors.Is(err, ptrack.ErrSessionQueueFull):
 		s.cfg.Hooks.RequestRejected("backpressure")
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, pushResult{Accepted: accepted, Error: "session queue full"})
+		writeError(w, http.StatusTooManyRequests, wire.CodeBackpressure, "session queue full", time.Second, accepted)
 	case errors.Is(err, ptrack.ErrSessionLimit):
 		s.reject(w, r, http.StatusServiceUnavailable, "overload", "session limit reached", time.Second)
 	case errors.Is(err, ptrack.ErrHubClosed):
 		s.reject(w, r, http.StatusServiceUnavailable, "draining", "server is draining", time.Second)
 	default:
-		writeJSON(w, http.StatusBadRequest, pushResult{Accepted: accepted, Error: err.Error()})
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error(), 0, accepted)
 	}
 }
 
@@ -571,7 +596,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "response writer cannot stream"})
+		writeError(w, http.StatusInternalServerError, wire.CodeInternal, "response writer cannot stream", 0, -1)
 		return
 	}
 	sub := s.broker.subscribe(id)
@@ -659,7 +684,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Traces) == 0 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "no traces in request"})
+		writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "no traces in request", 0, -1)
 		return
 	}
 	if len(req.Traces) > maxBatchTraces {
@@ -674,7 +699,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items, err := s.pool.Process(r.Context(), traces)
 	if err != nil {
 		// Only context failure reaches here; per-trace errors live in items.
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		writeError(w, http.StatusServiceUnavailable, wire.CodeCanceled, err.Error(), 0, -1)
 		return
 	}
 	resp := wire.BatchResponse{Results: make([]wire.BatchResult, len(items))}
@@ -700,9 +725,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// traffic would otherwise inflate the rejection counters on every
 		// poll of a draining replica.
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status": "draining",
-			"error":  "server is draining",
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+			wire.ErrorBody
+		}{
+			Status: "draining",
+			ErrorBody: wire.ErrorBody{
+				Error:       "server is draining",
+				Code:        wire.CodeDraining,
+				RetryAfterS: 1,
+			},
 		})
 		return
 	}

@@ -1,0 +1,252 @@
+// Package statecodec is the binary codec for durable session state:
+// compact, versioned, integrity-checked blobs that survive a process
+// restart and fail loudly on anything else. Every snapshot produced
+// through this package carries a one-byte format version up front and a
+// CRC-32 (IEEE) trailer over everything before it, so a blob written by
+// a different format revision is rejected with ErrVersion and a
+// truncated or bit-flipped blob with ErrCorrupt — never silently
+// decoded into garbage tracker state.
+//
+// The encoding is deliberately boring: unsigned varints for counts and
+// lengths, zig-zag varints for signed integers, raw IEEE-754 bits for
+// floats (bit-exact round-trips are what makes snapshot→restore event
+// equivalence possible), and length-prefixed byte strings for nested
+// blobs, letting each layer (tracker, conditioner) own its section with
+// its own version byte.
+package statecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Codec errors. Callers test with errors.Is; both carry context when
+// wrapped by Dec/New.
+var (
+	// ErrCorrupt reports a blob whose CRC trailer does not match its
+	// payload, or a payload that ends mid-value.
+	ErrCorrupt = errors.New("statecodec: corrupt blob")
+	// ErrVersion reports a blob written by an unsupported format version.
+	ErrVersion = errors.New("statecodec: unsupported snapshot version")
+)
+
+// trailerLen is the CRC-32 suffix every finished blob carries.
+const trailerLen = 4
+
+// Enc appends a versioned snapshot. The zero value is not usable;
+// construct with NewEnc, append fields in order, and call Finish to seal
+// the blob with its CRC trailer.
+type Enc struct {
+	buf []byte
+}
+
+// NewEnc starts a snapshot of the given format version, appending to
+// dst (which may be nil; pass a recycled buffer to avoid allocation).
+func NewEnc(dst []byte, version byte) *Enc {
+	return &Enc{buf: append(dst, version)}
+}
+
+// Uint appends an unsigned varint.
+func (e *Enc) Uint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
+
+// Int appends a signed (zig-zag) varint.
+func (e *Enc) Int(i int) { e.buf = binary.AppendVarint(e.buf, int64(i)) }
+
+// Bool appends a boolean.
+func (e *Enc) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends one float64 as its raw IEEE-754 bits.
+func (e *Enc) F64(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// F64s appends a length-prefixed float64 slice.
+func (e *Enc) F64s(xs []float64) {
+	e.Uint(uint64(len(xs)))
+	for _, f := range xs {
+		e.F64(f)
+	}
+}
+
+// Bytes appends a length-prefixed byte string (e.g. a nested snapshot).
+func (e *Enc) Bytes(b []byte) {
+	e.Uint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.Uint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Finish seals the snapshot: the CRC-32 (IEEE) of everything appended so
+// far — version byte included — is appended as a 4-byte little-endian
+// trailer and the whole blob returned. The Enc must not be reused.
+func (e *Enc) Finish() []byte {
+	sum := crc32.ChecksumIEEE(e.buf)
+	return binary.LittleEndian.AppendUint32(e.buf, sum)
+}
+
+// Dec reads a snapshot sealed by Enc.Finish. Decoding errors are sticky:
+// after the first failure every further read returns zero values and
+// Err reports the failure, so call sites can decode a whole section and
+// check once.
+type Dec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDec verifies blob's CRC trailer and version byte and returns a
+// decoder positioned at the first field. It fails with ErrCorrupt on a
+// short or checksum-mismatched blob and ErrVersion when the version
+// byte differs from want.
+func NewDec(blob []byte, want byte) (*Dec, error) {
+	if len(blob) < 1+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any snapshot", ErrCorrupt, len(blob))
+	}
+	body := blob[:len(blob)-trailerLen]
+	sum := binary.LittleEndian.Uint32(blob[len(blob)-trailerLen:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if body[0] != want {
+		return nil, fmt.Errorf("%w: got version %d, want %d", ErrVersion, body[0], want)
+	}
+	return &Dec{buf: body, pos: 1}, nil
+}
+
+// Err returns the first decoding failure, or nil.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, d.pos)
+	}
+}
+
+// Uint reads an unsigned varint.
+func (d *Dec) Uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return u
+}
+
+// Int reads a signed (zig-zag) varint.
+func (d *Dec) Int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return int(v)
+}
+
+// Bool reads a boolean.
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.buf) {
+		d.fail()
+		return false
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b != 0
+}
+
+// F64 reads one float64.
+func (d *Dec) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	u := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(u)
+}
+
+// F64s reads a length-prefixed float64 slice into dst (grown as
+// needed), returning the filled slice. A nil dst allocates exactly.
+func (d *Dec) F64s(dst []float64) []float64 {
+	n := d.Uint()
+	if d.err != nil {
+		return dst[:0]
+	}
+	// Each element needs 8 bytes: reject lengths the remaining payload
+	// cannot possibly hold before allocating for them.
+	if n > uint64(len(d.buf)-d.pos)/8 {
+		d.fail()
+		return dst[:0]
+	}
+	if uint64(cap(dst)) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = d.F64()
+	}
+	return dst
+}
+
+// Bytes reads a length-prefixed byte string as a subslice of the blob
+// (valid while the blob is; copy to retain).
+func (d *Dec) Bytes() []byte {
+	n := d.Uint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string { return string(d.Bytes()) }
+
+// Remaining returns the number of unread payload bytes — restore paths
+// use it to sanity-check a decoded length against what the blob can
+// possibly hold before allocating for it.
+func (d *Dec) Remaining() int { return len(d.buf) - d.pos }
+
+// Done reports whether every payload byte has been consumed — restore
+// paths call it after the last field so a blob with trailing garbage
+// (a sign of writer/reader drift within one version) fails loudly.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes after last field", ErrCorrupt, len(d.buf)-d.pos)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package statecodec
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEnc(nil, 3)
+	e.Uint(0)
+	e.Uint(1 << 40)
+	e.Int(-12345)
+	e.Int(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(math.Pi)
+	e.F64(math.Inf(-1))
+	e.F64(0.0)
+	e.F64s([]float64{1.5, -2.5, math.SmallestNonzeroFloat64})
+	e.F64s(nil)
+	e.Bytes([]byte{0xde, 0xad})
+	e.Str("session-42")
+	blob := e.Finish()
+
+	d, err := NewDec(blob, 3)
+	if err != nil {
+		t.Fatalf("NewDec: %v", err)
+	}
+	if got := d.Uint(); got != 0 {
+		t.Errorf("Uint = %d, want 0", got)
+	}
+	if got := d.Uint(); got != 1<<40 {
+		t.Errorf("Uint = %d, want %d", got, uint64(1)<<40)
+	}
+	if got := d.Int(); got != -12345 {
+		t.Errorf("Int = %d, want -12345", got)
+	}
+	if got := d.Int(); got != 7 {
+		t.Errorf("Int = %d, want 7", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v, want pi", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 = %v, want -inf", got)
+	}
+	if got := d.F64(); got != 0 {
+		t.Errorf("F64 = %v, want 0", got)
+	}
+	fs := d.F64s(nil)
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || fs[2] != math.SmallestNonzeroFloat64 {
+		t.Errorf("F64s = %v", fs)
+	}
+	if fs := d.F64s(nil); len(fs) != 0 {
+		t.Errorf("empty F64s = %v", fs)
+	}
+	if b := d.Bytes(); len(b) != 2 || b[0] != 0xde || b[1] != 0xad {
+		t.Errorf("Bytes = %x", b)
+	}
+	if s := d.Str(); s != "session-42" {
+		t.Errorf("Str = %q", s)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestNaNBitPattern(t *testing.T) {
+	// Restore must reproduce float state bit-exactly, NaN payloads
+	// included — reflect.DeepEqual-style equality downstream depends on
+	// the exact bits, not on numeric equality.
+	want := math.Float64frombits(0x7ff8dead_beef0001)
+	e := NewEnc(nil, 1)
+	e.F64(want)
+	d, err := NewDec(e.Finish(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.F64(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("NaN bits changed: %x -> %x", math.Float64bits(want), math.Float64bits(got))
+	}
+}
+
+func TestWrongVersion(t *testing.T) {
+	e := NewEnc(nil, 2)
+	e.Uint(9)
+	blob := e.Finish()
+	if _, err := NewDec(blob, 3); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	e := NewEnc(nil, 1)
+	e.F64s([]float64{1, 2, 3})
+	e.Str("hello")
+	blob := e.Finish()
+
+	t.Run("short", func(t *testing.T) {
+		for n := 0; n < 5; n++ {
+			if _, err := NewDec(blob[:n], 1); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("len %d: want ErrCorrupt, got %v", n, err)
+			}
+		}
+	})
+	t.Run("bitflip", func(t *testing.T) {
+		for i := range blob {
+			bad := append([]byte(nil), blob...)
+			bad[i] ^= 0x40
+			if _, err := NewDec(bad, 1); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip at %d: want ErrCorrupt, got %v", i, err)
+			}
+		}
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		// A structurally valid blob whose fields end early: reads past
+		// the end must stick as ErrCorrupt, not panic.
+		e := NewEnc(nil, 1)
+		e.Uint(100) // claims 100 floats follow; none do
+		d, err := NewDec(e.Finish(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.F64s(nil); len(got) != 0 {
+			t.Errorf("truncated F64s returned %d values", len(got))
+		}
+		if !errors.Is(d.Err(), ErrCorrupt) {
+			t.Fatalf("want sticky ErrCorrupt, got %v", d.Err())
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		e := NewEnc(nil, 1)
+		e.Uint(1)
+		e.Uint(2)
+		d, err := NewDec(e.Finish(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Uint() // leave the second field unread
+		if err := d.Done(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt for unread trailing field, got %v", err)
+		}
+	})
+}
+
+func TestEncReusesDst(t *testing.T) {
+	dst := make([]byte, 0, 256)
+	e := NewEnc(dst, 1)
+	e.F64s(make([]float64, 16))
+	blob := e.Finish()
+	if &blob[0] != &dst[:1][0] {
+		t.Error("Finish reallocated despite sufficient dst capacity")
+	}
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// snapExt marks snapshot files; anything else in the directory is
+// ignored (editor droppings, temp files from interrupted saves).
+const snapExt = ".snap"
+
+// Dir is a file-per-session Store rooted at one directory: snapshots
+// survive the process, which is what lets ptrack-serve resume sessions
+// after a restart. Session IDs may contain characters that are unsafe
+// or ambiguous in filenames (slashes, dots, case-colliding letters on
+// some filesystems), so each file is named by the URL-safe base64 of
+// its ID plus ".snap". Saves are atomic — written to a temp file in the
+// same directory, synced, then renamed — so a crash mid-save leaves the
+// previous snapshot intact, never a torn one. Safe for concurrent use
+// by distinct goroutines of one process; concurrent saves of the same
+// session resolve to one winner (rename is atomic), not a mix.
+type Dir struct {
+	dir string
+}
+
+// NewDir opens (creating if needed) a directory-backed store.
+func NewDir(dir string) (*Dir, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create state directory: %w", err)
+	}
+	return &Dir{dir: dir}, nil
+}
+
+func (s *Dir) path(session string) string {
+	name := base64.RawURLEncoding.EncodeToString([]byte(session)) + snapExt
+	return filepath.Join(s.dir, name)
+}
+
+// Save implements Store with an atomic write-then-rename.
+func (s *Dir) Save(session string, blob []byte) error {
+	f, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: save %q: %w", session, err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(blob)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, s.path(session))
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: save %q: %w", session, werr)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *Dir) Load(session string) ([]byte, error) {
+	blob, err := os.ReadFile(s.path(session))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, session)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: load %q: %w", session, err)
+	}
+	return blob, nil
+}
+
+// Delete implements Store.
+func (s *Dir) Delete(session string) error {
+	err := os.Remove(s.path(session))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: delete %q: %w", session, err)
+	}
+	return nil
+}
+
+// List implements Store. Files that are not well-formed snapshot names
+// (temp files from interrupted saves, foreign files) are skipped.
+func (s *Dir) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	ids := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		name, ok := strings.CutSuffix(ent.Name(), snapExt)
+		if !ok || ent.IsDir() {
+			continue
+		}
+		raw, err := base64.RawURLEncoding.DecodeString(name)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, string(raw))
+	}
+	return ids, nil
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem is an in-process Store: snapshots live in a map and die with the
+// process. It is the default checkpoint target — cheap enough to leave
+// on, and sufficient for the common "hub recycled within one process"
+// case (tests, embedded use). Safe for concurrent use. The zero value
+// is ready.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Save implements Store. The blob is copied, so the caller may recycle
+// its buffer.
+func (s *Mem) Save(session string, blob []byte) error {
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string][]byte)
+	}
+	s.m[session] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Load implements Store. The returned slice is the caller's to keep.
+func (s *Mem) Load(session string) ([]byte, error) {
+	s.mu.RLock()
+	blob, ok := s.m[session]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, session)
+	}
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	return cp, nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(session string) error {
+	s.mu.Lock()
+	delete(s.m, session)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (s *Mem) List() ([]string, error) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	return ids, nil
+}
+
+// Len returns the number of stored snapshots (for tests and stats).
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -1,0 +1,42 @@
+// Package store persists session snapshots across process restarts.
+//
+// A Store maps session IDs to the opaque versioned blobs produced by
+// stream.Tracker.Snapshot. The engine hub checkpoints into one
+// periodically and on eviction, and restores from it when a session ID
+// reappears, so a crashed or redeployed server resumes mid-stream
+// sessions instead of resetting their step counts.
+//
+// Two implementations ship: Mem (the default — snapshots survive hub
+// recycling within one process) and Dir (snapshots survive the
+// process). Both are safe for concurrent use; a conformance suite in
+// this package's tests runs against each.
+package store
+
+import "errors"
+
+// ErrNotFound is returned by Load for a session the store has no
+// snapshot of. Test with errors.Is: implementations wrap it with the
+// session ID.
+var ErrNotFound = errors.New("store: no snapshot for session")
+
+// Store is a keyed blob store for session snapshots. Implementations
+// must be safe for concurrent use; the hub calls into a Store from many
+// session goroutines at once.
+//
+// Save and Load transfer ownership of the blob: Save must not retain
+// the caller's slice after returning (the hub recycles its snapshot
+// buffer), and Load must return a slice the caller may keep.
+type Store interface {
+	// Save durably records blob as the latest snapshot for the session,
+	// replacing any previous one.
+	Save(session string, blob []byte) error
+	// Load returns the latest snapshot for the session, or an error
+	// wrapping ErrNotFound when there is none.
+	Load(session string) ([]byte, error)
+	// Delete removes the session's snapshot. Deleting a session with no
+	// snapshot is a no-op, not an error.
+	Delete(session string) error
+	// List returns the IDs of every session with a stored snapshot, in
+	// unspecified order.
+	List() ([]string, error)
+}

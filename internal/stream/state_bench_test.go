@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"testing"
+
+	"ptrack/internal/condition"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/trace"
+)
+
+// warmTracker builds a tracker mid-stream: a 60 s walking trace pushed
+// to the end, so the snapshot covers a fully populated window, warm
+// filter state and a non-trivial classification history — the state a
+// checkpoint actually captures in production.
+func warmTracker(b *testing.B, cfg Config) *Tracker {
+	b.Helper()
+	rec, err := gaitsim.SimulateActivity(gaitsim.DefaultProfile(), gaitsim.DefaultConfig(),
+		trace.ActivityWalking, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.SampleRate = rec.Trace.SampleRate
+	tk, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range rec.Trace.Samples {
+		tk.Push(s)
+	}
+	return tk
+}
+
+// BenchmarkSnapshot measures the checkpoint cost the hub pays at every
+// checkpoint interval: Snapshot latency (ns/op) and blob size
+// (bytes/session), both gated by `make bench-guard` via BENCH_state.json.
+// The plain variant is the default serving configuration; full adds the
+// adaptive threshold and the ingestion conditioner, the largest state a
+// session can carry.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{}},
+		{"full", Config{AdaptiveDelta: true, Condition: &condition.StreamConfig{}}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			tk := warmTracker(b, bc.cfg)
+			buf := tk.Snapshot(nil)
+			size := len(buf)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = tk.Snapshot(buf[:0])
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(size), "bytes/session")
+		})
+	}
+}
+
+// BenchmarkRestore measures the boot-time cost of resuming a session
+// from a checkpoint, including decode, validation and arena rebuild.
+func BenchmarkRestore(b *testing.B) {
+	tk := warmTracker(b, Config{})
+	blob := tk.Snapshot(nil)
+	rate := tk.cfg.SampleRate
+	fresh, err := New(Config{SampleRate: rate})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fresh.Restore(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

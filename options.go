@@ -32,11 +32,14 @@ type options struct {
 	observer        *Observer
 
 	// Hub-only knobs (see NewSessionHub); ignored elsewhere.
-	queueSize    int
-	idleTimeout  time.Duration
-	maxSessions  int
-	onSessionEnd func(session string)
-	onEventCtx   func(session string, ev Event, sc SpanContext)
+	queueSize          int
+	idleTimeout        time.Duration
+	maxSessions        int
+	onEvent            func(session string, ev Event)
+	onSessionEnd       func(session string)
+	onEventCtx         func(session string, ev Event, sc SpanContext)
+	sessionStore       SessionStore
+	checkpointInterval time.Duration
 }
 
 // Option configures any of the package's trackers or engines.
@@ -95,6 +98,34 @@ func WithMaxSessions(n int) Option {
 	return func(o *options) { o.maxSessions = n }
 }
 
+// WithEventHook registers fn to receive every classification event,
+// tagged with its session ID. fn is called from per-session goroutines
+// and must be safe for concurrent use; without an event hook the hub
+// discards events (useful only for its side metrics). SessionHub only.
+func WithEventHook(fn func(session string, ev Event)) Option {
+	return func(o *options) { o.onEvent = fn }
+}
+
+// WithSessionStore makes hub session state durable: every session is
+// checkpointed into s — periodically while streaming, and finally when
+// it is evicted or the hub closes — and a session whose ID has a stored
+// snapshot resumes from it on its first Push instead of starting fresh.
+// An explicit End is terminal and deletes the snapshot. Store failures
+// never fail the stream; they are counted on the observer. SessionHub
+// only.
+func WithSessionStore(s SessionStore) Option {
+	return func(o *options) { o.sessionStore = s }
+}
+
+// WithCheckpointInterval sets how often a hub session with new samples
+// since its last checkpoint is snapshotted into the session store
+// (default 30 seconds; negative disables periodic checkpoints, leaving
+// only the end-of-session ones). Ignored without WithSessionStore.
+// SessionHub only.
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(o *options) { o.checkpointInterval = d }
+}
+
 // WithSessionEndHook registers fn to be called once per hub session,
 // after the session's trailing (flush) events have been delivered to
 // the event callback — whether the session left via End, idle or LRU
@@ -106,8 +137,8 @@ func WithSessionEndHook(fn func(session string)) Option {
 	return func(o *options) { o.onSessionEnd = fn }
 }
 
-// WithTracedEventHook registers fn as the hub's event callback in place
-// of NewSessionHub's onEvent parameter (which is then ignored). fn
+// WithTracedEventHook registers fn as the hub's event callback, taking
+// precedence over WithEventHook (which is then ignored). fn
 // additionally receives the span context of the event's event.emit span
 // — the zero SpanContext when the session's request was not sampled or
 // no tracer is attached — so downstream fan-out (e.g. SSE delivery) can

@@ -22,14 +22,15 @@ type SessionHub struct {
 // SessionHub.SessionStats and the debug server's /debug/sessions.
 type SessionStat = engine.SessionStat
 
-// NewSessionHub builds a hub for streams sampled at sampleRate. onEvent
-// receives every classification event tagged with its session ID; it is
-// called from per-session goroutines and must be safe for concurrent
-// use (nil discards events). The options are those of NewOnline plus
-// the hub knobs (WithSessionQueueSize, WithIdleTimeout,
-// WithMaxSessions). Configuration errors wrap ErrInvalidProfile /
-// ErrInvalidSampleRate.
-func NewSessionHub(sampleRate float64, onEvent func(session string, ev Event), opts ...Option) (*SessionHub, error) {
+// NewSessionHub builds a hub for streams sampled at sampleRate, giving
+// every constructor in the package the same (sampleRate, opts...)
+// shape. Register an event callback with WithEventHook (or
+// WithTracedEventHook); without one, events are discarded. The options
+// are those of NewOnline plus the hub knobs (WithSessionQueueSize,
+// WithIdleTimeout, WithMaxSessions, WithSessionStore,
+// WithCheckpointInterval). Configuration errors wrap ErrInvalidProfile
+// / ErrInvalidSampleRate.
+func NewSessionHub(sampleRate float64, opts ...Option) (*SessionHub, error) {
 	o, err := resolve(opts)
 	if err != nil {
 		return nil, err
@@ -38,19 +39,33 @@ func NewSessionHub(sampleRate float64, onEvent func(session string, ev Event), o
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}
 	hub, err := engine.NewHub(engine.HubConfig{
-		Stream:       o.streamConfig(sampleRate),
-		QueueSize:    o.queueSize,
-		IdleTimeout:  o.idleTimeout,
-		MaxSessions:  o.maxSessions,
-		OnEvent:      onEvent,
-		OnEventCtx:   o.onEventCtx,
-		OnSessionEnd: o.onSessionEnd,
-		Hooks:        o.observer,
+		Stream:             o.streamConfig(sampleRate),
+		QueueSize:          o.queueSize,
+		IdleTimeout:        o.idleTimeout,
+		MaxSessions:        o.maxSessions,
+		OnEvent:            o.onEvent,
+		OnEventCtx:         o.onEventCtx,
+		OnSessionEnd:       o.onSessionEnd,
+		Hooks:              o.observer,
+		Store:              o.sessionStore,
+		CheckpointInterval: o.checkpointInterval,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ptrack: %w", err)
 	}
 	return &SessionHub{hub: hub}, nil
+}
+
+// NewSessionHubFunc builds a hub with a positional event callback.
+//
+// Deprecated: this is the pre-redesign NewSessionHub signature, kept
+// for one release as a thin wrapper. Use NewSessionHub with
+// WithEventHook(onEvent) instead.
+func NewSessionHubFunc(sampleRate float64, onEvent func(session string, ev Event), opts ...Option) (*SessionHub, error) {
+	if onEvent != nil {
+		opts = append(append([]Option(nil), opts...), WithEventHook(onEvent))
+	}
+	return NewSessionHub(sampleRate, opts...)
 }
 
 // Push routes one sample to the given session, creating the session on

@@ -1,0 +1,41 @@
+package ptrack
+
+import (
+	"fmt"
+
+	"ptrack/internal/store"
+)
+
+// SessionStore persists session snapshots for a SessionHub, keyed by
+// session ID. Pass one to NewSessionHub via WithSessionStore and the
+// hub checkpoints every session into it and resumes returning session
+// IDs from it — across hub recycling (NewMemSessionStore) or process
+// restarts (NewDirSessionStore). Implementations must be safe for
+// concurrent use; see docs/SESSIONS.md for the full contract and a
+// guide to writing custom backends (e.g. Redis, SQL).
+type SessionStore = store.Store
+
+// ErrSessionNotFound is returned by SessionStore.Load for a session
+// with no stored snapshot. Custom SessionStore implementations must
+// wrap it for that case so the hub can tell "new session" from "store
+// outage".
+var ErrSessionNotFound = store.ErrNotFound
+
+// NewMemSessionStore returns an in-process SessionStore: snapshots
+// survive hub recycling within one process but die with it. This is
+// the cheapest way to keep sessions durable across a hub Close/rebuild
+// (config reload, test harness).
+func NewMemSessionStore() SessionStore { return store.NewMem() }
+
+// NewDirSessionStore returns a SessionStore persisting one snapshot
+// file per session under dir (created if needed). Writes are atomic
+// (temp file + rename), so a crash mid-checkpoint leaves the previous
+// snapshot intact. This is what ptrack-serve's -state-dir flag uses to
+// resume sessions after a restart.
+func NewDirSessionStore(dir string) (SessionStore, error) {
+	s, err := store.NewDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ptrack: %w", err)
+	}
+	return s, nil
+}
