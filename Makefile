@@ -7,17 +7,27 @@
 # allocs-per-sample ceilings with flat scaling from 60 s to 240 s traces
 # (enforced by cmd/benchjson; see docs/PERF.md for the cost model).
 # `make bench-json` refreshes the committed BENCH_stream.json snapshot.
+# `make bench-mem` (also run by bench-guard) enforces the memory budget:
+# bytes per idle session, the sessions-per-GB floor, and the warm
+# tracker's retained-capacity ceiling (snapshot in BENCH_mem.json).
 # `make bench-batch` compares serial vs pooled batch processing.
 
 GO ?= go
 
 # Streaming front-end ceilings (see ISSUE acceptance criteria and
-# docs/PERF.md): the seed's whole-buffer tracker ran at ~3320 ns/sample,
-# so 664 is the >=5x bar; allocations are event-path only, well under one
-# per sample; scaling across trace lengths must stay flat within 20%.
-STREAM_MAX_NS_PER_SAMPLE ?= 664
-STREAM_MAX_ALLOCS_PER_SAMPLE ?= 0.75
-STREAM_FLAT_WITHIN ?= 0.20
+# docs/PERF.md): the seed's whole-buffer tracker ran at ~3320 ns/sample
+# and the first incremental front end at ~567; the block path
+# (PushBlock + fused kernels + run-skipping extrema scan) measures
+# ~295-310 ns/sample on a quiet host but run-to-run timer noise on
+# shared hosts was observed up to ~405, so the ceiling is 430 — noisy
+# measurement +~15%, and still a hard ratchet from the pre-block 664.
+# Allocations are event-path only and exactly flat with duration
+# (125 per trace at 60/120/240 s ≈ 0.02/sample at 60 s); the ns/sample
+# flatness gate is padded to 30% for the same shared-host noise (the
+# real flatness contract — allocs — is exact via the alloc ceiling).
+STREAM_MAX_NS_PER_SAMPLE ?= 430
+STREAM_MAX_ALLOCS_PER_SAMPLE ?= 0.05
+STREAM_FLAT_WITHIN ?= 0.30
 
 # Trace-conditioner ceilings: the streaming conditioner measured
 # ~68 ns/sample on the reference host, and its steady state is
@@ -48,6 +58,17 @@ TRACE_SAMPLED_MAX_NS_PER_SAMPLE ?= 1250
 TRACE_MAX_ALLOCS_PER_SAMPLE ?= 0.75
 TRACE_REGRESS_WITHIN ?= 0.30
 
+# Memory-footprint budget for million-session scale (BENCH_mem.json):
+# one idle hub session — bounded queue, goroutine stack, warm tracker —
+# measured ~33 KB, i.e. ~33k idle sessions per GB of heap+stack; the
+# ceilings leave ~50% headroom for allocator noise across Go versions.
+# The warm tracker alone retains ~203 KB of arena and scratch capacity
+# after long streams (flat with duration — compaction bounds the
+# window); its ceiling is the "no unbounded retention" contract.
+MEM_MAX_BYTES_PER_IDLE_SESSION ?= 49152
+MEM_MIN_SESSIONS_PER_GB ?= 20000
+MEM_MAX_TRACKER_BYTES ?= 262144
+
 # Durable-session-state ceilings (BenchmarkSnapshot/BenchmarkRestore,
 # snapshot in BENCH_state.json): a warm 60 s walking session snapshots
 # in ~21 µs into ~58 KB — cheap enough to checkpoint every session of a
@@ -58,7 +79,7 @@ TRACE_REGRESS_WITHIN ?= 0.30
 STATE_MAX_SNAPSHOT_NS ?= 250000
 STATE_MAX_BYTES_PER_SESSION ?= 131072
 
-.PHONY: check fmt vet test race conformance bench-guard bench-condition bench-json bench-trace bench-state bench bench-batch build
+.PHONY: check fmt vet test race conformance bench-guard bench-condition bench-json bench-trace bench-state bench-mem bench bench-batch build
 
 # race subsumes test (same suite under the race detector), so check runs
 # the suite once, raced; conformance re-runs the SessionStore contract
@@ -123,6 +144,19 @@ bench-guard:
 		| $(GO) run ./cmd/benchjson -out BENCH_state.json \
 		-max ns/op=$(STATE_MAX_SNAPSHOT_NS) \
 		-max bytes/session=$(STATE_MAX_BYTES_PER_SESSION)
+	$(MAKE) bench-mem
+
+# Memory-footprint budget: bytes per idle hub session and the derived
+# sessions-per-GB capacity floor (BENCH_mem.json), plus the warm
+# tracker's retained-capacity ceiling. Part of bench-guard.
+bench-mem:
+	$(GO) test ./internal/engine -run NONE -bench 'BenchmarkIdleSessionFootprint$$' -benchtime 1x \
+		| $(GO) run ./cmd/benchjson -out BENCH_mem.json \
+		-max bytes/idle-session=$(MEM_MAX_BYTES_PER_IDLE_SESSION) \
+		-min sessions-per-GB=$(MEM_MIN_SESSIONS_PER_GB)
+	$(GO) test . -run NONE -bench 'BenchmarkTrackerFootprint$$' -benchtime 2x \
+		| $(GO) run ./cmd/benchjson \
+		-max bytes/tracker=$(MEM_MAX_TRACKER_BYTES)
 
 # The ingestion conditioner must stay a small fraction of the tracker's
 # per-sample budget: its ns/sample ceiling is ~25% of the streaming

@@ -459,6 +459,42 @@ func benchOnlineTracker(b *testing.B, seconds float64) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		var evs []stream.Event
+		samples := rec.Trace.Samples
+		for len(samples) > 0 {
+			n := stream.BlockSamples
+			if n > len(samples) {
+				n = len(samples)
+			}
+			evs = tk.PushBlock(samples[:n], evs[:0])
+			samples = samples[n:]
+		}
+		tk.Flush()
+	}
+	samples := len(rec.Trace.Samples)
+	b.ReportMetric(float64(samples), "samples/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*samples), "ns/sample")
+}
+
+// BenchmarkPushSample measures the single-sample Push entry point — the
+// latency-shaped path a device feeding one sample per sensor interrupt
+// uses. Deliberately named outside the BenchmarkOnlineTracker family:
+// bench-guard's flat-within comparison spans the block-path benchmarks,
+// and the per-sample path legitimately pays more per sample than the
+// amortized block path.
+func BenchmarkPushSample(b *testing.B) {
+	user := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(user, gaitsim.DefaultConfig(), trace.ActivityWalking, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, err := stream.New(stream.Config{SampleRate: rec.Trace.SampleRate})
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, s := range rec.Trace.Samples {
 			tk.Push(s)
 		}
@@ -467,6 +503,42 @@ func benchOnlineTracker(b *testing.B, seconds float64) {
 	samples := len(rec.Trace.Samples)
 	b.ReportMetric(float64(samples), "samples/op")
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*samples), "ns/sample")
+}
+
+// BenchmarkTrackerFootprint reports the steady-state heap bytes one
+// warm tracker retains (arena capacities, recycled scratch, event
+// buffers) after long streams of increasing duration. The bytes/tracker
+// metric must stay flat with duration — the arena compaction bounds the
+// window — and its ceiling is gated by make bench-mem.
+func BenchmarkTrackerFootprint(b *testing.B) {
+	user := gaitsim.DefaultProfile()
+	for _, seconds := range []float64{60, 240} {
+		b.Run(fmtInt("s", int(seconds)), func(b *testing.B) {
+			rec, err := gaitsim.SimulateActivity(user, gaitsim.DefaultConfig(), trace.ActivityWalking, seconds)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var footprint int
+			for i := 0; i < b.N; i++ {
+				tk, err := stream.New(stream.Config{SampleRate: rec.Trace.SampleRate})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var evs []stream.Event
+				samples := rec.Trace.Samples
+				for len(samples) > 0 {
+					n := stream.BlockSamples
+					if n > len(samples) {
+						n = len(samples)
+					}
+					evs = tk.PushBlock(samples[:n], evs[:0])
+					samples = samples[n:]
+				}
+				footprint = tk.FootprintBytes()
+			}
+			b.ReportMetric(float64(footprint), "bytes/tracker")
+		})
+	}
 }
 
 func BenchmarkFFT1024(b *testing.B) {

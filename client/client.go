@@ -93,7 +93,10 @@ func WithBinary() Option { return func(c *Client) { c.binary = true } }
 
 // WithBatchSize sets how many samples a Session buffers before pushing
 // (default 256). Push sends immediately once the buffer is full; Flush
-// sends whatever is pending.
+// sends whatever is pending. With WithBinary the size is rounded up to
+// a multiple of ptrack.BlockSamples so every payload is whole wire
+// frames — the server's decoder then never buffers a partial-frame
+// tail between reads, and its block pushes run at full width.
 func WithBatchSize(n int) Option { return func(c *Client) { c.batch = n } }
 
 // WithRetry tunes the backoff loop: at most maxRetries retries per
@@ -153,6 +156,12 @@ func Dial(baseURL string, opts ...Option) (*Client, error) {
 	}
 	if c.batch <= 0 {
 		c.batch = 256
+	}
+	if c.binary {
+		// Align binary batches to whole wire blocks (see WithBatchSize).
+		if r := c.batch % ptrack.BlockSamples; r != 0 {
+			c.batch += ptrack.BlockSamples - r
+		}
 	}
 	return c, nil
 }

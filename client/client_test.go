@@ -117,3 +117,34 @@ func TestRetryAfterBodyFallback(t *testing.T) {
 		t.Fatalf("retried after %v despite body retry_after_s of 1s", got)
 	}
 }
+
+// TestBinaryBatchFrameAligned pins the wire-alignment contract: with
+// binary framing the session batch size is rounded up to whole
+// ptrack.BlockSamples blocks, so every payload the server decodes is an
+// exact multiple of the frame size; NDJSON batches stay as given.
+func TestBinaryBatchFrameAligned(t *testing.T) {
+	cases := []struct {
+		in     int
+		binary bool
+		want   int
+	}{
+		{100, true, 128},
+		{128, true, 128},
+		{1, true, ptrack.BlockSamples},
+		{0, true, 256}, // default is already aligned
+		{100, false, 100},
+	}
+	for _, tc := range cases {
+		opts := []Option{WithBatchSize(tc.in)}
+		if tc.binary {
+			opts = append(opts, WithBinary())
+		}
+		c, err := Dial("http://127.0.0.1:1", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.batch != tc.want {
+			t.Errorf("batch(%d, binary=%v) = %d, want %d", tc.in, tc.binary, c.batch, tc.want)
+		}
+	}
+}

@@ -27,6 +27,10 @@
 //	                        "bytes/session", "ns/op") must stay at or
 //	                        below N. Benchmarks not reporting METRIC are
 //	                        unaffected.
+//	-min METRIC=N           generic repeatable floor: every benchmark
+//	                        reporting METRIC must stay at or above N —
+//	                        for capacity metrics where smaller is worse
+//	                        (e.g. "sessions-per-GB").
 //	-baseline FILE          a previously committed benchjson report to
 //	                        compare against (typically the same file -out
 //	                        overwrites; the baseline is read first).
@@ -82,6 +86,24 @@ func (m maxFlags) Set(s string) error {
 	return nil
 }
 
+// minFlags collects repeatable -min METRIC=N floors.
+type minFlags map[string]float64
+
+func (m minFlags) String() string { return maxFlags(m).String() }
+
+func (m minFlags) Set(s string) error {
+	metric, val, ok := strings.Cut(s, "=")
+	if !ok || metric == "" {
+		return fmt.Errorf("-min wants METRIC=N, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("-min %s: %w", s, err)
+	}
+	m[metric] = f
+	return nil
+}
+
 // Benchmark is one parsed `go test -bench` result line.
 type Benchmark struct {
 	Name       string             `json:"name"`
@@ -111,6 +133,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	)
 	maxes := maxFlags{}
 	fs.Var(maxes, "max", "repeatable METRIC=N ceiling on any reported metric")
+	mins := minFlags{}
+	fs.Var(mins, "min", "repeatable METRIC=N floor on any reported metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -157,6 +181,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	for metric, ceiling := range maxes {
 		report.Ceilings["max:"+metric] = ceiling
 	}
+	for metric, floor := range mins {
+		report.Ceilings["min:"+metric] = floor
+	}
 	if len(report.Ceilings) == 0 {
 		report.Ceilings = nil
 	}
@@ -177,7 +204,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		stdout.Write(buf)
 	}
 
-	return enforce(report, baseline, maxes, *maxNsPerSample, *maxAllocsPerSm, *flatWithin, *regressWithin)
+	return enforce(report, baseline, maxes, mins, *maxNsPerSample, *maxAllocsPerSm, *flatWithin, *regressWithin)
 }
 
 func parse(r io.Reader) (*Report, error) {
@@ -228,7 +255,7 @@ func parse(r io.Reader) (*Report, error) {
 	return report, nil
 }
 
-func enforce(report, baseline *Report, maxes maxFlags, maxNsPerSample, maxAllocsPerSample, flatWithin, regressWithin float64) error {
+func enforce(report, baseline *Report, maxes maxFlags, mins minFlags, maxNsPerSample, maxAllocsPerSample, flatWithin, regressWithin float64) error {
 	var failures []string
 	baseNs := map[string]float64{}
 	if baseline != nil && regressWithin > 0 {
@@ -272,6 +299,12 @@ func enforce(report, baseline *Report, maxes maxFlags, maxNsPerSample, maxAllocs
 			if v, ok := b.Metrics[metric]; ok && v > maxes[metric] {
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.1f %s exceeds ceiling %.1f", b.Name, v, metric, maxes[metric]))
+			}
+		}
+		for _, metric := range sortedKeys(maxFlags(mins)) {
+			if v, ok := b.Metrics[metric]; ok && v < mins[metric] {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.1f %s below floor %.1f", b.Name, v, metric, mins[metric]))
 			}
 		}
 	}

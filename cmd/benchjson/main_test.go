@@ -38,7 +38,7 @@ func TestParse(t *testing.T) {
 
 func TestEnforcePasses(t *testing.T) {
 	report, _ := parse(strings.NewReader(sampleOutput))
-	if err := enforce(report, nil, nil, 664, 0.75, 0.20, 0); err != nil {
+	if err := enforce(report, nil, nil, nil, 664, 0.75, 0.20, 0); err != nil {
 		t.Errorf("ceilings should pass: %v", err)
 	}
 }
@@ -55,7 +55,7 @@ func TestEnforceCatchesViolations(t *testing.T) {
 		{"flat-within", 0, 0, 0.01, "spread"},
 	}
 	for _, c := range cases {
-		err := enforce(report, nil, nil, c.ns, c.allocs, c.flat, 0)
+		err := enforce(report, nil, nil, nil, c.ns, c.allocs, c.flat, 0)
 		if err == nil || !strings.Contains(err.Error(), c.wantFragment) {
 			t.Errorf("%s: err = %v, want fragment %q", c.name, err, c.wantFragment)
 		}
@@ -65,7 +65,7 @@ func TestEnforceCatchesViolations(t *testing.T) {
 func TestEnforceFlatNeedsTwo(t *testing.T) {
 	report, _ := parse(strings.NewReader(`BenchmarkX 	 10	 100 ns/op	 5.0 ns/sample
 `))
-	if err := enforce(report, nil, nil, 0, 0, 0.2, 0); err == nil {
+	if err := enforce(report, nil, nil, nil, 0, 0, 0.2, 0); err == nil {
 		t.Error("flat-within with one benchmark should fail")
 	}
 }
@@ -78,10 +78,10 @@ func TestEnforceBaselineRegression(t *testing.T) {
 		{Name: "BenchmarkUnrelated", Metrics: map[string]float64{"ns/sample": 1}},
 	}}
 	// 513.1 vs 500 is a 2.6% regression: passes a 5% gate, fails a 1% one.
-	if err := enforce(report, baseline, nil, 0, 0, 0, 0.05); err != nil {
+	if err := enforce(report, baseline, nil, nil, 0, 0, 0, 0.05); err != nil {
 		t.Errorf("2.6%% regression should pass a 5%% gate: %v", err)
 	}
-	err := enforce(report, baseline, nil, 0, 0, 0, 0.01)
+	err := enforce(report, baseline, nil, nil, 0, 0, 0, 0.01)
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Errorf("2.6%% regression past a 1%% gate: err = %v, want regression failure", err)
 	}
@@ -90,7 +90,7 @@ func TestEnforceBaselineRegression(t *testing.T) {
 	fresh := &Report{Benchmarks: []Benchmark{
 		{Name: "BenchmarkSomethingElse", Metrics: map[string]float64{"ns/sample": 1}},
 	}}
-	if err := enforce(report, fresh, nil, 0, 0, 0, 0.01); err != nil {
+	if err := enforce(report, fresh, nil, nil, 0, 0, 0, 0.01); err != nil {
 		t.Errorf("baseline without matching names should pass: %v", err)
 	}
 }
@@ -106,10 +106,10 @@ BenchmarkSnapshot/full 	 50000	 22064 ns/op	 59499 bytes/session	 1912 B/op	 8 a
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := enforce(report, nil, maxFlags{"bytes/session": 65536, "ns/op": 1e6}, 0, 0, 0, 0); err != nil {
+	if err := enforce(report, nil, maxFlags{"bytes/session": 65536, "ns/op": 1e6}, nil, 0, 0, 0, 0); err != nil {
 		t.Errorf("generous generic ceilings should pass: %v", err)
 	}
-	err = enforce(report, nil, maxFlags{"bytes/session": 58000}, 0, 0, 0, 0)
+	err = enforce(report, nil, maxFlags{"bytes/session": 58000}, nil, 0, 0, 0, 0)
 	if err == nil || !strings.Contains(err.Error(), "bytes/session exceeds") {
 		t.Errorf("bytes ceiling: err = %v, want bytes/session violation", err)
 	}
@@ -118,7 +118,7 @@ BenchmarkSnapshot/full 	 50000	 22064 ns/op	 59499 bytes/session	 1912 B/op	 8 a
 		t.Errorf("benchmark under the ceiling flagged: %v", err)
 	}
 	// A metric no benchmark reports never trips.
-	if err := enforce(report, nil, maxFlags{"widgets/op": 1}, 0, 0, 0, 0); err != nil {
+	if err := enforce(report, nil, maxFlags{"widgets/op": 1}, nil, 0, 0, 0, 0); err != nil {
 		t.Errorf("absent metric should not trip: %v", err)
 	}
 
@@ -170,5 +170,52 @@ func TestRunBaselineRoundTrip(t *testing.T) {
 	err := run(args, strings.NewReader(slower), &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Errorf("10%% slower run: err = %v, want regression failure", err)
+	}
+}
+
+func TestGenericMinFloors(t *testing.T) {
+	// Capacity metrics invert the comparison: smaller is worse. -min
+	// METRIC=N fails any benchmark reporting METRIC below N.
+	memOutput := `pkg: ptrack/internal/engine
+BenchmarkIdleSessionFootprint 	 1	 1117400041 ns/op	 32549 bytes/idle-session	 32989 sessions-per-GB
+`
+	report, err := parse(strings.NewReader(memOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enforce(report, nil, nil, minFlags{"sessions-per-GB": 20000}, 0, 0, 0, 0); err != nil {
+		t.Errorf("generous floor should pass: %v", err)
+	}
+	err = enforce(report, nil, nil, minFlags{"sessions-per-GB": 40000}, 0, 0, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Errorf("floor violation: err = %v, want below-floor failure", err)
+	}
+	// A metric no benchmark reports never trips.
+	if err := enforce(report, nil, nil, minFlags{"widgets/op": 1}, 0, 0, 0, 0); err != nil {
+		t.Errorf("absent metric should not trip: %v", err)
+	}
+	// Floors and ceilings compose on the same run.
+	if err := enforce(report, nil, maxFlags{"bytes/idle-session": 40000}, minFlags{"sessions-per-GB": 20000}, 0, 0, 0, 0); err != nil {
+		t.Errorf("composed gates should pass: %v", err)
+	}
+
+	var m minFlags = minFlags{}
+	if err := m.Set("sessions-per-GB=20000"); err != nil {
+		t.Fatal(err)
+	}
+	if m["sessions-per-GB"] != 20000 {
+		t.Errorf("parsed mins = %v", m)
+	}
+	for _, bad := range []string{"noequals", "=5", "x=notanumber"} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-min", "sessions-per-GB=20000"}, strings.NewReader(memOutput), &out); err != nil {
+		t.Fatalf("run with -min: %v", err)
+	}
+	if !strings.Contains(out.String(), `"min:sessions-per-GB": 20000`) {
+		t.Errorf("floor not recorded in report: %s", out.String())
 	}
 }

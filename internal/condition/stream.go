@@ -83,11 +83,36 @@ func (s *Streamer) Report() *Report {
 // became final. The returned slice is reused by the next call.
 func (s *Streamer) Push(raw trace.Sample) []Out {
 	s.out = s.out[:0]
+	if !s.ingest(raw) {
+		return nil
+	}
+	return s.out
+}
+
+// PushBlock ingests a block of raw samples and returns the conditioned
+// samples that became final across the whole block, in commit order —
+// exactly the concatenation of what per-sample Push calls would emit.
+// One output-buffer reset and one call boundary serve the whole block,
+// which is what the tracker's block path needs to keep conditioned
+// streams on the amortized path. The returned slice is reused by the
+// next Push or PushBlock call.
+func (s *Streamer) PushBlock(raw []trace.Sample) []Out {
+	s.out = s.out[:0]
+	for _, r := range raw {
+		s.ingest(r)
+	}
+	return s.out
+}
+
+// ingest folds one raw sample into the reorder window, appending any
+// committed outputs to s.out. It reports whether the sample entered the
+// window (false for rejects, which emit nothing).
+func (s *Streamer) ingest(raw trace.Sample) bool {
 	s.rep.Input++
 	if !finiteSample(raw) {
 		s.defect("non_finite")
 		s.rep.NonFinite++
-		return nil
+		return false
 	}
 	if s.havePrev && raw.T <= s.prev.T && (len(s.pend) == 0 || raw.T < s.pend[0].T) {
 		// Arrived after its timeline position was already committed:
@@ -101,7 +126,7 @@ func (s *Streamer) Push(raw trace.Sample) []Out {
 			s.rep.OutOfOrder++
 			s.rep.Rejected++
 		}
-		return nil
+		return false
 	}
 	// Insert into the sorted reorder buffer.
 	i := len(s.pend)
@@ -111,7 +136,7 @@ func (s *Streamer) Push(raw trace.Sample) []Out {
 	if i > 0 && s.pend[i-1].T == raw.T {
 		s.defect("duplicate")
 		s.rep.Duplicates++
-		return nil
+		return false
 	}
 	if i < len(s.pend) {
 		s.defect("out_of_order")
@@ -124,7 +149,7 @@ func (s *Streamer) Push(raw trace.Sample) []Out {
 		s.commit(s.pend[0])
 		s.pend = s.pend[:copy(s.pend, s.pend[1:])]
 	}
-	return s.out
+	return true
 }
 
 // Flush commits every buffered sample. Call at end of stream; the

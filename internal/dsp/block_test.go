@@ -1,0 +1,192 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// referenceLocalExtrema is the naive three-point extrema scan the
+// optimized appendLocalExtrema replaced. It is kept as the behavioural
+// reference: the production kernel must match it bit for bit on any
+// input, including NaN and infinity runs.
+func referenceLocalExtrema(x []float64) []Extremum {
+	n := len(x)
+	var out []Extremum
+	if n < 3 {
+		return out
+	}
+	i := 1
+	for i < n-1 {
+		j := i
+		for j < n-1 && x[j+1] == x[j] {
+			j++
+		}
+		if j == n-1 {
+			break
+		}
+		left, right := x[i-1], x[j+1]
+		v := x[i]
+		switch {
+		case v > left && v > right:
+			out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: true})
+		case v < left && v < right:
+			out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: false})
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func extremaEqual(a, b []Extremum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// NaN-tolerant value comparison via bit pattern.
+		if a[i].Index != b[i].Index || a[i].Max != b[i].Max ||
+			math.Float64bits(a[i].Value) != math.Float64bits(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendLocalExtremaMatchesReference(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := [][]float64{
+		nil,
+		{1},
+		{1, 2},
+		{1, 2, 1},
+		{1, 2, 2, 1},
+		{2, 1, 1, 2},
+		{1, 1, 1, 1},
+		{0, 1, 2, 3, 2, 1, 0, 1, 2},
+		{3, 3, 2, 2, 3, 3},
+		{0, inf, inf, 0},
+		{0, -inf, -inf, 0},
+		{inf, inf, inf},
+		{0, 1, nan, 1, 0},
+		{nan, nan, nan},
+		{0, nan, 0, 1, 0},
+		{1, nan, nan, 1, 2, 1},
+		{-0.0, 0.0, -0.0, 1, -0.0},
+		{1e308, -1e308, 1e308},
+		{5, 5, 3, 5, 5},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for c := 0; c < 200; c++ {
+		n := rng.Intn(40)
+		x := make([]float64, n)
+		for i := range x {
+			switch rng.Intn(10) {
+			case 0:
+				x[i] = float64(rng.Intn(3)) // force plateaus
+			case 1:
+				if i > 0 {
+					x[i] = x[i-1]
+				}
+			default:
+				x[i] = rng.NormFloat64()
+			}
+		}
+		cases = append(cases, x)
+	}
+	for ci, x := range cases {
+		want := referenceLocalExtrema(x)
+		got := appendLocalExtrema(nil, x)
+		if !extremaEqual(got, want) {
+			t.Errorf("case %d (%v): got %v, want %v", ci, x, got, want)
+		}
+	}
+}
+
+func FuzzLocalExtrema(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 2, 1})
+	f.Add([]byte{5, 5, 5, 0, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		x := make([]float64, len(raw))
+		for i, b := range raw {
+			switch b {
+			case 255:
+				x[i] = math.NaN()
+			case 254:
+				x[i] = math.Inf(1)
+			case 253:
+				x[i] = math.Inf(-1)
+			default:
+				x[i] = float64(b%16) - 7.5
+			}
+		}
+		want := referenceLocalExtrema(x)
+		got := appendLocalExtrema(nil, x)
+		if !extremaEqual(got, want) {
+			t.Fatalf("extrema mismatch on %v: got %v, want %v", x, got, want)
+		}
+	})
+}
+
+func TestProcessBlockToMatchesProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		f1, err := NewLowPassBiquad(5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, _ := NewLowPassBiquad(5, 100)
+		// Random mid-stream state.
+		s := [4]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		f1.SetState(s[0], s[1], s[2], s[3])
+		f2.SetState(s[0], s[1], s[2], s[3])
+		x := make([]float64, rng.Intn(200))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, len(x))
+		for i, v := range x {
+			want[i] = f1.Process(v)
+		}
+		got := f2.ProcessBlockTo(nil, x)
+		if len(x) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("expected empty output for empty input")
+			}
+		} else if !reflect.DeepEqual(got, want) {
+			t.Fatalf("block output differs from per-sample Process")
+		}
+		gx1, gx2, gy1, gy2 := f2.State()
+		wx1, wx2, wy1, wy2 := f1.State()
+		if gx1 != wx1 || gx2 != wx2 || gy1 != wy1 || gy2 != wy2 {
+			t.Fatalf("filter state diverged: got (%v %v %v %v) want (%v %v %v %v)",
+				gx1, gx2, gy1, gy2, wx1, wx2, wy1, wy2)
+		}
+	}
+}
+
+func TestApplyBackwardToMatchesProcessLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		f1, err := NewLowPassBiquad(5, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, _ := NewLowPassBiquad(5, 100)
+		x := make([]float64, 1+rng.Intn(300))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// Reference: Seed at the tail, Process back to front.
+		f1.Seed(x[len(x)-1])
+		want := make([]float64, len(x))
+		for i := len(x) - 1; i >= 0; i-- {
+			want[i] = f1.Process(x[i])
+		}
+		got := f2.ApplyBackwardTo(nil, x)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("backward block output differs from per-sample loop")
+		}
+	}
+}

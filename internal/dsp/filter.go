@@ -82,6 +82,33 @@ func (f *Biquad) Process(x float64) float64 {
 	return y
 }
 
+// ProcessBlockTo filters x into dst, advancing the filter state across
+// the block exactly as len(x) Process calls would — the arithmetic is the
+// same expression evaluated in the same order, so results are bitwise
+// identical — but carries the recursion state in registers instead of
+// re-loading and re-storing the struct fields on every sample. dst is
+// grown as needed and returned; it may alias x. This is the fused block
+// kernel the block-oriented push path uses for its forward smoothing pass.
+func (f *Biquad) ProcessBlockTo(dst, x []float64) []float64 {
+	if len(x) == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	dst = dst[:len(x)]
+	b0, b1, b2, a1, a2 := f.b0, f.b1, f.b2, f.a1, f.a2
+	x1, x2, y1, y2 := f.x1, f.x2, f.y1, f.y2
+	for i, v := range x {
+		y := b0*v + b1*x1 + b2*x2 - a1*y1 - a2*y2
+		x2, x1 = x1, v
+		y2, y1 = y1, y
+		dst[i] = y
+	}
+	f.x1, f.x2, f.y1, f.y2 = x1, x2, y1, y2
+	return dst
+}
+
 // Reset clears the filter state.
 func (f *Biquad) Reset() { f.x1, f.x2, f.y1, f.y2 = 0, 0, 0, 0 }
 
@@ -148,15 +175,8 @@ func (f *Biquad) ApplyTo(dst, x []float64) []float64 {
 	if len(x) == 0 {
 		return dst[:0]
 	}
-	if cap(dst) < len(x) {
-		dst = make([]float64, len(x))
-	}
-	dst = dst[:len(x)]
 	f.Seed(x[0])
-	for i, v := range x {
-		dst[i] = f.Process(v)
-	}
-	return dst
+	return f.ProcessBlockTo(dst, x)
 }
 
 // ApplyBackwardTo runs the filter anti-causally over x — processing the
@@ -179,9 +199,20 @@ func (f *Biquad) ApplyBackwardTo(dst, x []float64) []float64 {
 	}
 	dst = dst[:len(x)]
 	f.Seed(x[len(x)-1])
+	// Same recursion as Process sample by sample, with the state carried
+	// in registers across the pass (bitwise-identical arithmetic; the
+	// settle-bounded tail rewrite runs this every peak scan, so the
+	// state-field traffic was a measurable share of the tracker's cost).
+	b0, b1, b2, a1, a2 := f.b0, f.b1, f.b2, f.a1, f.a2
+	x1, x2, y1, y2 := f.x1, f.x2, f.y1, f.y2
 	for i := len(x) - 1; i >= 0; i-- {
-		dst[i] = f.Process(x[i])
+		v := x[i]
+		y := b0*v + b1*x1 + b2*x2 - a1*y1 - a2*y2
+		x2, x1 = x1, v
+		y2, y1 = y1, y
+		dst[i] = y
 	}
+	f.x1, f.x2, f.y1, f.y2 = x1, x2, y1, y2
 	return dst
 }
 

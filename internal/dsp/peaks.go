@@ -14,31 +14,86 @@ func LocalExtrema(x []float64) []Extremum {
 }
 
 // appendLocalExtrema is LocalExtrema appending into out, so hot loops can
-// recycle the slice.
+// recycle the slice. Instead of the naive three-point test at every
+// position, the scan skips whole monotone runs — between two direction
+// changes each interior sample costs one load, one comparison and one
+// increment, and the extremum logic only runs at run boundaries. On the
+// low-passed signals the tracker re-scans every peak cycle, runs are tens
+// of samples long, which makes this the cheapest form of the scan that
+// still reports identical results. Equivalence with the naive test is
+// pinned by TestAppendLocalExtremaMatchesReference and FuzzLocalExtrema,
+// including the awkward cases: plateaus (reported once at their centre),
+// NaN runs (no extremum touches a NaN — every comparison is false, which
+// the dir=0 state reproduces) and equal-infinity plateaus (value
+// equality, so they collapse like any other plateau).
 func appendLocalExtrema(out []Extremum, x []float64) []Extremum {
 	n := len(x)
 	if n < 3 {
 		return out
 	}
+	// dir encodes how the signal arrived at position i: +1 strictly
+	// ascending, -1 strictly descending, 0 unusable (plateau from the
+	// edge, or a NaN boundary — both make the left-hand comparison of the
+	// three-point test false).
+	var dir int
+	switch {
+	case x[1] > x[0]:
+		dir = 1
+	case x[1] < x[0]:
+		dir = -1
+	}
 	i := 1
 	for i < n-1 {
-		// Skip forward over any plateau starting at i.
-		j := i
-		for j < n-1 && x[j+1] == x[j] {
-			j++
-		}
-		if j == n-1 {
-			break
-		}
-		left, right := x[i-1], x[j+1]
 		v := x[i]
+		r := x[i+1]
 		switch {
-		case v > left && v > right:
-			out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: true})
-		case v < left && v < right:
-			out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: false})
+		case r > v:
+			// v < right; a minimum needs v < left too, i.e. a descent in.
+			if dir < 0 {
+				out = append(out, Extremum{Index: i, Value: v, Max: false})
+			}
+			i++
+			for i < n-1 && x[i+1] > x[i] {
+				i++
+			}
+			dir = 1
+		case r < v:
+			if dir > 0 {
+				out = append(out, Extremum{Index: i, Value: v, Max: true})
+			}
+			i++
+			for i < n-1 && x[i+1] < x[i] {
+				i++
+			}
+			dir = -1
+		case r == v:
+			// Plateau: skip to its end, report once at the centre.
+			j := i + 1
+			for j < n-1 && x[j+1] == v {
+				j++
+			}
+			if j == n-1 {
+				return out
+			}
+			r = x[j+1]
+			switch {
+			case dir > 0 && v > r:
+				out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: true})
+			case dir < 0 && v < r:
+				out = append(out, Extremum{Index: (i + j) / 2, Value: v, Max: false})
+			}
+			if r > v {
+				dir = 1
+			} else {
+				dir = -1
+			}
+			i = j + 1
+		default:
+			// NaN on either side: the three-point test is all-false here,
+			// and the NaN also poisons the next position's left-hand side.
+			dir = 0
+			i++
 		}
-		i = j + 1
 	}
 	return out
 }
@@ -79,6 +134,15 @@ type PeakFinder struct {
 	order   []int
 	removed []bool
 	out     []int
+}
+
+// FootprintBytes reports the heap bytes held by the finder's recycled
+// scratch buffers, by capacity — for memory-budget accounting of
+// long-lived finders.
+func (pf *PeakFinder) FootprintBytes() int {
+	const extremumSize = 24 // Index + Value + Max, padded
+	return extremumSize*cap(pf.ext) +
+		8*(cap(pf.cand)+cap(pf.order)+cap(pf.out)) + cap(pf.removed)
 }
 
 // Find returns the indices of local maxima of x that satisfy opts, in
@@ -259,7 +323,13 @@ func prominence(x []float64, peak int) float64 {
 // around it. Each crossing is reported at the sample nearest to the
 // crossing point.
 func ZeroCrossings(x []float64) []int {
-	var out []int
+	return AppendZeroCrossings(nil, x)
+}
+
+// AppendZeroCrossings is ZeroCrossings appending into dst, so hot loops
+// can recycle the slice.
+func AppendZeroCrossings(dst []int, x []float64) []int {
+	out := dst
 	for i := 0; i+1 < len(x); i++ {
 		a, b := x[i], x[i+1]
 		if a == 0 {

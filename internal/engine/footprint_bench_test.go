@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ptrack/internal/stream"
+)
+
+// BenchmarkIdleSessionFootprint answers the capacity-planning question
+// behind million-session scale: how many bytes does one idle session
+// pin? It opens many sessions, primes each with one wire block of
+// samples (so its tracker, goroutine stack and queue all exist at
+// working size), waits for the queues to drain, forces a GC, and
+// reports the heap+stack growth per session — plus the derived
+// sessions-per-GB figure make bench-mem gates.
+func BenchmarkIdleSessionFootprint(b *testing.B) {
+	const sessions = 10000
+	tr := walkingTrace(b, 1)
+	block := tr.Samples
+	if len(block) > stream.BlockSamples {
+		block = block[:stream.BlockSamples]
+	}
+
+	var perSession float64
+	for iter := 0; iter < b.N; iter++ {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		h, err := NewHub(HubConfig{
+			Stream:      stream.Config{SampleRate: tr.SampleRate},
+			IdleTimeout: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < sessions; i++ {
+			id := fmt.Sprintf("s-%06d", i)
+			rest := block
+			for len(rest) > 0 {
+				n, err := h.PushBlock(id, rest)
+				rest = rest[n:]
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		// Idle means drained: wait until every queue is empty.
+		for deadline := time.Now().Add(30 * time.Second); ; {
+			busy := false
+			for _, st := range h.Stats() {
+				if st.QueueLen > 0 {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("sessions did not drain")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		heap := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+		stack := int64(after.StackInuse) - int64(before.StackInuse)
+		perSession = float64(heap+stack) / sessions
+
+		h.Close()
+	}
+	b.ReportMetric(perSession, "bytes/idle-session")
+	b.ReportMetric(float64(1<<30)/perSession, "sessions-per-GB")
+}

@@ -270,6 +270,50 @@ func (h *Hub) Push(id string, s trace.Sample) error {
 	return err
 }
 
+// PushBlock routes a block of samples to the given session under a
+// single lock acquisition, creating the session on first use. Samples
+// are enqueued in order until the session's queue fills; it returns how
+// many were accepted, with ErrQueueFull when the tail was dropped (and
+// counted). Callers resume from the accepted count, mirroring Push's
+// drop-don't-block contract.
+func (h *Hub) PushBlock(id string, samples []trace.Sample) (int, error) {
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	h.mu.RLock()
+	sess := h.sessions[id]
+	if sess != nil {
+		// Fast path: existing session, shared lock only.
+		n, err := h.enqueueBlock(sess, samples)
+		h.mu.RUnlock()
+		return n, err
+	}
+	closed := h.closed
+	h.mu.RUnlock()
+	if closed {
+		return 0, ErrHubClosed
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0, ErrHubClosed
+	}
+	sess = h.sessions[id]
+	if sess == nil {
+		if h.cfg.MaxSessions > 0 && len(h.sessions) >= h.cfg.MaxSessions {
+			if !h.evictIdlestLocked() {
+				h.mu.Unlock()
+				return 0, fmt.Errorf("%w (%d live)", ErrSessionLimit, h.cfg.MaxSessions)
+			}
+		}
+		sess = h.startSessionLocked(id)
+	}
+	n, err := h.enqueueBlock(sess, samples)
+	h.mu.Unlock()
+	return n, err
+}
+
 // enqueue performs the non-blocking queue send. Callers hold the hub
 // lock (read or write), which is what makes the send race-free against
 // Close/evict closing the channel: closers hold the write lock.
@@ -282,6 +326,21 @@ func (h *Hub) enqueue(sess *session, s trace.Sample) error {
 		h.cfg.Hooks.SessionSamplesDropped(1)
 		return fmt.Errorf("%w: session %q", ErrQueueFull, sess.id)
 	}
+}
+
+// enqueueBlock is enqueue for a block: one touch, then in-order sends
+// until the queue rejects. Callers hold the hub lock.
+func (h *Hub) enqueueBlock(sess *session, samples []trace.Sample) (int, error) {
+	sess.touch(h.cfg.now())
+	for i, s := range samples {
+		select {
+		case sess.ch <- s:
+		default:
+			h.cfg.Hooks.SessionSamplesDropped(len(samples) - i)
+			return i, fmt.Errorf("%w: session %q", ErrQueueFull, sess.id)
+		}
+	}
+	return len(samples), nil
 }
 
 // startSessionLocked creates the session and its draining goroutine.
@@ -425,6 +484,14 @@ func (h *Hub) run(sess *session) {
 		return sc
 	}
 
+	// Block scratch for the untraced fast path: the run loop greedily
+	// drains whatever is buffered in the queue (up to one wire frame's
+	// worth) and hands it to PushBlock in one call, amortizing the
+	// tracker's per-push bookkeeping across the backlog. Both slices are
+	// reused for the session's lifetime; events are delivered before the
+	// next block overwrites the buffer.
+	block := make([]trace.Sample, 0, stream.BlockSamples)
+	var blockEvs []stream.Event
 	condEvery := 0
 drain:
 	for {
@@ -444,7 +511,11 @@ drain:
 		scp := sess.traceCtx.Load()
 		traced := tracer != nil && scp != nil && scp.Sampled()
 		var evs []stream.Event
+		pushed := 1
+		chClosed := false
 		if traced {
+			// Traced sessions keep the per-sample path: waves need the
+			// conditioner share per push and per-sample span accounting.
 			if waveSamples == 0 {
 				waveSC, waveStart = *scp, time.Now()
 			}
@@ -454,12 +525,28 @@ drain:
 			waveSamples++
 		} else {
 			flushWave()
-			evs = tk.Push(s)
+			block = append(block[:0], s)
+			for len(block) < stream.BlockSamples {
+				select {
+				case smp, ok := <-sess.ch:
+					if !ok {
+						chClosed = true
+					} else {
+						block = append(block, smp)
+						continue
+					}
+				default:
+				}
+				break
+			}
+			blockEvs = tk.PushBlock(block, blockEvs[:0])
+			evs = blockEvs
+			pushed = len(block)
 		}
-		sess.samplesIn.Add(1)
+		sess.samplesIn.Add(int64(pushed))
 		sess.steps.Store(int64(tk.Steps()))
-		sinceCkpt++
-		if condEvery++; condEvery >= 32 {
+		sinceCkpt += pushed
+		if condEvery += pushed; condEvery >= 32 {
 			condEvery = 0
 			sess.storeCondReport(tk.ConditionReport())
 		}
@@ -467,6 +554,9 @@ drain:
 			deliver(evs, flushWave())
 		} else {
 			deliver(evs, tracing.SpanContext{})
+		}
+		if chClosed {
+			break drain
 		}
 	}
 	flushWave()

@@ -12,40 +12,74 @@ import (
 	"ptrack/internal/dsp"
 )
 
-// turningPoints returns the indices of local extrema whose prominence
-// (computed on x or its negation) reaches minProm, in ascending order.
-func turningPoints(x []float64, minProm float64) []int {
-	maxima := dsp.FindPeaks(x, dsp.PeakOptions{MinProminence: minProm})
-	neg := make([]float64, len(x))
+// cpScratch holds the recyclable buffers behind the critical-point
+// pipeline. The per-cycle classification path (stream.Tracker →
+// Identifier.ClassifyWindow → offset metric) runs this machinery on every
+// gait cycle, and the throwaway peak finders and merge slices the
+// package-level helpers allocate were the dominant allocation source of
+// the whole event path — linear in trace duration. A long-lived scratch
+// makes the pipeline allocation-free at steady state; outputs are
+// identical (same candidate multisets through the same sorts). Not safe
+// for concurrent use.
+type cpScratch struct {
+	pf   dsp.PeakFinder
+	neg  []float64
+	tp   []int // turning points (anchor signal)
+	cp   []int // critical points (candidate signal)
+	anch []int
+	spac []float64
+}
+
+// turningPointsInto appends the indices of local extrema whose prominence
+// (computed on x or its negation) reaches minProm into dst[:0], in
+// ascending order.
+func (sc *cpScratch) turningPointsInto(dst []int, x []float64, minProm float64) []int {
+	dst = dst[:0]
+	// The finder's return slice is invalidated by its next Find, so the
+	// maxima are copied out before the minima scan.
+	dst = append(dst, sc.pf.Find(x, dsp.PeakOptions{MinProminence: minProm})...)
+	if cap(sc.neg) < len(x) {
+		sc.neg = make([]float64, len(x))
+	}
+	neg := sc.neg[:len(x)]
 	for i, v := range x {
 		neg[i] = -v
 	}
-	minima := dsp.FindPeaks(neg, dsp.PeakOptions{MinProminence: minProm})
-	out := make([]int, 0, len(maxima)+len(minima))
-	out = append(out, maxima...)
-	out = append(out, minima...)
-	sort.Ints(out)
-	return out
+	dst = append(dst, sc.pf.Find(neg, dsp.PeakOptions{MinProminence: minProm})...)
+	sort.Ints(dst)
+	return dst
+}
+
+// criticalPointsInto appends the merged, sorted, deduplicated turning
+// points and zero crossings of x — the full critical-point set of the
+// paper ("turning or crossing points") — into dst[:0].
+func (sc *cpScratch) criticalPointsInto(dst []int, x []float64, minProm float64) []int {
+	dst = sc.turningPointsInto(dst, x, minProm)
+	dst = dsp.AppendZeroCrossings(dst, x)
+	sort.Ints(dst)
+	// Deduplicate: a plateau touching zero can appear in both lists.
+	dedup := dst[:0]
+	for i, v := range dst {
+		if i == 0 || v != dst[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// turningPoints returns the indices of local extrema whose prominence
+// (computed on x or its negation) reaches minProm, in ascending order.
+func turningPoints(x []float64, minProm float64) []int {
+	var sc cpScratch
+	return sc.turningPointsInto(nil, x, minProm)
 }
 
 // criticalPoints returns the merged, sorted turning points and zero
 // crossings of x — the full critical-point set of the paper ("turning or
 // crossing points").
 func criticalPoints(x []float64, minProm float64) []int {
-	tp := turningPoints(x, minProm)
-	zc := dsp.ZeroCrossings(x)
-	out := make([]int, 0, len(tp)+len(zc))
-	out = append(out, tp...)
-	out = append(out, zc...)
-	sort.Ints(out)
-	// Deduplicate: a plateau touching zero can appear in both lists.
-	dedup := out[:0]
-	for i, v := range out {
-		if i == 0 || v != out[i-1] {
-			dedup = append(dedup, v)
-		}
-	}
-	return dedup
+	var sc cpScratch
+	return sc.criticalPointsInto(nil, x, minProm)
 }
 
 // signalRange returns max(x) - min(x).
@@ -107,6 +141,13 @@ func OffsetMetric(vertical, anterior []float64, relProm float64) (offset float64
 // perfectly rigid motion would read as desynchronised. The Eq. (1)
 // normaliser n is the core length.
 func OffsetMetricMargin(vertical, anterior []float64, relProm float64, margin int) (offset float64, ok bool) {
+	var sc cpScratch
+	return sc.offsetMetricMargin(vertical, anterior, relProm, margin)
+}
+
+// offsetMetricMargin is OffsetMetricMargin on recycled scratch; see
+// cpScratch.
+func (sc *cpScratch) offsetMetricMargin(vertical, anterior []float64, relProm float64, margin int) (offset float64, ok bool) {
 	total := len(vertical)
 	if total == 0 || len(anterior) != total {
 		return 0, false
@@ -115,14 +156,16 @@ func OffsetMetricMargin(vertical, anterior []float64, relProm float64, margin in
 		margin = 0
 	}
 	n := total - 2*margin
-	anchorsAll := turningPoints(vertical, relProm*signalRange(vertical))
-	cands := criticalPoints(anterior, relProm*signalRange(anterior))
-	anchors := anchorsAll[:0:0]
+	sc.tp = sc.turningPointsInto(sc.tp, vertical, relProm*signalRange(vertical))
+	sc.cp = sc.criticalPointsInto(sc.cp, anterior, relProm*signalRange(anterior))
+	anchorsAll, cands := sc.tp, sc.cp
+	anchors := sc.anch[:0]
 	for _, a := range anchorsAll {
 		if a >= margin && a < margin+n {
 			anchors = append(anchors, a)
 		}
 	}
+	sc.anch = anchors
 	if len(anchors) == 0 || len(cands) == 0 {
 		return 0, false
 	}
@@ -130,7 +173,10 @@ func OffsetMetricMargin(vertical, anterior []float64, relProm float64, margin in
 	// Spacings to the previous vertical turning point (which may sit in
 	// the leading margin; the window start for the very first), normalised
 	// to mean 1.
-	spacings := make([]float64, len(anchors))
+	if cap(sc.spac) < len(anchors) {
+		sc.spac = make([]float64, len(anchors))
+	}
+	spacings := sc.spac[:len(anchors)]
 	var sumSpacing float64
 	for i, a := range anchors {
 		prev := 0

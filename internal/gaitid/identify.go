@@ -101,6 +101,10 @@ type Identifier struct {
 	// quarter-period phase sweep both run on prefix-sum moments instead of
 	// re-deriving Pearson means and variances at every lag.
 	ck dsp.LagCorrelator
+	// Critical-point scratch: peak finders and merge buffers behind the
+	// offset metric, recycled so per-cycle classification is
+	// allocation-free at steady state.
+	sc cpScratch
 }
 
 // NewIdentifier returns an identifier for signals at the given sample
@@ -201,7 +205,7 @@ func (id *Identifier) ClassifyWindow(vertical, anterior []float64, margin int) C
 	a := aFull[margin : len(aFull)-margin]
 	vCore := v[margin : len(v)-margin]
 
-	res.Offset, res.OffsetOK = OffsetMetricMargin(v, aFull, id.cfg.RelProminence, margin)
+	res.Offset, res.OffsetOK = id.sc.offsetMetricMargin(v, aFull, id.cfg.RelProminence, margin)
 	if res.OffsetOK && res.Offset > id.cfg.OffsetThreshold {
 		res.Label = LabelWalking
 		res.StepsAdded = 2

@@ -309,6 +309,18 @@ func (h *Hooks) SampleIngested(buffered int) {
 	h.bufferLen.Set(float64(buffered))
 }
 
+// SamplesIngested records n streaming samples at once and the resulting
+// buffer occupancy — the block-push path's amortized equivalent of n
+// SampleIngested calls (the counter advances by n, the gauge lands on the
+// same final occupancy).
+func (h *Hooks) SamplesIngested(n, buffered int) {
+	if h == nil || n <= 0 {
+		return
+	}
+	h.samplesIn.Add(float64(n))
+	h.bufferLen.Set(float64(buffered))
+}
+
 // SamplesDropped records n samples evicted by buffer compaction.
 func (h *Hooks) SamplesDropped(n int) {
 	if h == nil || n <= 0 {

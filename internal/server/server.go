@@ -512,42 +512,65 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := wire.NewDecoder(body, ct)
 	accepted := 0
-	for {
-		decodeT.start()
-		sample, err := dec.Next()
-		decodeT.stop()
-		if err == io.EOF {
-			finish(accepted)
-			writeJSON(w, http.StatusOK, pushResult{Accepted: accepted})
-			return
-		}
-		if err != nil {
-			finish(accepted)
-			s.samplesDecodeError(w, r, accepted, err)
-			return
-		}
-		if !s.cfg.Conditioning && !sample.Finite() {
-			finish(accepted)
-			s.cfg.Hooks.RequestRejected("decode")
-			span.SetStatus(tracing.StatusError, "non-finite sample")
-			writeError(w, http.StatusBadRequest, wire.CodeDecode,
-				fmt.Sprintf("sample %d: non-finite field (enable conditioning to repair)", dec.Decoded()-1), 0, accepted)
-			return
+	// push enqueues one block under a single hub lock acquisition,
+	// keeping the accepted count exact across partial acceptance.
+	push := func(block []ptrack.Sample) error {
+		if len(block) == 0 {
+			return nil
 		}
 		enqueueT.start()
-		err = s.hub.Push(id, sample)
+		n, err := s.hub.PushBlock(id, block)
 		enqueueT.stop()
-		if err != nil {
-			finish(accepted)
-			s.samplesPushError(w, r, accepted, err)
-			return
-		}
-		if accepted == 0 && span.Sampled() {
+		if accepted == 0 && n > 0 && span.Sampled() {
 			// First accepted push of a sampled request: this request's
 			// trace now governs the session's asynchronous pipeline spans.
 			s.hub.SetTrace(id, span.Context())
 		}
-		accepted++
+		accepted += n
+		return err
+	}
+	var block []ptrack.Sample
+	for {
+		decodeT.start()
+		var decErr error
+		block, decErr = dec.NextBlock(block, ptrack.BlockSamples)
+		decodeT.stop()
+		if !s.cfg.Conditioning {
+			for i := range block {
+				if block[i].Finite() {
+					continue
+				}
+				// The finite prefix is still good data: enqueue it first
+				// so the accepted count the client resumes from is exact.
+				idx := dec.Decoded() - len(block) + i
+				if err := push(block[:i]); err != nil {
+					finish(accepted)
+					s.samplesPushError(w, r, accepted, err)
+					return
+				}
+				finish(accepted)
+				s.cfg.Hooks.RequestRejected("decode")
+				span.SetStatus(tracing.StatusError, "non-finite sample")
+				writeError(w, http.StatusBadRequest, wire.CodeDecode,
+					fmt.Sprintf("sample %d: non-finite field (enable conditioning to repair)", idx), 0, accepted)
+				return
+			}
+		}
+		if err := push(block); err != nil {
+			finish(accepted)
+			s.samplesPushError(w, r, accepted, err)
+			return
+		}
+		if decErr == io.EOF {
+			finish(accepted)
+			writeJSON(w, http.StatusOK, pushResult{Accepted: accepted})
+			return
+		}
+		if decErr != nil {
+			finish(accepted)
+			s.samplesDecodeError(w, r, accepted, decErr)
+			return
+		}
 	}
 }
 

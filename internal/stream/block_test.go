@@ -1,0 +1,278 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ptrack/internal/condition"
+	"ptrack/internal/gaitsim"
+	"ptrack/internal/trace"
+)
+
+// collectPush feeds a trace one sample at a time, copying the returned
+// events out of the tracker-owned buffer.
+func collectPush(t *testing.T, cfg Config, tr *trace.Trace) ([]Event, int) {
+	t.Helper()
+	tk, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Event
+	for _, s := range tr.Samples {
+		all = append(all, tk.Push(s)...)
+	}
+	all = append(all, tk.Flush()...)
+	return all, tk.Steps()
+}
+
+// collectPushBlock feeds the same trace through PushBlock in chunks whose
+// sizes are drawn from nextSize, reusing one caller-owned event buffer
+// across blocks the way the hub does.
+func collectPushBlock(t *testing.T, cfg Config, tr *trace.Trace, nextSize func() int) ([]Event, int) {
+	t.Helper()
+	tk, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Event
+	var buf []Event
+	samples := tr.Samples
+	for len(samples) > 0 {
+		n := nextSize()
+		if n < 1 {
+			n = 1
+		}
+		if n > len(samples) {
+			n = len(samples)
+		}
+		buf = tk.PushBlock(samples[:n], buf[:0])
+		all = append(all, buf...)
+		samples = samples[n:]
+	}
+	all = append(all, tk.Flush()...)
+	return all, tk.Steps()
+}
+
+func requireSameEvents(t *testing.T, name string, got, want []Event, gotSteps, wantSteps int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: event count diverges: got %d want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s: event %d diverges:\n got %+v\nwant %+v", name, i, got[i], want[i])
+		}
+	}
+	if gotSteps != wantSteps {
+		t.Fatalf("%s: steps diverge: got %d want %d", name, gotSteps, wantSteps)
+	}
+}
+
+// blockVariants returns the configuration corners the block path must
+// match the per-sample path on, with a trace suited to each (the
+// conditioned variant gets a fault-injected stream so the reorder window,
+// gap splits and rejects all fire).
+func blockVariants(t *testing.T) []struct {
+	name string
+	cfg  Config
+	tr   *trace.Trace
+} {
+	t.Helper()
+	p := gaitsim.DefaultProfile()
+	mixed, err := gaitsim.Simulate(p, gaitsim.DefaultConfig(), []gaitsim.Segment{
+		{Activity: trace.ActivityWalking, Duration: 20},
+		{Activity: trace.ActivityEating, Duration: 15},
+		{Activity: trace.ActivityStepping, Duration: 20},
+		{Activity: trace.ActivityIdle, Duration: 10},
+		{Activity: trace.ActivityWalking, Duration: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := gaitsim.InjectFaults(mixed.Trace, gaitsim.FaultsAtSeverity(0.5, 11))
+	base := onlineConfig(p)
+	condCfg := base
+	condCfg.Condition = &condition.StreamConfig{}
+	return []struct {
+		name string
+		cfg  Config
+		tr   *trace.Trace
+	}{
+		{"walking", base, walk.Trace},
+		{"mixed", base, mixed.Trace},
+		{"adaptive", func() Config { c := base; c.AdaptiveDelta = true; return c }(), mixed.Trace},
+		{"no-profile", Config{SampleRate: 100}, walk.Trace},
+		{"small-buffer", func() Config { c := base; c.BufferS = 6; return c }(), mixed.Trace},
+		{"conditioned", condCfg, faulty},
+	}
+}
+
+// TestPushBlockMatchesPushSingly is the block-path equivalence suite:
+// identical streams via Push one sample at a time vs PushBlock at
+// randomized split points must produce element-wise identical events on
+// every seed activity and configuration corner.
+func TestPushBlockMatchesPushSingly(t *testing.T) {
+	p := gaitsim.DefaultProfile()
+	for _, a := range equivActivities {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			t.Parallel()
+			rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), a, 45)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := onlineConfig(p)
+			want, wantSteps := collectPush(t, cfg, rec.Trace)
+			// Fixed 64-sample blocks (the wire framing)...
+			got, gotSteps := collectPushBlock(t, cfg, rec.Trace, func() int { return BlockSamples })
+			requireSameEvents(t, a.String()+"/64", got, want, gotSteps, wantSteps)
+			// ...and randomized split points.
+			rng := rand.New(rand.NewSource(int64(a)))
+			got, gotSteps = collectPushBlock(t, cfg, rec.Trace, func() int { return 1 + rng.Intn(2*BlockSamples) })
+			requireSameEvents(t, a.String()+"/random", got, want, gotSteps, wantSteps)
+		})
+	}
+}
+
+func TestPushBlockMatchesPushSinglyVariants(t *testing.T) {
+	for _, v := range blockVariants(t) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			want, wantSteps := collectPush(t, v.cfg, v.tr)
+			rng := rand.New(rand.NewSource(77))
+			got, gotSteps := collectPushBlock(t, v.cfg, v.tr, func() int { return 1 + rng.Intn(2*BlockSamples) })
+			requireSameEvents(t, v.name, got, want, gotSteps, wantSteps)
+		})
+	}
+}
+
+// TestPushBlockSnapshotCuts interleaves Snapshot/Restore cuts with block
+// pushes at positions deliberately unaligned with the block framing: the
+// stream is cut mid-block, the tracker state is moved into a fresh
+// tracker, and the remainder continues through PushBlock. Events must
+// still match the uncut per-sample stream exactly.
+func TestPushBlockSnapshotCuts(t *testing.T) {
+	for _, v := range blockVariants(t) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			want, wantSteps := collectPush(t, v.cfg, v.tr)
+
+			tk, err := New(v.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(101))
+			var all []Event
+			var buf []Event
+			samples := v.tr.Samples
+			for len(samples) > 0 {
+				n := 1 + rng.Intn(2*BlockSamples)
+				if n > len(samples) {
+					n = len(samples)
+				}
+				buf = tk.PushBlock(samples[:n], buf[:0])
+				all = append(all, buf...)
+				samples = samples[n:]
+				if rng.Intn(4) == 0 {
+					// Cut: snapshot, restore into a fresh tracker, continue.
+					blob := tk.Snapshot(nil)
+					fresh, err := New(v.cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := fresh.Restore(blob); err != nil {
+						t.Fatalf("restore at %d remaining: %v", len(samples), err)
+					}
+					tk = fresh
+				}
+			}
+			all = append(all, tk.Flush()...)
+			requireSameEvents(t, v.name, all, want, tk.Steps(), wantSteps)
+		})
+	}
+}
+
+// FuzzPushBlockEquivalence drives the split-point schedule from fuzzed
+// bytes: each byte is one block length (mod 2×BlockSamples), with zero
+// bytes doubling as snapshot/restore cut points.
+func FuzzPushBlockEquivalence(f *testing.F) {
+	p := gaitsim.DefaultProfile()
+	rec, err := gaitsim.SimulateActivity(p, gaitsim.DefaultConfig(), trace.ActivityWalking, 20)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tr := rec.Trace
+	cfg := onlineConfig(p)
+	want, wantSteps := func() ([]Event, int) {
+		tk, _ := New(cfg)
+		var all []Event
+		for _, s := range tr.Samples {
+			all = append(all, tk.Push(s)...)
+		}
+		all = append(all, tk.Flush()...)
+		return all, tk.Steps()
+	}()
+
+	f.Add([]byte{64, 64, 64})
+	f.Add([]byte{1, 0, 127, 3})
+	f.Fuzz(func(t *testing.T, plan []byte) {
+		tk, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []Event
+		var buf []Event
+		samples := tr.Samples
+		pi := 0
+		next := func() (int, bool) {
+			if len(plan) == 0 {
+				return BlockSamples, false
+			}
+			b := plan[pi%len(plan)]
+			pi++
+			if b == 0 {
+				return 0, true
+			}
+			return int(b) % (2 * BlockSamples), false
+		}
+		for len(samples) > 0 {
+			n, cut := next()
+			if cut {
+				blob := tk.Snapshot(nil)
+				fresh, _ := New(cfg)
+				if err := fresh.Restore(blob); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				tk = fresh
+				// A cut still consumes a block so all-zero plans terminate.
+				n = BlockSamples
+			}
+			if n < 1 {
+				n = 1
+			}
+			if n > len(samples) {
+				n = len(samples)
+			}
+			buf = tk.PushBlock(samples[:n], buf[:0])
+			all = append(all, buf...)
+			samples = samples[n:]
+		}
+		all = append(all, tk.Flush()...)
+		if len(all) != len(want) || tk.Steps() != wantSteps {
+			t.Fatalf("diverged: %d events / %d steps, want %d / %d",
+				len(all), tk.Steps(), len(want), wantSteps)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(all[i], want[i]) {
+				t.Fatalf("event %d diverges:\n got %+v\nwant %+v", i, all[i], want[i])
+			}
+		}
+	})
+}

@@ -24,6 +24,9 @@ const snapVersion = 1
 // Snapshot must be called by the goroutine that owns the tracker, at a
 // sample boundary (between Push calls).
 func (t *Tracker) Snapshot(dst []byte) []byte {
+	// Views are refreshed lazily by the scan path; a snapshot between
+	// pushes must see the samples ingested since the last scan.
+	t.refreshViews()
 	e := statecodec.NewEnc(dst, snapVersion)
 	e.F64(t.cfg.SampleRate)
 

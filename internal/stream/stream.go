@@ -159,7 +159,24 @@ type Tracker struct {
 
 	// cond is the optional online conditioner in front of the DSP path.
 	cond *condition.Streamer
+
+	// Push-path scratch (never snapshotted): evBuf backs the slices Push
+	// and Flush return, so uneventful pushes allocate nothing; one is the
+	// single-sample window Push feeds through the block ingest kernel;
+	// condRun accumulates conditioner output between splits so PushBlock
+	// can feed the conditioned stream through the block path too.
+	evBuf   []Event
+	one     [1]trace.Sample
+	condRun []trace.Sample
 }
+
+// BlockSamples is the natural block size for PushBlock: it matches the
+// wire layer's PTB1 framing (wire.BinaryFrameSize bytes encode one
+// sample; bodies are sent in 64-frame batches) and the hub's 64-sample
+// trace-span waves, so a decoded network chunk flows through the tracker
+// as one block. PushBlock accepts any length; this is the size the rest
+// of the system produces.
+const BlockSamples = 64
 
 type pendingCycle struct {
 	endT    float64
@@ -245,17 +262,62 @@ func (t *Tracker) Threshold() float64 {
 // conditioner: it may be buffered for reordering (emitting nothing yet),
 // rejected as a duplicate or non-finite reading, or released together
 // with earlier samples snapped onto the nominal grid.
+//
+// The returned slice is backed by a tracker-owned buffer and is valid
+// only until the next Push, PushBlock or Flush call; callers that keep
+// events must copy them out. Uneventful pushes return nil and perform no
+// event allocation.
 func (t *Tracker) Push(s trace.Sample) []Event {
+	evs := t.evBuf[:0]
 	if t.cond == nil {
-		return t.push(s)
-	}
-	var events []Event
-	for _, o := range t.cond.Push(s) {
-		if o.Split {
-			events = append(events, t.splitReset()...)
+		evs = t.pushAppend(evs, s)
+	} else {
+		for _, o := range t.cond.Push(s) {
+			if o.Split {
+				evs = t.splitResetInto(evs)
+			}
+			evs = t.pushAppend(evs, o.Sample)
 		}
-		events = append(events, t.push(o.Sample)...)
 	}
+	t.evBuf = evs
+	if len(evs) == 0 {
+		return nil
+	}
+	return evs
+}
+
+// PushBlock consumes a block of samples — the batch a decoded PTB1 body
+// or a drained session queue delivers, conventionally BlockSamples long —
+// and appends any events that became decidable to events, returning the
+// extended slice (pass events[:0] to recycle a caller-owned buffer
+// across blocks, or nil to let the tracker allocate).
+//
+// The event sequence is bit-for-bit identical to pushing the same
+// samples one at a time: blocks are ingested in runs that end exactly
+// where the per-sample path would scan, so peak scans, compaction and
+// conditioner commits all happen at the same absolute sample positions.
+// What the block path amortizes is everything between scans: one fused
+// projection + forward-biquad kernel per run instead of per-sample filter
+// state traffic, one arena grow, one view refresh and one ingest-hook
+// update per run, and no per-push event-slice allocations.
+func (t *Tracker) PushBlock(samples []trace.Sample, events []Event) []Event {
+	if t.cond == nil {
+		return t.pushCleanBlock(events, samples)
+	}
+	// Conditioned path: commit decisions happen per raw sample inside the
+	// streamer (identically to Push), but the released samples are
+	// re-blocked between splits and flow through the same block kernel.
+	run := t.condRun[:0]
+	for _, o := range t.cond.PushBlock(samples) {
+		if o.Split {
+			events = t.pushCleanBlock(events, run)
+			run = run[:0]
+			events = t.splitResetInto(events)
+		}
+		run = append(run, o.Sample)
+	}
+	events = t.pushCleanBlock(events, run)
+	t.condRun = run[:0]
 	return events
 }
 
@@ -263,82 +325,155 @@ func (t *Tracker) Push(s trace.Sample) []Event {
 // input conditioner (0 with conditioning disabled). The session hub
 // calls it instead of Push only when the session belongs to a sampled
 // trace, so the clock readings never touch the untraced hot path; the
-// measurement becomes the synthesized "condition" child span.
+// measurement becomes the synthesized "condition" child span. The
+// returned slice follows Push's ownership rule.
 func (t *Tracker) PushTimed(s trace.Sample) ([]Event, time.Duration) {
 	if t.cond == nil {
-		return t.push(s), 0
+		evs := t.pushAppend(t.evBuf[:0], s)
+		t.evBuf = evs
+		if len(evs) == 0 {
+			return nil, 0
+		}
+		return evs, 0
 	}
 	start := time.Now()
 	outs := t.cond.Push(s)
 	condTime := time.Since(start)
-	var events []Event
+	evs := t.evBuf[:0]
 	for _, o := range outs {
 		if o.Split {
-			events = append(events, t.splitReset()...)
+			evs = t.splitResetInto(evs)
 		}
-		events = append(events, t.push(o.Sample)...)
+		evs = t.pushAppend(evs, o.Sample)
 	}
-	return events, condTime
+	t.evBuf = evs
+	if len(evs) == 0 {
+		return nil, condTime
+	}
+	return evs, condTime
 }
 
-// push consumes one conditioned (or trusted-clean) sample.
-func (t *Tracker) push(s trace.Sample) []Event {
+// pushAppend consumes one conditioned (or trusted-clean) sample,
+// appending any decidable events to evs.
+func (t *Tracker) pushAppend(evs []Event, s trace.Sample) []Event {
+	t.one[0] = s
+	return t.pushCleanBlock(evs, t.one[:])
+}
+
+// pushCleanBlock feeds a block of clean samples through the ingest
+// kernel, scanning at exactly the absolute positions the per-sample path
+// would: each run ends where sinceScan reaches the scan interval.
+func (t *Tracker) pushCleanBlock(evs []Event, samples []trace.Sample) []Event {
+	for i := 0; i < len(samples); {
+		run := t.scanEvery - t.sinceScan
+		if rem := len(samples) - i; run > rem {
+			run = rem
+		}
+		t.ingestRun(samples[i : i+run])
+		i += run
+		t.sinceScan += run
+		if t.sinceScan < t.scanEvery {
+			break // block exhausted before the next scan boundary
+		}
+		// Peak scanning is amortised over a decimation interval (0.1 s).
+		// Decisions are delayed by at most that much on top of the margin
+		// latency.
+		t.sinceScan = 0
+		n0 := len(evs)
+		evs = t.drainInto(evs, false)
+		t.compact()
+		t.observeEvents(evs[n0:])
+	}
+	return evs
+}
+
+// ingestRun appends a run of samples to the sliding window: gravity
+// projection and magnitude in one fused pass, then the causal biquad
+// advanced across the run as a block. The smooth entries are placeholders
+// until the next scan's backward pass rewrites them. Views are refreshed
+// lazily by the consumers (drainInto, Snapshot), so a run costs one
+// arena extension and one hook update regardless of length.
+func (t *Tracker) ingestRun(samples []trace.Sample) {
+	k := len(samples)
+	if k == 0 {
+		return
+	}
 	if !t.gravSet {
 		// Prime the gravity filter on the first sample; it refines as the
 		// stream proceeds (a real device carries its estimate over).
-		t.grav.Warmup(s.Accel, int(120*t.cfg.SampleRate))
+		t.grav.Warmup(samples[0].Accel, int(120*t.cfg.SampleRate))
 		t.gravSet = true
 	}
-	proj := t.grav.Project(s.Accel)
-	t.arVert = append(t.arVert, proj.Vertical)
-	t.arH1 = append(t.arH1, proj.H1)
-	t.arH2 = append(t.arH2, proj.H2)
-	m := s.Accel.Norm() - imu.StandardGravity
-	t.arMag = append(t.arMag, m)
-	// Advance the causal half of the zero-phase filter; the smooth entry
-	// is a placeholder until the next scan's backward pass rewrites it.
+	n := len(t.arMag)
+	t.arMag = extend(t.arMag, k)
+	t.arVert = extend(t.arVert, k)
+	t.arH1 = extend(t.arH1, k)
+	t.arH2 = extend(t.arH2, k)
+	t.arFwd = extend(t.arFwd, k)
+	t.arSmth = extend(t.arSmth, k)
+	mag, vert := t.arMag[n:], t.arVert[n:]
+	h1, h2 := t.arH1[n:], t.arH2[n:]
+	for i, s := range samples {
+		proj := t.grav.Project(s.Accel)
+		vert[i], h1[i], h2[i] = proj.Vertical, proj.H1, proj.H2
+		mag[i] = s.Accel.Norm() - imu.StandardGravity
+	}
+	fwd, smth := t.arFwd[n:], t.arSmth[n:]
 	if t.fwdBq != nil {
 		if t.absCount == 0 {
-			t.fwdBq.Seed(m)
+			t.fwdBq.Seed(mag[0])
 		}
-		m = t.fwdBq.Process(m)
+		t.fwdBq.ProcessBlockTo(fwd, mag)
+		copy(smth, fwd)
+	} else {
+		copy(fwd, mag)
+		copy(smth, mag)
 	}
-	t.arFwd = append(t.arFwd, m)
-	t.arSmth = append(t.arSmth, m)
-	t.refreshViews()
-	t.absCount++
-	t.cfg.Hooks.SampleIngested(len(t.mag))
+	t.absCount += k
+	t.cfg.Hooks.SamplesIngested(k, len(t.arMag)-t.off)
+}
 
-	// Peak scanning is amortised over a decimation interval (0.1 s).
-	// Decisions are delayed by at most that much on top of the margin
-	// latency.
-	t.sinceScan++
-	if t.sinceScan < t.scanEvery {
-		return nil
+// extend grows x by k entries, reusing capacity when available. The new
+// entries are uninitialised (callers overwrite them immediately).
+func extend(x []float64, k int) []float64 {
+	n := len(x)
+	if n+k <= cap(x) {
+		return x[: n+k : cap(x)]
 	}
-	t.sinceScan = 0
-	events := t.drain()
-	t.compact()
-	t.observeEvents(events)
-	return events
+	c := 2 * cap(x)
+	if c < n+k {
+		c = n + k
+	}
+	if c < 64 {
+		c = 64
+	}
+	nx := make([]float64, n+k, c)
+	copy(nx, x)
+	return nx
 }
 
 // Flush reports any cycles that were still waiting for trailing context,
 // accepting reduced margins. With conditioning enabled it first releases
 // the samples still held in the reorder window. Call at end of stream.
+// The returned slice follows Push's ownership rule.
 func (t *Tracker) Flush() []Event {
-	var events []Event
+	evs := t.evBuf[:0]
 	if t.cond != nil {
 		for _, o := range t.cond.Flush() {
 			if o.Split {
-				events = append(events, t.splitReset()...)
+				evs = t.splitResetInto(evs)
 			}
-			events = append(events, t.push(o.Sample)...)
+			evs = t.pushAppend(evs, o.Sample)
 		}
 	}
-	tail := t.drainWith(true)
-	t.observeEvents(tail)
-	return append(events, tail...)
+	n0 := len(evs)
+	evs = t.drainInto(evs, true)
+	t.observeEvents(evs[n0:])
+	t.evBuf = evs
+	if len(evs) == 0 {
+		return nil
+	}
+	return evs
 }
 
 // ConditionReport returns the live defect report of the input
@@ -351,14 +486,15 @@ func (t *Tracker) ConditionReport() *condition.Report {
 	return t.cond.Report()
 }
 
-// splitReset finalises state at a conditioner split (a gap too long to
-// bridge): cycles still waiting for trailing context are decided with
-// whatever margin is buffered, the stepping confirmation streak breaks,
-// and a candidate barrier lands at the split so no gait cycle spans the
-// discontinuity.
-func (t *Tracker) splitReset() []Event {
-	events := t.drainWith(true)
-	t.observeEvents(events)
+// splitResetInto finalises state at a conditioner split (a gap too long
+// to bridge): cycles still waiting for trailing context are decided with
+// whatever margin is buffered (appended to evs), the stepping
+// confirmation streak breaks, and a candidate barrier lands at the split
+// so no gait cycle spans the discontinuity.
+func (t *Tracker) splitResetInto(evs []Event) []Event {
+	n0 := len(evs)
+	evs = t.drainInto(evs, true)
+	t.observeEvents(evs[n0:])
 	t.id.BreakStreak()
 	t.pendingStepping = t.pendingStepping[:0]
 	if t.absCount > 0 {
@@ -366,7 +502,7 @@ func (t *Tracker) splitReset() []Event {
 	}
 	t.prevCycleEnd = 0
 	t.sinceScan = 0
-	return events
+	return evs
 }
 
 // observeEvents reports emission latency (cycle end to now, in stream
@@ -382,8 +518,6 @@ func (t *Tracker) observeEvents(events []Event) {
 		h.AddSteps(events[i].StepsAdded)
 	}
 }
-
-func (t *Tracker) drain() []Event { return t.drainWith(false) }
 
 // refreshTail brings smooth up to date: the anti-causal backward pass is
 // recomputed over the provisional tail [final, len) — primed at the
@@ -408,14 +542,15 @@ func (t *Tracker) refreshTail() {
 	}
 }
 
-// drainWith finds decidable gait-cycle candidates in the buffer and
-// classifies them. Peaks are detected once per scan over a bounded window
-// ending at the buffer's edge; the triple tests then consume candidates
-// through a cursor, mirroring the batch segmenter's
-// (p0,p2),(p2,p4),... pairing without re-detection.
-func (t *Tracker) drainWith(flush bool) []Event {
+// drainInto finds decidable gait-cycle candidates in the buffer and
+// classifies them, appending events to evs. Peaks are detected once per
+// scan over a bounded window ending at the buffer's edge; the triple
+// tests then consume candidates through a cursor, mirroring the batch
+// segmenter's (p0,p2),(p2,p4),... pairing without re-detection.
+func (t *Tracker) drainInto(evs []Event, flush bool) []Event {
+	t.refreshViews()
 	if len(t.mag) < 8 {
-		return nil
+		return evs
 	}
 	t.refreshTail()
 
@@ -440,7 +575,6 @@ func (t *Tracker) drainWith(flush bool) []Event {
 		}
 	}
 
-	var events []Event
 	ci := 0
 	for ci+3 <= len(t.cand) {
 		p0, p1, p2 := t.cand[ci], t.cand[ci+1], t.cand[ci+2]
@@ -463,7 +597,7 @@ func (t *Tracker) drainWith(flush bool) []Event {
 		have := t.base + len(t.mag)
 		if p2+margin >= have {
 			if !flush {
-				return events
+				return evs
 			}
 			margin = have - 1 - p2
 			if margin < 0 {
@@ -475,12 +609,12 @@ func (t *Tracker) drainWith(flush bool) []Event {
 			leadMargin = p0 - t.base
 		}
 		m := min2(leadMargin, margin)
-		events = append(events, t.classifyCycle(p0, p2, m)...)
+		evs = t.classifyInto(evs, p0, p2, m)
 		t.lastPeak = p2
 		t.lastCycleLen = cycLen
 		ci += 2
 	}
-	return events
+	return evs
 }
 
 func (t *Tracker) peakAmplitudesConsistent(p0, p1, p2 int, maxRatio float64) bool {
@@ -497,12 +631,13 @@ func (t *Tracker) peakAmplitudesConsistent(p0, p1, p2 int, maxRatio float64) boo
 	return hi/lo <= maxRatio
 }
 
-// classifyCycle runs identification and stride estimation over the cycle
-// [startAbs, endAbs) with the given symmetric margin. The projected
-// windows are handed to the classifier and the stride estimator as live
-// subslices of the tracker's buffers — both stages copy before
-// smoothing, so no per-cycle window copies are needed.
-func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
+// classifyInto runs identification and stride estimation over the cycle
+// [startAbs, endAbs) with the given symmetric margin, appending the
+// resulting events to evs. The projected windows are handed to the
+// classifier and the stride estimator as live subslices of the tracker's
+// buffers — both stages copy before smoothing, so no per-cycle window
+// copies are needed.
+func (t *Tracker) classifyInto(evs []Event, startAbs, endAbs, margin int) []Event {
 	// Gap detection: break the stepping streak across silence.
 	if t.prevCycleEnd > 0 && startAbs-t.prevCycleEnd > (endAbs-startAbs)/4 {
 		t.id.BreakStreak()
@@ -523,7 +658,7 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 	endT := float64(endAbs) / t.cfg.SampleRate
 	if !ok {
 		t.cfg.Hooks.Cycle(int(gaitid.LabelInterference), endT, 0, 0, false, 0)
-		return []Event{{T: endT, Label: gaitid.LabelInterference, TotalSteps: t.id.Steps()}}
+		return append(evs, Event{T: endT, Label: gaitid.LabelInterference, TotalSteps: t.id.Steps()})
 	}
 
 	if t.adaptive != nil {
@@ -546,17 +681,19 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 	case gaitid.LabelWalking:
 		t.pendingStepping = t.pendingStepping[:0]
 		ev.Strides = t.strides(vertical, anterior, margin, cr.StepsAdded, true)
-		return []Event{ev}
+		return append(evs, ev)
 	case gaitid.LabelStepping:
+		// Stride slices outlive the push that produced them (pending
+		// cycles are carried until confirmation and snapshotted), so they
+		// stay individually allocated rather than arena-backed.
 		strides := t.strides(vertical, anterior, margin, 2, false)
 		if cr.StepsAdded == 0 {
 			t.pendingStepping = append(t.pendingStepping, pendingCycle{endT: endT, strides: strides})
-			return []Event{ev}
+			return append(evs, ev)
 		}
 		// Confirmation: emit back-fill events for the pending cycles.
-		var out []Event
 		for _, p := range t.pendingStepping {
-			out = append(out, Event{
+			evs = append(evs, Event{
 				T: p.endT, Label: gaitid.LabelStepping,
 				StepsAdded: 2, Strides: p.strides,
 				TotalSteps: t.id.Steps(),
@@ -565,11 +702,10 @@ func (t *Tracker) classifyCycle(startAbs, endAbs, margin int) []Event {
 		t.pendingStepping = t.pendingStepping[:0]
 		ev.StepsAdded = 2
 		ev.Strides = strides
-		out = append(out, ev)
-		return out
+		return append(evs, ev)
 	default:
 		t.pendingStepping = t.pendingStepping[:0]
-		return []Event{ev}
+		return append(evs, ev)
 	}
 }
 
@@ -632,6 +768,37 @@ func (t *Tracker) strides(vertical, anterior []float64, margin, count int, walki
 		out[i] = mean
 	}
 	return out
+}
+
+// FootprintBytes reports the tracker's resident heap footprint: the six
+// sliding-window arenas plus every recycled scratch buffer (scan, peak
+// finder, classification windows, event and conditioner-run buffers and
+// pending stride slices), by capacity. It is the arena/window half of the
+// memory budget — per-tracker fixed-size struct overhead and the
+// identifier's internal smoothing scratch are excluded, so treat it as a
+// lower bound; the idle-session benchmark's runtime heap delta is the
+// inclusive upper bound.
+func (t *Tracker) FootprintBytes() int {
+	const (
+		f64Size     = 8
+		vec3Size    = 24 // 3 float64
+		eventSize   = 64 // T, Label, StepsAdded, Strides header, TotalSteps, Offset
+		sampleSize  = 64 // T, Accel, Gyro, Yaw
+		pendingSize = 32 // endT + strides header
+	)
+	b := f64Size * (cap(t.arMag) + cap(t.arVert) + cap(t.arH1) + cap(t.arH2) +
+		cap(t.arFwd) + cap(t.arSmth))
+	b += 8 * cap(t.cand)
+	b += vec3Size * cap(t.antPts)
+	b += f64Size * cap(t.antBuf)
+	b += eventSize * cap(t.evBuf)
+	b += sampleSize * cap(t.condRun)
+	b += t.pf.FootprintBytes()
+	b += pendingSize * cap(t.pendingStepping)
+	for _, p := range t.pendingStepping {
+		b += f64Size * cap(p.strides)
+	}
+	return b
 }
 
 // refreshViews re-derives the window slices from the arenas. Must run

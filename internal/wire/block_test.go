@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ptrack/internal/trace"
+)
+
+// decodeAllBlocks drains a decoder through NextBlock with the given
+// block size, reusing one destination buffer the way the server does.
+func decodeAllBlocks(t *testing.T, buf []byte, contentType string, max int) []trace.Sample {
+	t.Helper()
+	d := NewDecoder(bytes.NewReader(buf), contentType)
+	var out []trace.Sample
+	var block []trace.Sample
+	for {
+		var err error
+		block, err = d.NextBlock(block, max)
+		out = append(out, block...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode sample %d: %v", len(out), err)
+		}
+	}
+}
+
+// TestNextBlockMatchesNext pins block/per-sample equivalence for both
+// formats across block sizes that divide, straddle and exceed the
+// payload, including a one-byte-per-read reader that defeats the bulk
+// buffered path.
+func TestNextBlockMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var want []trace.Sample
+	nd := []byte(nil)
+	bin := AppendBinaryHeader(nil)
+	for i := 0; i < 300; i++ {
+		s := randSample(rng)
+		want = append(want, s)
+		nd = AppendSample(nd, s)
+		bin = AppendSampleBinary(bin, s)
+	}
+	for _, tc := range []struct {
+		name, ct string
+		buf      []byte
+	}{
+		{"ndjson", ContentTypeNDJSON, nd},
+		{"binary", ContentTypeBinary, bin},
+	} {
+		for _, max := range []int{1, 3, 64, 300, 1000} {
+			got := decodeAllBlocks(t, tc.buf, tc.ct, max)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/max=%d: block decode diverges from Next", tc.name, max)
+			}
+		}
+		// One byte per read: every block ends on a refill boundary.
+		d := NewDecoder(iotest{r: bytes.NewReader(tc.buf)}, tc.ct)
+		var got, block []trace.Sample
+		for {
+			var err error
+			block, err = d.NextBlock(block, 64)
+			got = append(got, block...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: one-byte-read block decode diverges", tc.name)
+		}
+		if d.Decoded() != len(want) {
+			t.Fatalf("%s: Decoded() = %d, want %d", tc.name, d.Decoded(), len(want))
+		}
+	}
+}
+
+// TestNextBlockPartialOnError pins the samples-AND-error contract: the
+// decoded prefix arrives together with the error that stopped the block.
+func TestNextBlockPartialOnError(t *testing.T) {
+	buf := AppendBinaryHeader(nil)
+	buf = AppendSampleBinary(buf, trace.Sample{T: 1})
+	buf = AppendSampleBinary(buf, trace.Sample{T: 2})
+	buf = append(buf, 0xEE) // truncated third frame
+	d := NewDecoder(bytes.NewReader(buf), ContentTypeBinary)
+	block, err := d.NextBlock(nil, 64)
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+	if len(block) != 2 || block[0].T != 1 || block[1].T != 2 {
+		t.Fatalf("block = %+v, want the two whole frames", block)
+	}
+	if d.Decoded() != 2 {
+		t.Fatalf("Decoded() = %d, want 2", d.Decoded())
+	}
+}
+
+// TestNextBlockAllocFree extends the steady-state no-alloc bar to the
+// block path: with a warmed destination buffer, a full decode pass
+// through NextBlock allocates nothing.
+func TestNextBlockAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nd := []byte(nil)
+	bin := AppendBinaryHeader(nil)
+	for i := 0; i < 200; i++ {
+		s := randSample(rng)
+		nd = AppendSample(nd, s)
+		bin = AppendSampleBinary(bin, s)
+	}
+	for _, tc := range []struct {
+		name, ct string
+		buf      []byte
+	}{
+		{"ndjson", ContentTypeNDJSON, nd},
+		{"binary", ContentTypeBinary, bin},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := bytes.NewReader(tc.buf)
+			d := NewDecoder(r, tc.ct)
+			block := make([]trace.Sample, 0, 64)
+			allocs := testing.AllocsPerRun(50, func() {
+				r.Reset(tc.buf)
+				d.r, d.start, d.end, d.eof, d.magic = r, 0, 0, false, false
+				d.buf = d.buf[:0]
+				for {
+					var err error
+					block, err = d.NextBlock(block, 64)
+					if err != nil {
+						if err != io.EOF {
+							t.Fatal(err)
+						}
+						break
+					}
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("block decode allocated %.1f times per pass, want 0", allocs)
+			}
+		})
+	}
+}

@@ -128,14 +128,26 @@ type Decoder struct {
 	n       int   // samples decoded, for error positions
 }
 
+// binaryBufFrames sizes the binary decode buffer: the stream magic plus
+// this many whole frames. Frame-aligning the capacity means a reader
+// that fills the buffer leaves no partial-frame tail behind, so the
+// compacting memmove in fill moves zero bytes at steady state instead
+// of dragging a partial frame across every refill.
+const binaryBufFrames = 128
+
 // NewDecoder returns a decoder for the given content type
 // (ContentTypeNDJSON or ContentTypeBinary; anything else defaults to
 // NDJSON — the server routes unknown content types away beforehand).
 func NewDecoder(r io.Reader, contentType string) *Decoder {
+	bin := contentType == ContentTypeBinary
+	capacity := 2 * MaxLineLen
+	if bin {
+		capacity = len(BinaryMagic) + binaryBufFrames*BinaryFrameSize
+	}
 	return &Decoder{
 		r:      r,
-		binary: contentType == ContentTypeBinary,
-		buf:    make([]byte, 0, 2*MaxLineLen),
+		binary: bin,
+		buf:    make([]byte, 0, capacity),
 	}
 }
 
@@ -152,8 +164,40 @@ func (d *Decoder) Next() (trace.Sample, error) {
 	return d.nextLine()
 }
 
-// Decoded returns how many samples Next has returned so far.
+// Decoded returns how many samples the decoder has returned so far.
 func (d *Decoder) Decoded() int { return d.n }
+
+// NextBlock decodes up to max samples into dst (reusing its capacity)
+// and returns the decoded prefix. Unlike Next it can return samples AND
+// an error: the samples decoded before the stream ended or broke, with
+// io.EOF, a format error or a reader failure describing why it stopped
+// short — callers must consume the returned samples before acting on
+// the error. On the binary format, frames already buffered are decoded
+// in one pass without per-sample call overhead, which is what feeds the
+// tracker's PushBlock at full width from a 64-frame wire payload.
+func (d *Decoder) NextBlock(dst []trace.Sample, max int) ([]trace.Sample, error) {
+	dst = dst[:0]
+	for len(dst) < max {
+		if d.binary && d.magic {
+			// Bulk fast path: every whole frame already buffered.
+			for d.end-d.start >= BinaryFrameSize && len(dst) < max {
+				dst = append(dst, decodeFrame(d.buf[d.start:d.start+BinaryFrameSize]))
+				d.start += BinaryFrameSize
+				d.n++
+			}
+			if len(dst) >= max {
+				return dst, nil
+			}
+		}
+		// Slow path: magic, refill and truncation handling.
+		s, err := d.Next()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, s)
+	}
+	return dst, nil
+}
 
 // fill reads more input, compacting the buffer so the unconsumed tail
 // keeps its capacity. It returns false at EOF with no new data.
@@ -215,19 +259,25 @@ func (d *Decoder) nextBinary() (trace.Sample, error) {
 				ErrFormat, d.n, d.end-d.start)
 		}
 	}
-	b := d.buf[d.start : d.start+BinaryFrameSize]
+	s := decodeFrame(d.buf[d.start : d.start+BinaryFrameSize])
+	d.start += BinaryFrameSize
+	d.n++
+	return s, nil
+}
+
+// decodeFrame decodes one 64-byte binary frame (b must hold exactly
+// BinaryFrameSize bytes).
+func decodeFrame(b []byte) trace.Sample {
 	var f [8]float64
 	for i := range f {
 		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
 	}
-	d.start += BinaryFrameSize
-	d.n++
 	return trace.Sample{
 		T:     f[0],
 		Accel: vecmath.Vec3{X: f[1], Y: f[2], Z: f[3]},
 		Gyro:  vecmath.Vec3{X: f[4], Y: f[5], Z: f[6]},
 		Yaw:   f[7],
-	}, nil
+	}
 }
 
 func (d *Decoder) nextLine() (trace.Sample, error) {

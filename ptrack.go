@@ -286,8 +286,26 @@ func NewOnline(sampleRate float64, opts ...Option) (*Online, error) {
 	return &Online{tk: tk}, nil
 }
 
-// Push consumes one sample and returns any newly decidable events.
+// BlockSamples is the native block size of the streaming hot path — the
+// sample count PushBlock amortizes its bookkeeping across, matching one
+// full binary wire payload buffer. Callers may pass blocks of any size;
+// multiples of this are merely the sweet spot.
+const BlockSamples = stream.BlockSamples
+
+// Push consumes one sample and returns any newly decidable events. The
+// returned slice is owned by the tracker and valid until the next Push,
+// PushBlock or Flush call.
 func (o *Online) Push(s Sample) []Event { return o.tk.Push(s) }
+
+// PushBlock consumes a block of samples in one call, amortizing the
+// per-push bookkeeping of the pipeline across the block — the preferred
+// shape for callers that already hold buffered samples (file replay,
+// network payloads). Events are appended to events (pass a recycled
+// buffer, or nil) and the extended slice is returned. The event stream
+// is bit-identical to pushing the same samples one at a time.
+func (o *Online) PushBlock(samples []Sample, events []Event) []Event {
+	return o.tk.PushBlock(samples, events)
+}
 
 // Flush decides any cycles still waiting for trailing context; call at
 // end of stream.

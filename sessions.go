@@ -79,6 +79,20 @@ func (h *SessionHub) Push(session string, s Sample) error {
 	return nil
 }
 
+// PushBlock routes a block of samples to the given session under a
+// single hub lock acquisition, creating the session on first use. Like
+// Push it never blocks on pipeline work: samples are enqueued in order
+// until the session's queue fills, and the dropped tail is reported by
+// the accepted count together with an error wrapping
+// ErrSessionQueueFull. Callers resume from the accepted count.
+func (h *SessionHub) PushBlock(session string, samples []Sample) (int, error) {
+	n, err := h.hub.PushBlock(session, samples)
+	if err != nil {
+		return n, fmt.Errorf("ptrack: %w", err)
+	}
+	return n, nil
+}
+
 // End flushes and removes one session, blocking until its trailing
 // events have been delivered. Ending an unknown session is a no-op.
 func (h *SessionHub) End(session string) { h.hub.End(session) }
