@@ -69,6 +69,18 @@ MEM_MAX_BYTES_PER_IDLE_SESSION ?= 49152
 MEM_MIN_SESSIONS_PER_GB ?= 20000
 MEM_MAX_TRACKER_BYTES ?= 262144
 
+# Serving-capacity floors (cmd/ptrack-loadgen, snapshot in
+# BENCH_serve.json): a 2 s closed-loop sweep at 100 sessions measured
+# ~200k samples/s goodput over NDJSON and ~500k over the binary framing
+# on the reference host, with p99 ingest latency well under 100 ms. The
+# floors and ceilings leave an order of magnitude of headroom for
+# loaded shared hosts — they catch collapse (a deadlocked hub, an
+# accidental per-request sleep), not drift; -require guards against a
+# run whose cells all silently errored out.
+SERVE_MIN_GOODPUT_SPS ?= 20000
+SERVE_MAX_INGEST_P99_NS ?= 2000000000
+SERVE_MAX_REJECT_RATE ?= 0.5
+
 # Durable-session-state ceilings (BenchmarkSnapshot/BenchmarkRestore,
 # snapshot in BENCH_state.json): a warm 60 s walking session snapshots
 # in ~21 µs into ~58 KB — cheap enough to checkpoint every session of a
@@ -79,12 +91,12 @@ MEM_MAX_TRACKER_BYTES ?= 262144
 STATE_MAX_SNAPSHOT_NS ?= 250000
 STATE_MAX_BYTES_PER_SESSION ?= 131072
 
-.PHONY: check fmt vet test race conformance bench-guard bench-condition bench-json bench-trace bench-state bench-mem bench bench-batch build
+.PHONY: check fmt vet test race conformance bench-guard bench-condition bench-json bench-trace bench-state bench-mem bench bench-batch bench-serve smoke-loadgen build
 
 # race subsumes test (same suite under the race detector), so check runs
 # the suite once, raced; conformance re-runs the SessionStore contract
 # suite on its own so a store regression is named, not buried.
-check: fmt vet race conformance bench-guard bench-condition
+check: fmt vet race conformance bench-guard bench-condition smoke-loadgen
 
 build:
 	$(GO) build ./...
@@ -145,6 +157,7 @@ bench-guard:
 		-max ns/op=$(STATE_MAX_SNAPSHOT_NS) \
 		-max bytes/session=$(STATE_MAX_BYTES_PER_SESSION)
 	$(MAKE) bench-mem
+	$(MAKE) bench-serve
 
 # Memory-footprint budget: bytes per idle hub session and the derived
 # sessions-per-GB capacity floor (BENCH_mem.json), plus the warm
@@ -157,6 +170,25 @@ bench-mem:
 	$(GO) test . -run NONE -bench 'BenchmarkTrackerFootprint$$' -benchtime 2x \
 		| $(GO) run ./cmd/benchjson \
 		-max bytes/tracker=$(MEM_MAX_TRACKER_BYTES)
+
+# Measured serving capacity (BENCH_serve.json): a real closed-loop
+# loadgen sweep — 100 concurrent sessions, both wire framings — against
+# an in-process server, gated on goodput and tail-latency floors (see
+# docs/PERF.md for the methodology). Part of bench-guard.
+bench-serve:
+	$(GO) run ./cmd/ptrack-loadgen -self -mode closed -framing ndjson,binary \
+		-sessions 100 -duration 2s \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve.json \
+		-require goodput-sps -require ingest-p99-ns -require event-p99-ns \
+		-min goodput-sps=$(SERVE_MIN_GOODPUT_SPS) \
+		-max ingest-p99-ns=$(SERVE_MAX_INGEST_P99_NS) \
+		-max reject-rate=$(SERVE_MAX_REJECT_RATE)
+
+# One-second end-to-end loadgen smoke (also run by `go test
+# ./cmd/ptrack-loadgen`): a live server, both framings, nonzero goodput
+# and a well-formed report. Part of check.
+smoke-loadgen:
+	$(GO) test ./cmd/ptrack-loadgen -run 'TestLoadgenSmoke' -count=1 -v
 
 # The ingestion conditioner must stay a small fraction of the tracker's
 # per-sample budget: its ns/sample ceiling is ~25% of the streaming

@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ptrack"
@@ -67,9 +68,9 @@ type errorBody struct {
 
 // retryWait reconciles the Retry-After header with the envelope's
 // mirrored copy: the header wins when present, the body fills in when a
-// proxy stripped it.
-func retryWait(h http.Header, body errorBody) time.Duration {
-	if d := parseRetryAfter(h); d > 0 {
+// proxy stripped it. now anchors the HTTP-date form of the header.
+func retryWait(h http.Header, body errorBody, now time.Time) time.Duration {
+	if d := parseRetryAfter(h, now); d > 0 {
 		return d
 	}
 	if body.RetryAfterS > 0 {
@@ -114,6 +115,39 @@ func WithRetry(maxRetries int, base, maxWait time.Duration) Option {
 // continues the same trace. A nil tracer (the default) costs nothing.
 func WithTracer(t *ptrack.Tracer) Option { return func(c *Client) { c.tracer = t } }
 
+// Attempt describes one HTTP attempt made by the client's retry
+// machinery — the raw material for load harnesses and SLO monitors
+// that need per-attempt visibility rather than the per-call view the
+// errors give (a call that succeeds on its third attempt still made
+// two refused attempts).
+type Attempt struct {
+	// Op names the API call: "push", "batch", "events" or "end_session".
+	Op string
+	// Status is the HTTP status of the attempt, or 0 when the transport
+	// failed before a response arrived.
+	Status int
+	// Err is the transport error when Status is 0, nil otherwise.
+	Err error
+	// Start is when the attempt's request began.
+	Start time.Time
+	// Duration is the attempt's wall time: request write through
+	// response-header receipt (plus body decode on the push path).
+	Duration time.Duration
+	// Retries is the attempt's index within its call: 0 for the first
+	// try, n for the n-th retry.
+	Retries int
+	// RetryAfter is the wait the server promised alongside a refusal
+	// (from either Retry-After form or the envelope's mirror), 0 when
+	// absent or not applicable.
+	RetryAfter time.Duration
+}
+
+// WithAttemptHook observes every HTTP attempt the client makes,
+// including the refused and failed ones that retries paper over. The
+// hook is called synchronously on the requesting goroutine — keep it
+// cheap (count, record a histogram sample) and do not block.
+func WithAttemptHook(fn func(Attempt)) Option { return func(c *Client) { c.attemptHook = fn } }
+
 // Client talks to one ptrack server. Safe for concurrent use; Sessions
 // are not (use one per pushing goroutine, like Online).
 type Client struct {
@@ -126,6 +160,8 @@ type Client struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	tracer      *ptrack.Tracer
+	attemptHook func(Attempt)
+	now         func() time.Time // stubbed in tests
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -149,6 +185,7 @@ func Dial(baseURL string, opts ...Option) (*Client, error) {
 		maxRetries:  5,
 		backoffBase: 100 * time.Millisecond,
 		backoffMax:  5 * time.Second,
+		now:         time.Now,
 		rng:         rand.New(rand.NewSource(rand.Int63())),
 	}
 	for _, opt := range opts {
@@ -265,7 +302,7 @@ func (s *Session) End(ctx context.Context) error {
 	span.SetKind(tracing.KindClient)
 	span.SetAttributes(tracing.Str("session", s.id))
 	defer span.End()
-	resp, err := s.c.do(ctx, func() (*http.Request, error) {
+	resp, err := s.c.do(ctx, "end_session", func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
 			fmt.Sprintf("%s/v1/sessions/%s", s.c.base, url.PathEscape(s.id)), nil)
 		if err != nil {
@@ -326,8 +363,11 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 		}
 		req.Header.Set("Content-Type", ct)
 		tracing.Inject(span.Context(), req.Header)
+		start := s.c.now()
 		resp, err := s.c.hc.Do(req)
 		if err != nil {
+			s.c.observe(Attempt{Op: "push", Err: err, Start: start,
+				Duration: s.c.now().Sub(start), Retries: attempt})
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
 			}
@@ -344,6 +384,9 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 		var eb errorBody
 		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
 		drainClose(resp.Body)
+		wait := retryWait(resp.Header, eb, s.c.now())
+		s.c.observe(Attempt{Op: "push", Status: resp.StatusCode, Start: start,
+			Duration: s.c.now().Sub(start), Retries: attempt, RetryAfter: wait})
 
 		switch {
 		case resp.StatusCode == http.StatusOK:
@@ -361,7 +404,7 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 			if attempt >= s.c.maxRetries {
 				return fmt.Errorf("%w: status %d (%s): %s", ErrGiveUp, resp.StatusCode, eb.Code, eb.Error)
 			}
-			if err := s.c.sleep(ctx, attempt, retryWait(resp.Header, eb)); err != nil {
+			if err := s.c.sleep(ctx, attempt, wait); err != nil {
 				return err
 			}
 		default:
@@ -375,10 +418,14 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 // EventStream is a live subscription to one session's classification
 // events. Receive from Events(); the channel closes when the session
 // ends (server flush delivered) or the stream fails — check Err() after
-// the close to distinguish.
+// the close to distinguish. A subscriber that reads too slowly loses
+// events server-side; the server says so with gap notices, surfaced
+// here through Dropped().
 type EventStream struct {
 	ch     chan ptrack.Event
 	cancel context.CancelFunc
+
+	dropped atomic.Int64
 
 	mu  sync.Mutex
 	err error
@@ -400,6 +447,14 @@ func (es *EventStream) Err() error {
 // Close tears the subscription down early.
 func (es *EventStream) Close() { es.cancel() }
 
+// Dropped reports how many events the server has dropped from this
+// subscription so far (cumulative, from the server's gap notices). A
+// nonzero value means the stream is incomplete: per-event arithmetic
+// (summing StepsAdded, collecting Strides) has holes, and the consumer
+// should resync from the next event's TotalSteps, which the server
+// keeps authoritative regardless of delivery losses.
+func (es *EventStream) Dropped() int64 { return es.dropped.Load() }
+
 // Events subscribes to a session's event stream. Subscribing before the
 // first sample is the normal order for a client that wants every event.
 // The returned stream lives until the session ends, the context is
@@ -412,7 +467,7 @@ func (c *Client) Events(ctx context.Context, session string) (*EventStream, erro
 	span.SetKind(tracing.KindClient)
 	span.SetAttributes(tracing.Str("session", session))
 	defer span.End()
-	resp, err := c.do(spanCtx, func() (*http.Request, error) {
+	resp, err := c.do(spanCtx, "events", func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 			fmt.Sprintf("%s/v1/sessions/%s/events", c.base, url.PathEscape(session)), nil)
 		if err != nil {
@@ -451,6 +506,14 @@ func (es *EventStream) run(ctx context.Context, body io.ReadCloser) {
 		case line == "":
 			if event == wire.SSEEventEnd {
 				return
+			}
+			if event == wire.SSEEventGap && data != "" {
+				n, err := wire.ParseGapJSON([]byte(data))
+				if err != nil {
+					es.fail(fmt.Errorf("client: events: %w", err))
+					return
+				}
+				es.dropped.Store(n) // server count is cumulative already
 			}
 			if event == wire.SSEEventCycle && data != "" {
 				ev, err := wire.ParseEventJSON([]byte(data))
@@ -522,7 +585,7 @@ func (c *Client) ProcessBatch(ctx context.Context, traces []*ptrack.Trace) ([]pt
 	span.SetKind(tracing.KindClient)
 	span.SetAttributes(tracing.Int("traces", int64(len(traces))))
 	defer span.End()
-	resp, err := c.do(ctx, func() (*http.Request, error) {
+	resp, err := c.do(ctx, "batch", func() (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
@@ -563,14 +626,18 @@ func (c *Client) ProcessBatch(ctx context.Context, traces []*ptrack.Trace) ([]pt
 // 5xx retry with exponential backoff (honouring Retry-After) until the
 // budget runs out. build is called per attempt so each request gets a
 // fresh body. On success the response is returned with its body open.
-func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+// op names the call for the attempt hook.
+func (c *Client) do(ctx context.Context, op string, build func() (*http.Request, error)) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := build()
 		if err != nil {
 			return nil, err
 		}
+		start := c.now()
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			c.observe(Attempt{Op: op, Err: err, Start: start,
+				Duration: c.now().Sub(start), Retries: attempt})
 			if cerr := ctx.Err(); cerr != nil {
 				return nil, cerr
 			}
@@ -586,15 +653,27 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			var eb errorBody
 			_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
 			drainClose(resp.Body)
+			wait := retryWait(resp.Header, eb, c.now())
+			c.observe(Attempt{Op: op, Status: resp.StatusCode, Start: start,
+				Duration: c.now().Sub(start), Retries: attempt, RetryAfter: wait})
 			if attempt >= c.maxRetries {
 				return nil, fmt.Errorf("%w: status %d (%s): %s", ErrGiveUp, resp.StatusCode, eb.Code, eb.Error)
 			}
-			if err := c.sleep(ctx, attempt, retryWait(resp.Header, eb)); err != nil {
+			if err := c.sleep(ctx, attempt, wait); err != nil {
 				return nil, err
 			}
 			continue
 		}
+		c.observe(Attempt{Op: op, Status: resp.StatusCode, Start: start,
+			Duration: c.now().Sub(start), Retries: attempt})
 		return resp, nil
+	}
+}
+
+// observe feeds one attempt to the hook, if any.
+func (c *Client) observe(a Attempt) {
+	if c.attemptHook != nil {
+		c.attemptHook(a)
 	}
 }
 
@@ -628,16 +707,31 @@ func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duratio
 	}
 }
 
-func parseRetryAfter(h http.Header) time.Duration {
-	v := h.Get("Retry-After")
+// parseRetryAfter reads both RFC 9110 forms of Retry-After: the
+// delta-seconds form ptrack-serve emits ("2") and the HTTP-date form
+// ("Fri, 07 Aug 2026 12:00:00 GMT") that proxies and load balancers in
+// front of it rewrite or originate. Either form feeds the backoff floor
+// (see sleep); a date at or before now — capacity already returned, or
+// clock skew — clamps to 0 rather than going negative.
+func parseRetryAfter(h http.Header, now time.Time) time.Duration {
+	v := strings.TrimSpace(h.Get("Retry-After"))
 	if v == "" {
 		return 0
 	}
-	sec, err := strconv.Atoi(v)
-	if err != nil || sec < 0 {
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	at, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(sec) * time.Second
+	if d := at.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // drainClose consumes a bounded remainder of a response body before

@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -115,6 +117,167 @@ func TestRetryAfterBodyFallback(t *testing.T) {
 	}
 	if got := time.Duration(gap.Load()); got < time.Second {
 		t.Fatalf("retried after %v despite body retry_after_s of 1s", got)
+	}
+}
+
+// TestParseRetryAfterForms pins both RFC 9110 forms of Retry-After:
+// delta-seconds and HTTP-date. The date form is what proxies and load
+// balancers in front of ptrack-serve emit; before the fix it parsed to
+// 0 and silently lost the backoff floor.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta", "2", 2 * time.Second},
+		{"delta-zero", "0", 0},
+		{"delta-negative", "-3", 0},
+		{"delta-padded", "  2  ", 2 * time.Second},
+		{"http-date", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http-date-past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"http-date-now", now.Format(http.TimeFormat), 0},
+		{"rfc850-date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.value != "" {
+			h.Set("Retry-After", tc.value)
+		}
+		if got := parseRetryAfter(h, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.value, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateFloorsBackoff is the regression test for the
+// date-form bug end to end: a 429 whose Retry-After is an HTTP date one
+// second out must floor the retry gap exactly like the delta form —
+// with a microsecond backoff base, only the parsed date can stretch the
+// gap to a full second. The client clock is stubbed so the date's
+// distance from "now" is exact.
+func TestRetryAfterHTTPDateFloorsBackoff(t *testing.T) {
+	anchor := time.Now().Truncate(time.Second) // HTTP dates have second granularity
+	var calls atomic.Int32
+	var first time.Time
+	var gap atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first = time.Now()
+			w.Header().Set("Retry-After", anchor.Add(time.Second).UTC().Format(http.TimeFormat))
+			w.Header().Set("Content-Type", wire.ContentTypeJSON)
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"later","code":"rate_limit","accepted":0}`))
+		default:
+			gap.Store(int64(time.Since(first)))
+			w.Write([]byte(`{"accepted":300}`))
+		}
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, WithRetry(2, time.Microsecond, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.now = func() time.Time { return anchor }
+	if err := c.Session("s").Push(context.Background(), make([]ptrack.Sample, 300)...); err != nil {
+		t.Fatalf("Push = %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d requests, want 2", calls.Load())
+	}
+	if got := time.Duration(gap.Load()); got < time.Second {
+		t.Fatalf("retried after %v, HTTP-date Retry-After promised 1s", got)
+	}
+}
+
+// TestAttemptHookSeesRefusals proves the per-attempt hook observes the
+// refused attempts the retry loop papers over: statuses, retry indices
+// and the server's Retry-After wait.
+func TestAttemptHookSeesRefusals(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", wire.ContentTypeJSON)
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"later","code":"rate_limit","accepted":0}`))
+			return
+		}
+		w.Write([]byte(`{"accepted":300}`))
+	}))
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var attempts []Attempt
+	c, err := Dial(srv.URL,
+		WithRetry(2, time.Microsecond, time.Millisecond),
+		WithAttemptHook(func(a Attempt) { mu.Lock(); attempts = append(attempts, a); mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Session("s").Push(context.Background(), make([]ptrack.Sample, 300)...); err != nil {
+		t.Fatalf("Push = %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(attempts) != 2 {
+		t.Fatalf("hook saw %d attempts, want 2: %+v", len(attempts), attempts)
+	}
+	if attempts[0].Op != "push" || attempts[0].Status != http.StatusTooManyRequests ||
+		attempts[0].Retries != 0 || attempts[0].RetryAfter != time.Second {
+		t.Errorf("first attempt = %+v, want push/429/retries=0/retryAfter=1s", attempts[0])
+	}
+	if attempts[1].Status != http.StatusOK || attempts[1].Retries != 1 {
+		t.Errorf("second attempt = %+v, want 200 at retry 1", attempts[1])
+	}
+}
+
+// TestEventStreamSurfacesGaps proves the client parses `gap` SSE events
+// into the cumulative Dropped() counter while cycle events keep
+// flowing, so a consumer knows its stream has holes and can resync from
+// the next event's TotalSteps.
+func TestEventStreamSurfacesGaps(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", wire.ContentTypeSSE)
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, ": attached session=s\n\n")
+		io.WriteString(w, "event: cycle\ndata: {\"t\":1,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":2,\"offset\":0.01}\n\n")
+		io.WriteString(w, "event: gap\ndata: {\"dropped\":3}\n\n")
+		io.WriteString(w, "event: cycle\ndata: {\"t\":9,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":12,\"offset\":0.01}\n\n")
+		io.WriteString(w, "event: gap\ndata: {\"dropped\":5}\n\n")
+		io.WriteString(w, "event: end\ndata: {}\n\n")
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Events(context.Background(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	var events []ptrack.Event
+	for ev := range es.Events() {
+		events = append(events, ev)
+	}
+	if err := es.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("received %d events, want 2", len(events))
+	}
+	if events[1].TotalSteps != 12 {
+		t.Errorf("TotalSteps = %d, want 12 (authoritative across the gap)", events[1].TotalSteps)
+	}
+	if got := es.Dropped(); got != 5 {
+		t.Errorf("Dropped() = %d, want cumulative 5", got)
 	}
 }
 

@@ -31,6 +31,11 @@
 //	                        reporting METRIC must stay at or above N —
 //	                        for capacity metrics where smaller is worse
 //	                        (e.g. "sessions-per-GB").
+//	-require METRIC         repeatable: fail unless at least one
+//	                        benchmark reports METRIC — guards against a
+//	                        producer that silently emitted nothing the
+//	                        gates would have checked (e.g. a loadgen run
+//	                        whose every cell errored out).
 //	-baseline FILE          a previously committed benchjson report to
 //	                        compare against (typically the same file -out
 //	                        overwrites; the baseline is read first).
@@ -135,6 +140,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.Var(maxes, "max", "repeatable METRIC=N ceiling on any reported metric")
 	mins := minFlags{}
 	fs.Var(mins, "min", "repeatable METRIC=N floor on any reported metric")
+	var requires requireFlags
+	fs.Var(&requires, "require", "repeatable METRIC that at least one benchmark must report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -204,7 +211,46 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		stdout.Write(buf)
 	}
 
+	if err := checkRequired(report, requires); err != nil {
+		return err
+	}
 	return enforce(report, baseline, maxes, mins, *maxNsPerSample, *maxAllocsPerSm, *flatWithin, *regressWithin)
+}
+
+// requireFlags collects repeatable -require METRIC names.
+type requireFlags []string
+
+func (r *requireFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *requireFlags) Set(s string) error {
+	if s == "" {
+		return fmt.Errorf("-require wants a metric name")
+	}
+	*r = append(*r, s)
+	return nil
+}
+
+// checkRequired fails unless every -require metric appears in at least
+// one benchmark — the guard against a producer whose gated metrics
+// silently vanished (every ceiling trivially passes on an empty set).
+func checkRequired(report *Report, requires []string) error {
+	var missing []string
+	for _, metric := range requires {
+		found := false
+		for _, b := range report.Benchmarks {
+			if _, ok := b.Metrics[metric]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, metric)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required metrics missing from every benchmark: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 func parse(r io.Reader) (*Report, error) {

@@ -219,3 +219,45 @@ BenchmarkIdleSessionFootprint 	 1	 1117400041 ns/op	 32549 bytes/idle-session	 3
 		t.Errorf("floor not recorded in report: %s", out.String())
 	}
 }
+
+func TestRequireMetricPresence(t *testing.T) {
+	// -require fails unless some benchmark reports the metric — the
+	// guard against a producer whose gated numbers silently vanished
+	// (ceilings pass trivially on an empty set).
+	output := `BenchmarkServeLoad/closed/binary/s100 	 12800	 6400 goodput-sps	 2000000 ingest-p99-ns
+`
+	report, err := parse(strings.NewReader(output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkRequired(report, []string{"goodput-sps", "ingest-p99-ns"}); err != nil {
+		t.Errorf("present metrics should pass: %v", err)
+	}
+	err = checkRequired(report, []string{"goodput-sps", "event-p99-ns"})
+	if err == nil || !strings.Contains(err.Error(), "event-p99-ns") {
+		t.Errorf("missing metric: err = %v, want failure naming event-p99-ns", err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-require", "goodput-sps"}, strings.NewReader(output), &out); err != nil {
+		t.Fatalf("run with satisfied -require: %v", err)
+	}
+	out.Reset()
+	err = run([]string{"-require", "nonexistent-metric"}, strings.NewReader(output), &out)
+	if err == nil || !strings.Contains(err.Error(), "nonexistent-metric") {
+		t.Errorf("run with unsatisfied -require: err = %v", err)
+	}
+	// The report is still written before the requirement check fails,
+	// so the numbers that were produced remain inspectable.
+	if !strings.Contains(out.String(), `"goodput-sps": 6400`) {
+		t.Errorf("report not written before -require failure: %s", out.String())
+	}
+
+	var r requireFlags
+	if err := r.Set(""); err == nil {
+		t.Error("empty -require accepted")
+	}
+	if err := r.Set("a"); err != nil || r.String() != "a" {
+		t.Errorf("Set: %v, String() = %q", err, r.String())
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// hist is a lock-free log-bucketed latency histogram. Buckets grow by
+// 2^(1/4) (~19% per bucket, so quantiles are exact to within ~9%) from
+// 1µs; 124 buckets reach past 2000s, far beyond any request this
+// harness would wait for. Observations are atomic adds, cheap enough
+// to sit on every request path of every generator goroutine.
+type hist struct {
+	counts [histBuckets]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+const (
+	histBuckets = 124
+	histMinNs   = 1e3 // 1µs
+	histGrowth  = 4   // buckets per octave
+)
+
+func (h *hist) observe(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	idx := 0
+	if ns > histMinNs {
+		idx = int(math.Log2(ns/histMinNs) * histGrowth)
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.counts[idx].Add(1)
+	h.n.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+func (h *hist) count() int64 { return h.n.Load() }
+
+func (h *hist) mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// quantile returns the latency at quantile q in [0,1] — the geometric
+// midpoint of the bucket holding the q-th observation, which bounds the
+// error by the bucket ratio. Zero when nothing was observed.
+func (h *hist) quantile(q float64) time.Duration {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			lo := bucketLowerNs(i)
+			hi := lo * math.Pow(2, 1.0/histGrowth)
+			if i == 0 {
+				lo = 0
+			}
+			return time.Duration(math.Sqrt(math.Max(lo, 1) * hi))
+		}
+	}
+	return time.Duration(bucketLowerNs(histBuckets - 1))
+}
+
+func bucketLowerNs(i int) float64 {
+	return histMinNs * math.Pow(2, float64(i)/histGrowth)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistQuantiles checks the log-bucketed histogram against a known
+// distribution: quantiles must land within one bucket ratio (~19%) of
+// the true value.
+func TestHistQuantiles(t *testing.T) {
+	h := &hist{}
+	// 1000 observations: 1ms..1000ms linear.
+	for i := 1; i <= 1000; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		ratio := float64(got) / float64(c.want)
+		if math.Abs(math.Log2(ratio)) > 0.26 { // one 2^(1/4) bucket of slack
+			t.Errorf("quantile(%v) = %v, want within one bucket of %v", c.q, got, c.want)
+		}
+	}
+	if m := h.mean(); m < 480*time.Millisecond || m > 520*time.Millisecond {
+		t.Errorf("mean = %v, want ~500ms", m)
+	}
+}
+
+func TestHistEmptyAndExtremes(t *testing.T) {
+	h := &hist{}
+	if h.quantile(0.99) != 0 || h.mean() != 0 {
+		t.Error("empty histogram must report zero")
+	}
+	h.observe(0)                  // below the first bucket
+	h.observe(3000 * time.Second) // beyond the last bucket
+	if h.count() != 2 {
+		t.Fatalf("count = %d, want 2", h.count())
+	}
+	if q := h.quantile(1); q <= 0 {
+		t.Errorf("quantile(1) = %v after out-of-range observations", q)
+	}
+}

@@ -1,0 +1,443 @@
+// Command ptrack-loadgen measures the serving layer's capacity: it
+// replays simulated gait traces over live HTTP sessions — both wire
+// framings, open- or closed-loop — against a ptrack-serve instance and
+// reports ingest and event-delivery latency quantiles, goodput and
+// rejection rates per sweep cell.
+//
+// Usage:
+//
+//	ptrack-loadgen -self -sessions 100 -duration 2s
+//	ptrack-loadgen -addr http://127.0.0.1:8080 -mode open -framing binary
+//	ptrack-loadgen -self -soak 30s -debug-poll 500ms
+//
+// Two drivers, because they answer different questions:
+//
+//   - closed loop (-mode closed): each session sends its next batch the
+//     instant the previous one is acknowledged. Measures the server's
+//     saturation throughput; latency here is service time, not waiting
+//     time.
+//   - open loop (-mode open): each session sends on a fixed schedule
+//     regardless of responses, and latency is measured from the
+//     *scheduled* send time. A server that falls behind accrues queue
+//     delay in the numbers instead of silently slowing the generator —
+//     the coordinated-omission correction.
+//
+// Output goes two ways: go-bench-formatted lines on stdout (one per
+// sweep cell, consumable by cmd/benchjson for ceiling enforcement) and
+// a human summary on stderr. -report writes the full JSON report.
+//
+// With -soak the harness runs a closed-loop load for the given duration
+// while polling the server's /debug/vars, then asserts the heap is flat
+// (no monotone growth between the first and last thirds of the run) and
+// that no ingest-queue or event-buffer drops accrued — the leak guard
+// for long-lived deployments.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptrack"
+	"ptrack/internal/buildinfo"
+	"ptrack/internal/server"
+	"ptrack/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ptrack-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the -report JSON document: the sweep configuration and one
+// entry per cell.
+type report struct {
+	GeneratedBy string       `json:"generated_by"`
+	Mode        string       `json:"mode"`
+	RateHz      float64      `json:"rate_hz"`
+	Batch       int          `json:"batch"`
+	Speedup     float64      `json:"speedup"`
+	DurationNs  int64        `json:"duration_ns"`
+	Severity    float64      `json:"severity"`
+	Cells       []cellResult `json:"cells"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ptrack-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "", "base URL of a running ptrack-serve (e.g. http://127.0.0.1:8080); empty implies -self")
+		self      = fs.Bool("self", false, "start an in-process server and drive it over loopback")
+		mode      = fs.String("mode", "closed", "driver: open (fixed schedule, coordinated-omission honest) or closed (send on ack)")
+		framings  = fs.String("framing", "ndjson,binary", "comma list of wire framings to sweep")
+		sessions  = fs.String("sessions", "100", "comma list of concurrent-session counts to sweep")
+		rate      = fs.Float64("rate", 50, "per-session sample rate (Hz)")
+		batch     = fs.Int("batch", 128, "samples per push (rounded up to whole wire blocks)")
+		speedup   = fs.Float64("speedup", 50, "open-loop time compression: a session emits samples at rate*speedup real time")
+		duration  = fs.Duration("duration", 2*time.Second, "measured run length per sweep cell")
+		warmup    = fs.Duration("warmup", 250*time.Millisecond, "initial window excluded from latency stats")
+		retries   = fs.Int("retries", 0, "client retries per push (0 keeps refusals visible in the rates)")
+		severity  = fs.Float64("severity", 0, "gaitsim fault-injection severity in [0,1] applied to the replayed traces")
+		soak      = fs.Duration("soak", 0, "run a closed-loop soak for this long and assert flat heap + zero queue drops (needs -self or -debug-url)")
+		debugURL  = fs.String("debug-url", "", "base URL of the server's debug listener (for -soak against a remote server)")
+		debugPoll = fs.Duration("debug-poll", time.Second, "soak /debug/vars poll interval")
+		reportOut = fs.String("report", "", "write the full JSON report to this file")
+		version   = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("ptrack-loadgen"))
+		return nil
+	}
+	if *mode != "open" && *mode != "closed" {
+		return fmt.Errorf("-mode must be open or closed, got %q", *mode)
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %v", *rate)
+	}
+	if r := *batch % ptrack.BlockSamples; r != 0 {
+		// Whole wire blocks keep binary payloads frame-aligned and the
+		// two framings comparable (same request count, same samples).
+		*batch += ptrack.BlockSamples - r
+	}
+	sessionCounts, err := parseInts(*sessions)
+	if err != nil {
+		return fmt.Errorf("-sessions: %w", err)
+	}
+	framingList := strings.Split(*framings, ",")
+	for i, f := range framingList {
+		framingList[i] = strings.TrimSpace(f)
+		if f := framingList[i]; f != "ndjson" && f != "binary" {
+			return fmt.Errorf("-framing: unknown framing %q", f)
+		}
+	}
+	maxSessions := 0
+	for _, n := range sessionCounts {
+		if n > maxSessions {
+			maxSessions = n
+		}
+	}
+
+	base := *addr
+	dbg := *debugURL
+	if base == "" {
+		*self = true
+	}
+	if *self {
+		srv, debugAddr, shutdown, err := startSelf(*rate, *soak > 0)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		base = "http://" + srv.Addr()
+		if dbg == "" && debugAddr != "" {
+			dbg = "http://" + debugAddr
+		}
+		fmt.Fprintf(stderr, "self-serving on %s\n", base)
+	}
+
+	// One transport for the whole run: sessions each hold a push and an
+	// SSE connection, so the idle pool must cover twice the peak count
+	// or the sweep measures connection churn instead of the server.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        0,
+		MaxIdleConnsPerHost: 2*maxSessions + 16,
+	}}
+
+	traces, err := sources(*rate, *severity, 4)
+	if err != nil {
+		return err
+	}
+
+	if *soak > 0 {
+		if dbg == "" {
+			return fmt.Errorf("-soak needs -debug-url (or -self, which provides one)")
+		}
+		return runSoak(stdout, stderr, soakConfig{
+			base: base, debug: dbg, hc: hc, traces: traces,
+			rate: *rate, batch: *batch, sessions: sessionCounts[0],
+			duration: *soak, poll: *debugPoll, retries: *retries,
+		})
+	}
+
+	rep := &report{
+		GeneratedBy: buildinfo.String("ptrack-loadgen"),
+		Mode:        *mode,
+		RateHz:      *rate,
+		Batch:       *batch,
+		Speedup:     *speedup,
+		DurationNs:  int64(*duration),
+		Severity:    *severity,
+	}
+	ctx := context.Background()
+	for _, framing := range framingList {
+		for _, n := range sessionCounts {
+			d := &driver{
+				base: base, hc: hc, traces: traces,
+				nonce:    strconv.FormatInt(time.Now().UnixNano()%1e9, 36),
+				warmup:   *warmup,
+				duration: *duration,
+				retries:  *retries,
+			}
+			res, err := d.runCell(ctx, cell{
+				Mode: *mode, Framing: framing, Sessions: n,
+				RateHz: *rate, Batch: *batch, Speedup: *speedup,
+			})
+			if err != nil {
+				return fmt.Errorf("cell %s/%s/s%d: %w", *mode, framing, n, err)
+			}
+			rep.Cells = append(rep.Cells, *res)
+			fmt.Fprintln(stdout, benchLine(res))
+			fmt.Fprint(stderr, humanSummary(res))
+		}
+	}
+
+	if *reportOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startSelf boots an in-process server (and, when withDebug, an obs
+// debug listener for /debug/vars) on ephemeral loopback ports.
+func startSelf(rate float64, withDebug bool) (*server.Server, string, func(), error) {
+	metrics := ptrack.NewMetrics()
+	observer := ptrack.NewObserver(metrics)
+	// No rate limit and no in-flight cap: every loadgen request comes
+	// from one loopback address, so either gate would measure its own
+	// policy instead of the pipeline's capacity.
+	srv, err := server.New(server.Config{
+		SampleRate:  rate,
+		MaxInFlight: -1,
+		EventBuffer: 256,
+		Hooks:       observer,
+		Version:     buildinfo.String("ptrack-loadgen"),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, "", nil, err
+	}
+	var debugAddr string
+	cleanup := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	if withDebug {
+		dbg, err := ptrack.ServeDebug("127.0.0.1:0", metrics)
+		if err != nil {
+			cleanup()
+			return nil, "", nil, err
+		}
+		debugAddr = dbg.Addr()
+		inner := cleanup
+		cleanup = func() { dbg.Close(); inner() }
+	}
+	return srv, debugAddr, cleanup, nil
+}
+
+// benchLine renders one cell as a go-bench line for cmd/benchjson: the
+// iteration column carries the accepted-sample count, then value/unit
+// pairs for every gated metric.
+func benchLine(r *cellResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BenchmarkServeLoad/%s/%s/s%d %d", r.Mode, r.Framing, r.Sessions, r.AcceptedSamples)
+	pairs := []struct {
+		v    float64
+		unit string
+	}{
+		{r.GoodputSPS, "goodput-sps"},
+		{float64(r.IngestP50), "ingest-p50-ns"},
+		{float64(r.IngestP99), "ingest-p99-ns"},
+		{float64(r.IngestP999), "ingest-p999-ns"},
+		{float64(r.EventP50), "event-p50-ns"},
+		{float64(r.EventP99), "event-p99-ns"},
+		{float64(r.EventP999), "event-p999-ns"},
+		{r.RejectRate, "reject-rate"},
+		{r.EventDropRate, "event-drop-rate"},
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(&b, " %s %s", strconv.FormatFloat(p.v, 'g', -1, 64), p.unit)
+	}
+	return b.String()
+}
+
+func humanSummary(r *cellResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s s=%d: %.0f samples/s goodput (%d samples in %v)\n",
+		r.Mode, r.Framing, r.Sessions, r.GoodputSPS, r.AcceptedSamples, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  ingest  p50 %v  p99 %v  p999 %v\n",
+		r.IngestP50.Round(time.Microsecond), r.IngestP99.Round(time.Microsecond), r.IngestP999.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  events  p50 %v  p99 %v  p999 %v  (%d delivered, %d dropped)\n",
+		r.EventP50.Round(time.Microsecond), r.EventP99.Round(time.Microsecond), r.EventP999.Round(time.Microsecond),
+		r.Events, r.EventsDropped)
+	fmt.Fprintf(&b, "  attempts %d  rejected %d (%.2f%%)  transport-errors %d  failed-pushes %d\n",
+		r.Attempts, r.Rejected, 100*r.RejectRate, r.TransportErrors, r.FailedPushes)
+	return b.String()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("count %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// soakConfig parameterises the leak-guard run.
+type soakConfig struct {
+	base, debug string
+	hc          *http.Client
+	traces      []*trace.Trace
+	rate        float64
+	batch       int
+	sessions    int
+	duration    time.Duration
+	poll        time.Duration
+	retries     int
+}
+
+// runSoak drives a closed loop for cfg.duration while sampling the
+// server's /debug/vars, then asserts memory flatness and zero queue
+// drops. The heap check compares the mean HeapAlloc of the run's first
+// and last thirds: a leak proportional to work done fails it, while GC
+// noise does not.
+func runSoak(stdout, stderr io.Writer, cfg soakConfig) error {
+	d := &driver{
+		base: cfg.base, hc: cfg.hc, traces: cfg.traces,
+		nonce:    strconv.FormatInt(time.Now().UnixNano()%1e9, 36),
+		warmup:   0,
+		duration: cfg.duration,
+		retries:  cfg.retries,
+	}
+
+	type snap struct {
+		heap  float64
+		drops float64
+	}
+	var snaps []snap
+	stop := make(chan struct{})
+	pollDone := make(chan error, 1)
+	go func() {
+		tick := time.NewTicker(cfg.poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				pollDone <- nil
+				return
+			case <-tick.C:
+				vars, err := fetchVars(cfg.hc, cfg.debug)
+				if err != nil {
+					pollDone <- fmt.Errorf("poll /debug/vars: %w", err)
+					return
+				}
+				snaps = append(snaps, snap{heap: vars.heapAlloc, drops: vars.queueDrops})
+			}
+		}
+	}()
+
+	res, err := d.runCell(context.Background(), cell{
+		Mode: "closed", Framing: "binary", Sessions: cfg.sessions,
+		RateHz: cfg.rate, Batch: cfg.batch, Speedup: 1,
+	})
+	close(stop)
+	if perr := <-pollDone; err == nil {
+		err = perr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stderr, humanSummary(res))
+
+	if len(snaps) < 6 {
+		return fmt.Errorf("soak too short: only %d /debug/vars samples (need >= 6; lower -debug-poll or raise -soak)", len(snaps))
+	}
+	third := len(snaps) / 3
+	var first, last float64
+	for i := 0; i < third; i++ {
+		first += snaps[i].heap
+		last += snaps[len(snaps)-1-i].heap
+	}
+	first /= float64(third)
+	last /= float64(third)
+	growth := (last - first) / first
+	dropDelta := snaps[len(snaps)-1].drops - snaps[0].drops
+
+	fmt.Fprintf(stdout, "soak: heap first-third mean %.1f MB, last-third mean %.1f MB (%+.1f%%), queue drops %+g\n",
+		first/1e6, last/1e6, 100*growth, dropDelta)
+	// 25% headroom over the early mean tolerates GC cycle phase and pool
+	// warm-up, and the absolute floor keeps small heaps (where one GC
+	// cycle is a large fraction) from flapping; a real per-request leak
+	// over a soak clears both.
+	if growth > 0.25 && last-first > 16e6 {
+		return fmt.Errorf("soak: heap grew %.1f%% (first-third mean %.1f MB -> last-third mean %.1f MB): not flat", 100*growth, first/1e6, last/1e6)
+	}
+	if dropDelta > 0 {
+		return fmt.Errorf("soak: %g queue/event drops accrued during steady load", dropDelta)
+	}
+	fmt.Fprintln(stdout, "soak: PASS")
+	return nil
+}
+
+// debugVars is the slice of /debug/vars the soak guard reads.
+type debugVars struct {
+	heapAlloc  float64
+	queueDrops float64 // session queue drops + SSE buffer drops
+}
+
+func fetchVars(hc *http.Client, debugBase string) (*debugVars, error) {
+	resp, err := hc.Get(strings.TrimRight(debugBase, "/") + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Memstats struct {
+			HeapAlloc float64 `json:"HeapAlloc"`
+		} `json:"memstats"`
+		Ptrack map[string]any `json:"ptrack"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	v := &debugVars{heapAlloc: doc.Memstats.HeapAlloc}
+	for _, name := range []string{"ptrack_session_dropped_samples_total", "ptrack_http_events_dropped_total"} {
+		if f, ok := doc.Ptrack[name].(float64); ok {
+			v.queueDrops += f
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenSmoke runs a real one-second closed-loop cell against an
+// in-process server — the harness's own end-to-end proof: nonzero
+// goodput, a parsable bench line per framing, and a well-formed JSON
+// report.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a live server for a second")
+	}
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-self", "-mode", "closed", "-framing", "ndjson,binary",
+		"-sessions", "8", "-duration", "1s", "-warmup", "100ms",
+		"-report", reportPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	var bench []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "BenchmarkServeLoad/") {
+			bench = append(bench, l)
+		}
+	}
+	if len(bench) != 2 {
+		t.Fatalf("stdout carries %d bench lines, want 2 (one per framing):\n%s", len(bench), stdout.String())
+	}
+	for _, l := range bench {
+		fields := strings.Fields(l)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			t.Errorf("bench line not value/unit paired: %q", l)
+		}
+		if !strings.Contains(l, "goodput-sps") {
+			t.Errorf("bench line missing goodput metric: %q", l)
+		}
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("report has %d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.GoodputSPS <= 0 || c.AcceptedSamples <= 0 {
+			t.Errorf("cell %s/%s: goodput %v from %d samples, want > 0",
+				c.Mode, c.Framing, c.GoodputSPS, c.AcceptedSamples)
+		}
+		if c.IngestP50 <= 0 {
+			t.Errorf("cell %s/%s: ingest p50 %v, want > 0", c.Mode, c.Framing, c.IngestP50)
+		}
+		if c.Events <= 0 {
+			t.Errorf("cell %s/%s: no events delivered", c.Mode, c.Framing)
+		}
+	}
+}
+
+// TestLoadgenFlagValidation pins the fast-fail paths.
+func TestLoadgenFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-mode", "both"},
+		{"-framing", "grpc"},
+		{"-sessions", "0"},
+		{"-rate", "-1"},
+		{"-soak", "1s", "-addr", "http://127.0.0.1:1"}, // remote soak without -debug-url
+	} {
+		if err := run(args, &out, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// TestBenchLineRoundTrips pins the bench-line shape cmd/benchjson
+// consumes: Benchmark prefix, integer iteration count, even
+// value/unit fields.
+func TestBenchLineRoundTrips(t *testing.T) {
+	r := &cellResult{cell: cell{Mode: "open", Framing: "binary", Sessions: 100}}
+	r.AcceptedSamples = 12800
+	r.GoodputSPS = 6400.5
+	line := benchLine(r)
+	if !strings.HasPrefix(line, "BenchmarkServeLoad/open/binary/s100 12800 ") {
+		t.Fatalf("line = %q", line)
+	}
+	fields := strings.Fields(line)
+	if len(fields)%2 != 0 {
+		t.Fatalf("odd field count %d: %q", len(fields), line)
+	}
+}

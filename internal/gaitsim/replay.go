@@ -1,0 +1,58 @@
+package gaitsim
+
+import (
+	"fmt"
+
+	"ptrack/internal/trace"
+)
+
+// Replay loops a recorded trace endlessly, retiming each pass so
+// timestamps keep increasing monotonically — a finite simulation
+// becomes an unbounded sample source for load generation. The loop
+// period is one sample interval past the last timestamp, so the seam
+// between passes keeps the trace's uniform spacing (the tracker sees
+// one continuous recording, not a time jump).
+//
+// A Replay is not safe for concurrent use; give each generator
+// goroutine its own (NewReplay shares the backing samples, which are
+// read-only here).
+type Replay struct {
+	samples []trace.Sample
+	span    float64 // seconds covered by one pass, seam included
+	pos     int     // next sample within the current pass
+	loops   float64 // completed passes
+}
+
+// NewReplay builds a looping source over tr's samples. The trace must
+// be non-empty with a positive sample rate.
+func NewReplay(tr *trace.Trace) (*Replay, error) {
+	if len(tr.Samples) == 0 {
+		return nil, fmt.Errorf("gaitsim: replay of empty trace")
+	}
+	if tr.SampleRate <= 0 {
+		return nil, fmt.Errorf("gaitsim: replay needs a positive sample rate, got %v", tr.SampleRate)
+	}
+	last := tr.Samples[len(tr.Samples)-1].T
+	return &Replay{samples: tr.Samples, span: last + tr.Dt()}, nil
+}
+
+// Next appends the next n samples to dst and returns it. Timestamps are
+// the recorded ones shifted by whole loop periods; everything else is
+// copied verbatim.
+func (r *Replay) Next(dst []trace.Sample, n int) []trace.Sample {
+	for ; n > 0; n-- {
+		s := r.samples[r.pos]
+		s.T += r.loops * r.span
+		dst = append(dst, s)
+		if r.pos++; r.pos == len(r.samples) {
+			r.pos = 0
+			r.loops++
+		}
+	}
+	return dst
+}
+
+// Pos reports how many samples have been emitted in total.
+func (r *Replay) Pos() int64 {
+	return int64(r.loops)*int64(len(r.samples)) + int64(r.pos)
+}

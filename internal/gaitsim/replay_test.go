@@ -1,0 +1,58 @@
+package gaitsim
+
+import (
+	"math"
+	"testing"
+
+	"ptrack/internal/trace"
+)
+
+// TestReplayLoopsMonotonically proves a replayed trace reads as one
+// continuous recording: recorded values repeat, timestamps never
+// repeat, and the seam between passes keeps the uniform sample spacing.
+func TestReplayLoopsMonotonically(t *testing.T) {
+	rec, err := SimulateActivity(DefaultProfile(), DefaultConfig(), trace.ActivityWalking, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace
+	r, err := NewReplay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := len(tr.Samples)
+	got := r.Next(nil, 3*n) // three full passes
+	if len(got) != 3*n {
+		t.Fatalf("Next returned %d samples, want %d", len(got), 3*n)
+	}
+	if r.Pos() != int64(3*n) {
+		t.Fatalf("Pos() = %d, want %d", r.Pos(), 3*n)
+	}
+	dt := tr.Dt()
+	for i := 1; i < len(got); i++ {
+		gap := got[i].T - got[i-1].T
+		if math.Abs(gap-dt) > dt/2 {
+			t.Fatalf("sample %d: gap %v, want ~%v (seam broke uniform spacing?)", i, gap, dt)
+		}
+	}
+	// Pass 2 repeats pass 1's values, shifted by one loop period.
+	span := tr.Samples[n-1].T + dt
+	for i := 0; i < n; i++ {
+		if got[n+i].Accel != got[i].Accel || got[n+i].Yaw != got[i].Yaw {
+			t.Fatalf("sample %d of pass 2 differs from pass 1", i)
+		}
+		if want := got[i].T + span; math.Abs(got[n+i].T-want) > 1e-9 {
+			t.Fatalf("sample %d of pass 2 at T=%v, want %v", i, got[n+i].T, want)
+		}
+	}
+}
+
+func TestReplayRejectsDegenerateTraces(t *testing.T) {
+	if _, err := NewReplay(&trace.Trace{SampleRate: 50}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewReplay(&trace.Trace{Samples: []trace.Sample{{}}}); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+}

@@ -11,7 +11,8 @@ import (
 // session. Events arrive pre-encoded (one payload shared read-only by
 // every subscriber) from the hub's per-session goroutines; subscribers
 // drain bounded buffers, so a slow SSE client can fall behind and lose
-// events (counted) but can never stall the pipeline or other clients.
+// events (counted, and announced to the client via `gap` SSE events)
+// but can never stall the pipeline or other clients.
 type broker struct {
 	mu     sync.Mutex
 	feeds  map[string][]*subscriber
@@ -23,19 +24,29 @@ type broker struct {
 // eventMsg is one published event: the encoded payload plus the span
 // context of the event.emit span it was born under (zero when the
 // session's request was unsampled), so the SSE handler can parent its
-// sse.deliver span on the pipeline.
+// sse.deliver span on the pipeline. gap, when nonzero, is the
+// subscription's cumulative dropped-event count at publish time: the
+// SSE handler announces it (as a `gap` SSE event) before the payload,
+// so the client learns about the loss on the next event it does
+// receive instead of silently believing its stream complete. A message
+// with a nil payload is a pure gap notice (emitted when a session ends
+// with unannounced drops outstanding).
 type eventMsg struct {
 	payload []byte
 	sc      tracing.SpanContext
+	gap     int64
 }
 
 // subscriber is one attached SSE stream. Its channel carries encoded
 // event payloads and is closed — after the trailing events — when the
-// session ends or the broker shuts down.
+// session ends or the broker shuts down. dropped counts every event
+// lost to a full buffer (cumulative, what gap notices carry); pending
+// counts the losses not yet announced to the client.
 type subscriber struct {
 	session string
 	ch      chan eventMsg
-	dropped int
+	dropped int64
+	pending int64
 }
 
 func newBroker(buf int, hooks *obs.Hooks) *broker {
@@ -84,17 +95,24 @@ func (b *broker) unsubscribe(sub *subscriber) {
 
 // publish delivers one encoded event — tagged with its emitting span's
 // context — to every subscriber of the session. Full subscriber buffers
-// drop the event for that subscriber only. Called from the hub's
-// per-session goroutines.
+// drop the event for that subscriber only; the first delivery that
+// succeeds after a drop carries the subscription's cumulative dropped
+// count, which the SSE handler announces as a `gap` event ahead of the
+// payload. Called from the hub's per-session goroutines.
 func (b *broker) publish(session string, payload []byte, sc tracing.SpanContext) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	msg := eventMsg{payload: payload, sc: sc}
 	for _, sub := range b.feeds[session] {
+		msg := eventMsg{payload: payload, sc: sc}
+		if sub.pending > 0 {
+			msg.gap = sub.dropped
+		}
 		select {
 		case sub.ch <- msg:
+			sub.pending = 0
 		default:
 			sub.dropped++
+			sub.pending++
 			b.hooks.EventsDropped(1)
 		}
 	}
@@ -102,14 +120,25 @@ func (b *broker) publish(session string, payload []byte, sc tracing.SpanContext)
 
 // endSession closes every subscriber of the session. Buffered events
 // stay readable; the closed channel is the end-of-stream marker the SSE
-// handler turns into an `end` event. Called by the hub's OnSessionEnd,
-// i.e. strictly after the session's trailing events were published.
+// handler turns into an `end` event. A subscriber with unannounced
+// drops gets a best-effort pure gap notice first, so losses at the tail
+// of a session are reported too (only a still-full buffer — which the
+// end event could not enter either — loses the notice). Called by the
+// hub's OnSessionEnd, i.e. strictly after the session's trailing events
+// were published.
 func (b *broker) endSession(session string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	subs := b.feeds[session]
 	delete(b.feeds, session)
 	for _, sub := range subs {
+		if sub.pending > 0 {
+			select {
+			case sub.ch <- eventMsg{gap: sub.dropped}:
+				sub.pending = 0
+			default:
+			}
+		}
 		close(sub.ch)
 		b.hooks.EventStreamClosed()
 	}

@@ -11,23 +11,36 @@ import (
 // spends one. A deny reports how long until the next token — the
 // Retry-After the handler returns with the 429.
 //
-// State is one small struct per recently-seen client, swept inline once
-// the table grows past maxClients, so a scan of spoofed source
-// addresses cannot grow memory without bound.
+// Memory is hard-bounded at max buckets. Once the table is full, a
+// request from an unseen key first tries a sweep of fully-refilled
+// (idle) buckets — rate-limited to once per sweepMinInterval, so a
+// spoofed-address flood cannot buy an O(n) scan per insert — and, if
+// the table is still full (every bucket recently touched), the new key
+// is denied outright with a conservative Retry-After instead of being
+// inserted. Under a source-address flood the limiter therefore
+// fail-closes on unseen addresses while established clients keep their
+// buckets and their service.
 type rateLimiter struct {
 	rate  float64 // tokens per second
 	burst float64
 
-	mu      sync.Mutex
-	clients map[string]*bucket
-	max     int
-	now     func() time.Time
+	mu        sync.Mutex
+	clients   map[string]*bucket
+	max       int
+	now       func() time.Time
+	lastSweep time.Time
+	denied    uint64 // table-full denials of unseen keys
 }
 
 type bucket struct {
 	tokens float64
 	last   time.Time
 }
+
+// sweepMinInterval bounds how often a full table may be swept: between
+// sweeps, inserts and denials are O(1) no matter how fast unseen keys
+// arrive.
+const sweepMinInterval = time.Second
 
 // newRateLimiter builds a limiter; rate <= 0 disables limiting (allow
 // always returns true).
@@ -49,7 +62,9 @@ func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter 
 }
 
 // allow spends one token for key. When denied, retryAfter is the time
-// until the bucket next holds a full token.
+// until the bucket next holds a full token — or, for an unseen key
+// refused because the table is full of recently-active buckets, the
+// time until one of them could become evictable.
 func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
 	if l.rate <= 0 {
 		return true, 0
@@ -60,7 +75,18 @@ func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
 	bk := l.clients[key]
 	if bk == nil {
 		if len(l.clients) >= l.max {
-			l.sweepLocked(now)
+			if now.Sub(l.lastSweep) >= sweepMinInterval {
+				l.lastSweep = now
+				l.sweepLocked(now)
+			}
+			if len(l.clients) >= l.max {
+				// Hard cap: refuse the unseen key rather than grow. The
+				// promise is conservative — the earliest moment a slot can
+				// open is when some current bucket has idled to full refill
+				// (and a sweep may run).
+				l.denied++
+				return false, l.fullRetryAfter()
+			}
 		}
 		bk = &bucket{tokens: l.burst, last: now}
 		l.clients[key] = bk
@@ -76,9 +102,21 @@ func (l *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration(need * float64(time.Second))
 }
 
+// fullRetryAfter is the Retry-After promised to keys denied by a full
+// table: the full-refill time after which an idle bucket becomes
+// evictable, floored at the sweep interval.
+func (l *rateLimiter) fullRetryAfter() time.Duration {
+	d := time.Duration(l.burst / l.rate * float64(time.Second))
+	if d < sweepMinInterval {
+		d = sweepMinInterval
+	}
+	return d
+}
+
 // sweepLocked evicts clients whose buckets have fully refilled — idle
 // long enough that forgetting them loses nothing (a fresh bucket starts
-// full anyway).
+// full anyway). Recently-active buckets are never evicted, so a client
+// mid-backoff keeps its debt.
 func (l *rateLimiter) sweepLocked(now time.Time) {
 	fullAfter := time.Duration(l.burst / l.rate * float64(time.Second))
 	for key, bk := range l.clients {

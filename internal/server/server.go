@@ -651,6 +651,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 				return
 			}
+			if msg.gap > 0 {
+				// Announce the loss before the event that survived it: the
+				// client learns its stream has a hole (cumulative count)
+				// and can resync from the next event's total_steps.
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n",
+					wire.SSEEventGap, wire.AppendGap(nil, msg.gap)); err != nil {
+					return
+				}
+			}
+			if msg.payload == nil {
+				// Pure gap notice (drops outstanding when the session
+				// ended); nothing else to deliver.
+				flusher.Flush()
+				continue
+			}
 			// sse.deliver continues the pipeline trace: its parent is the
 			// event.emit span the hub minted when this event left the
 			// tracker (zero context when the request was unsampled).

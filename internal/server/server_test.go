@@ -1,8 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"io"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -67,7 +72,148 @@ func TestRateLimiterSweepBoundsClients(t *testing.T) {
 	}
 }
 
+// TestRateLimiterFloodBounded is the spoofed-address-flood regression
+// test: 50k distinct keys arriving between sweep opportunities must not
+// grow the table past max. Overflow keys are denied (never inserted)
+// with a conservative Retry-After, established clients keep service
+// throughout, and once the flood's buckets idle to full refill a sweep
+// frees slots for new keys again.
+func TestRateLimiterFloodBounded(t *testing.T) {
+	clock := time.Unix(0, 0)
+	l := newRateLimiter(10, 10, func() time.Time { return clock })
+	l.max = 1000
+
+	if ok, _ := l.allow("established"); !ok {
+		t.Fatal("first client denied")
+	}
+
+	// Flood: 50k unseen keys with no clock movement — no bucket can
+	// refill, so nothing is evictable and the cap must hold by denial.
+	var denials int
+	for i := 0; i < 50000; i++ {
+		ok, retry := l.allow(fmt.Sprintf("spoof-%d", i))
+		if !ok {
+			denials++
+			if retry < sweepMinInterval {
+				t.Fatalf("table-full denial promised Retry-After %v, want >= %v", retry, sweepMinInterval)
+			}
+		}
+		if len(l.clients) > l.max {
+			t.Fatalf("client table grew to %d under flood, cap %d", len(l.clients), l.max)
+		}
+	}
+	if want := 50000 - (l.max - 1); denials != want {
+		t.Errorf("denials = %d, want %d (everything past the cap)", denials, want)
+	}
+	if l.denied == 0 {
+		t.Error("denied counter not incremented")
+	}
+
+	// The established client's bucket survived the flood: it still has
+	// tokens and is served without interruption.
+	if ok, _ := l.allow("established"); !ok {
+		t.Error("established client denied during flood")
+	}
+
+	// Recently-active buckets are never evicted: advance past full
+	// refill for the idle flood keys, but keep "established" active so
+	// its last-touch stays fresh. The next unseen key sweeps the idle
+	// buckets, gets in, and "established" still holds its bucket.
+	clock = clock.Add(500 * time.Millisecond)
+	l.allow("established") // refresh last-touch mid-interval
+	clock = clock.Add(600 * time.Millisecond)
+	ok, _ := l.allow("newcomer")
+	if !ok {
+		t.Fatal("unseen key denied after flood buckets became evictable")
+	}
+	if l.clients["established"] == nil {
+		t.Error("recently-active client evicted by sweep")
+	}
+	if len(l.clients) > l.max {
+		t.Errorf("table at %d after recovery sweep, cap %d", len(l.clients), l.max)
+	}
+}
+
+// TestRateLimiterFloodConcurrent hammers the full-table path from many
+// goroutines under -race: the invariant is purely that the table stays
+// bounded and nothing races.
+func TestRateLimiterFloodConcurrent(t *testing.T) {
+	l := newRateLimiter(10, 10, nil) // real clock
+	l.max = 500
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				l.allow(fmt.Sprintf("g%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	l.mu.Lock()
+	n := len(l.clients)
+	l.mu.Unlock()
+	if n > l.max {
+		t.Fatalf("client table grew to %d under concurrent flood, cap %d", n, l.max)
+	}
+}
+
 // --- broker ----------------------------------------------------------
+
+// TestBrokerGapAfterOverflow pins the loss-signaling contract: after a
+// slow subscriber overflows its buffer, the next message that does get
+// through carries the cumulative dropped count (announced as a `gap`
+// SSE event ahead of the payload), counts accumulate across repeated
+// overflows, and a session ending with unannounced drops gets a pure
+// gap notice before the close.
+func TestBrokerGapAfterOverflow(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := newBroker(1, obs.NewHooks(reg))
+	sub := b.subscribe("s")
+
+	b.publish("s", []byte("e1"), tracing.SpanContext{}) // buffered
+	b.publish("s", []byte("e2"), tracing.SpanContext{}) // dropped
+	b.publish("s", []byte("e3"), tracing.SpanContext{}) // dropped
+
+	if msg := <-sub.ch; string(msg.payload) != "e1" || msg.gap != 0 {
+		t.Fatalf("pre-drop message = {%q gap=%d}, want {e1 gap=0}", msg.payload, msg.gap)
+	}
+	b.publish("s", []byte("e4"), tracing.SpanContext{})
+	if msg := <-sub.ch; string(msg.payload) != "e4" || msg.gap != 2 {
+		t.Fatalf("post-drop message = {%q gap=%d}, want {e4 gap=2}", msg.payload, msg.gap)
+	}
+	// Announced: the next delivery is clean again.
+	b.publish("s", []byte("e5"), tracing.SpanContext{})
+	if msg := <-sub.ch; msg.gap != 0 {
+		t.Fatalf("message after announcement carries gap=%d, want 0", msg.gap)
+	}
+
+	// Second overflow: the count is cumulative, not per-gap.
+	b.publish("s", []byte("e6"), tracing.SpanContext{}) // buffered
+	b.publish("s", []byte("e7"), tracing.SpanContext{}) // dropped (3rd)
+	if msg := <-sub.ch; string(msg.payload) != "e6" {
+		t.Fatalf("read %q, want e6", msg.payload)
+	}
+
+	// Session ends while the e7 drop is unannounced: a pure gap notice
+	// (nil payload, cumulative count) precedes the close.
+	b.endSession("s")
+	msg, open := <-sub.ch
+	if !open {
+		t.Fatal("channel closed before the tail gap notice")
+	}
+	if msg.payload != nil || msg.gap != 3 {
+		t.Fatalf("tail notice = {%q gap=%d}, want {nil gap=3}", msg.payload, msg.gap)
+	}
+	if _, open := <-sub.ch; open {
+		t.Fatal("channel still open after gap notice + close")
+	}
+	if got := reg.Counter("ptrack_http_events_dropped_total", "").Value(); got != 3 {
+		t.Errorf("drop counter = %v, want 3", got)
+	}
+}
 
 func TestBrokerFanOutAndDrop(t *testing.T) {
 	reg := obs.NewRegistry()
@@ -124,6 +270,110 @@ func TestBrokerFanOutAndDrop(t *testing.T) {
 	}
 	if got := reg.Gauge("ptrack_http_event_streams_active", "").Value(); got != 0 {
 		t.Errorf("active-streams gauge = %v after close, want 0", got)
+	}
+}
+
+// TestSSEHandlerEmitsGapEvents drives the real SSE handler over
+// loopback HTTP and proves a buffer overflow surfaces on the wire as an
+// `event: gap` frame ahead of the next delivered payload. The handler
+// is pinned mid-write deterministically: a multi-megabyte first payload
+// blocks its response write while the test refuses to read, so
+// subsequent publishes overflow the one-slot buffer on cue.
+func TestSSEHandlerEmitsGapEvents(t *testing.T) {
+	s, err := New(Config{SampleRate: 50, EventBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/sessions/s/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Wait for the handler's subscription to register.
+	sub := func() *subscriber {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			s.broker.mu.Lock()
+			subs := s.broker.feeds["s"]
+			s.broker.mu.Unlock()
+			if len(subs) == 1 {
+				return subs[0]
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("subscriber never attached")
+		return nil
+	}()
+
+	waitDrained := func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for len(sub.ch) > 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("handler never drained the subscriber channel")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Jam the handler: it picks this up immediately and blocks writing
+	// 32 MB into a connection nobody reads.
+	jam := bytes.Repeat([]byte{'x'}, 32<<20)
+	s.broker.publish("s", jam, tracing.SpanContext{})
+	waitDrained()
+	s.broker.publish("s", []byte(`{"seq":2}`), tracing.SpanContext{}) // buffered
+	s.broker.publish("s", []byte(`{"seq":3}`), tracing.SpanContext{}) // dropped
+	s.broker.publish("s", []byte(`{"seq":4}`), tracing.SpanContext{}) // dropped
+	s.broker.mu.Lock()
+	dropped := sub.dropped
+	s.broker.mu.Unlock()
+	if dropped != 2 {
+		t.Fatalf("forced %d drops, want 2 (is the write jam smaller than the socket buffers?)", dropped)
+	}
+
+	// Unjam: read the whole stream while the tail is published.
+	type read struct {
+		body []byte
+		err  error
+	}
+	done := make(chan read, 1)
+	go func() {
+		b, err := io.ReadAll(resp.Body)
+		done <- read{b, err}
+	}()
+	waitDrained() // seq 2 picked up => room for the gap-carrying delivery
+	s.broker.publish("s", []byte(`{"seq":5}`), tracing.SpanContext{})
+	waitDrained()
+	s.broker.endSession("s")
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("reading stream: %v", r.err)
+	}
+
+	body := string(bytes.ReplaceAll(r.body, jam, []byte("<jam>")))
+	wantOrder := []string{
+		"data: <jam>",
+		`data: {"seq":2}`,
+		"event: gap\ndata: {\"dropped\":2}",
+		`data: {"seq":5}`,
+		"event: end",
+	}
+	pos := 0
+	for _, want := range wantOrder {
+		i := strings.Index(body[pos:], want)
+		if i < 0 {
+			t.Fatalf("stream missing %q after byte %d:\n%s", want, pos, body)
+		}
+		pos += i + len(want)
+	}
+	for _, lost := range []string{`{"seq":3}`, `{"seq":4}`} {
+		if strings.Contains(body, lost) {
+			t.Errorf("dropped payload %s reached the wire", lost)
+		}
 	}
 }
 

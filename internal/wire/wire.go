@@ -451,7 +451,41 @@ type Event struct {
 const (
 	SSEEventCycle = "cycle"
 	SSEEventEnd   = "end"
+	// SSEEventGap tells a subscriber that the server dropped events
+	// from its stream (its fan-out buffer overflowed while it was slow
+	// to read). The data payload carries the subscription's cumulative
+	// dropped count; the next cycle event's total_steps is authoritative,
+	// so a consumer resyncs by trusting it over its own event arithmetic.
+	SSEEventGap = "gap"
 )
+
+// Gap is the JSON payload of one SSE gap event.
+type Gap struct {
+	// Dropped is the cumulative number of events this subscription has
+	// lost since it attached — monotonic, so a consumer diffs against
+	// the last value it saw to size the newest gap.
+	Dropped int64 `json:"dropped"`
+}
+
+// AppendGap appends the deterministic JSON encoding of a gap notice
+// carrying the cumulative dropped count to dst.
+func AppendGap(dst []byte, dropped int64) []byte {
+	dst = append(dst, `{"dropped":`...)
+	dst = strconv.AppendInt(dst, dropped, 10)
+	return append(dst, '}')
+}
+
+// ParseGapJSON decodes an SSE gap payload produced by AppendGap.
+func ParseGapJSON(data []byte) (int64, error) {
+	var g Gap
+	if err := json.Unmarshal(data, &g); err != nil {
+		return 0, fmt.Errorf("wire: decoding gap: %w", err)
+	}
+	if g.Dropped < 0 {
+		return 0, fmt.Errorf("%w: negative gap count %d", ErrFormat, g.Dropped)
+	}
+	return g.Dropped, nil
+}
 
 // AppendEvent appends the deterministic JSON encoding of ev to dst.
 // Field order and float formatting are fixed, so equal events encode to

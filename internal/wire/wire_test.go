@@ -269,3 +269,19 @@ func TestBatchTraceRoundTrip(t *testing.T) {
 		t.Fatal("batch trace round trip mismatch")
 	}
 }
+
+func TestGapRoundTrip(t *testing.T) {
+	got := string(AppendGap(nil, 42))
+	if got != `{"dropped":42}` {
+		t.Fatalf("AppendGap = %s", got)
+	}
+	n, err := ParseGapJSON([]byte(got))
+	if err != nil || n != 42 {
+		t.Fatalf("ParseGapJSON = %d, %v; want 42, nil", n, err)
+	}
+	for _, bad := range []string{``, `{`, `{"dropped":-1}`, `[3]`} {
+		if _, err := ParseGapJSON([]byte(bad)); err == nil {
+			t.Errorf("ParseGapJSON(%q) accepted", bad)
+		}
+	}
+}
