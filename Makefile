@@ -91,12 +91,12 @@ SERVE_MAX_REJECT_RATE ?= 0.5
 STATE_MAX_SNAPSHOT_NS ?= 250000
 STATE_MAX_BYTES_PER_SESSION ?= 131072
 
-.PHONY: check fmt vet test race conformance bench-guard bench-condition bench-json bench-trace bench-state bench-mem bench bench-batch bench-serve smoke-loadgen build
+.PHONY: check fmt vet test race conformance cluster-e2e bench-guard bench-condition bench-json bench-trace bench-state bench-mem bench bench-batch bench-serve smoke-loadgen build
 
 # race subsumes test (same suite under the race detector), so check runs
 # the suite once, raced; conformance re-runs the SessionStore contract
 # suite on its own so a store regression is named, not buried.
-check: fmt vet race conformance bench-guard bench-condition smoke-loadgen
+check: fmt vet race conformance cluster-e2e bench-guard bench-condition smoke-loadgen
 
 build:
 	$(GO) build ./...
@@ -115,9 +115,19 @@ race:
 	$(GO) test -race ./...
 
 # The SessionStore conformance suite, run against every backend under
-# the race detector (docs/SESSIONS.md documents the contract).
+# the race detector: mem + dir (internal/store) and the network-backed
+# RemoteStore over live HTTP, with flaky-transport fault injection
+# (internal/cluster). docs/SESSIONS.md documents the contract,
+# docs/CLUSTER.md the remote backend.
 conformance:
-	$(GO) test ./internal/store -run 'TestConformance' -count=1 -race -v
+	$(GO) test ./internal/store ./internal/cluster -run 'TestConformance' -count=1 -race -v
+
+# Multi-replica end-to-end: three live ptrack-serve instances, ring
+# install, snapshot migration on ring change, and replica-kill failover
+# — each asserting a monotonic, gap-accounted step ledger
+# (docs/CLUSTER.md). Part of check.
+cluster-e2e:
+	$(GO) test ./internal/server -run 'TestClusterE2E' -count=1 -race -v
 
 # The alloc-ceiling tests fail if the hot path regresses: the one-shot
 # and hook-enabled paths must stay under the post-recycling ceiling

@@ -421,11 +421,28 @@ func (s *Session) send(ctx context.Context, batch []ptrack.Sample) (err error) {
 // the close to distinguish. A subscriber that reads too slowly loses
 // events server-side; the server says so with gap notices, surfaced
 // here through Dropped().
+//
+// The stream survives connection loss: a dropped connection (transport
+// failure, server restart, or a `moved` notice when the session's
+// shard migrated to another cluster replica) is reconnected with the
+// client's backoff policy, transparently to the reader. Events
+// replayed across the reconnect are deduplicated by cycle time, and
+// each connection's server-side drop counts fold into Dropped() so the
+// total stays cumulative across connections. Only a clean `end` event,
+// context cancellation, Close, or an exhausted reconnect budget close
+// the channel.
 type EventStream struct {
-	ch     chan ptrack.Event
-	cancel context.CancelFunc
+	c       *Client
+	session string
+	ch      chan ptrack.Event
+	cancel  context.CancelFunc
 
 	dropped atomic.Int64
+
+	// Reconnect state, owned by the run goroutine.
+	lastT    float64 // newest delivered event's cycle time, for replay dedupe
+	seen     bool    // at least one event delivered (lastT is meaningful)
+	connBase int64   // drops folded in from completed connections
 
 	mu  sync.Mutex
 	err error
@@ -458,9 +475,25 @@ func (es *EventStream) Dropped() int64 { return es.dropped.Load() }
 // Events subscribes to a session's event stream. Subscribing before the
 // first sample is the normal order for a client that wants every event.
 // The returned stream lives until the session ends, the context is
-// cancelled, or Close is called.
+// cancelled, or Close is called; dropped connections reconnect
+// automatically (see EventStream).
 func (c *Client) Events(ctx context.Context, session string) (*EventStream, error) {
 	ctx, cancel := context.WithCancel(ctx)
+	body, err := c.subscribe(ctx, session)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	es := &EventStream{c: c, session: session, ch: make(chan ptrack.Event, 64), cancel: cancel}
+	go es.run(ctx, body)
+	return es, nil
+}
+
+// subscribe performs one SSE handshake against the session's event
+// endpoint, returning the open stream body. The client's retry policy
+// covers refused handshakes (429/5xx, with Retry-After honoured) — the
+// reconnect path leans on that for its backoff.
+func (c *Client) subscribe(ctx context.Context, session string) (io.ReadCloser, error) {
 	// The span covers the subscribe handshake only — the stream itself is
 	// long-lived by design and would make a meaningless span duration.
 	spanCtx, span := c.tracer.Start(ctx, "client.events")
@@ -478,25 +511,79 @@ func (c *Client) Events(ctx context.Context, session string) (*EventStream, erro
 		return req, nil
 	})
 	if err != nil {
-		cancel()
 		return nil, fmt.Errorf("client: events: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		drainClose(resp.Body)
-		cancel()
 		return nil, fmt.Errorf("client: events: status %d", resp.StatusCode)
 	}
-	es := &EventStream{ch: make(chan ptrack.Event, 64), cancel: cancel}
-	go es.run(ctx, resp.Body)
-	return es, nil
+	return resp.Body, nil
 }
 
-// run parses the SSE stream: "event:"/"data:" lines grouped by blank
-// lines; a cycle event carries one encoded classification event, an end
-// event terminates the stream.
+// run owns the stream's lifetime: it consumes one connection at a time
+// and reconnects when a connection ends without a clean `end` event —
+// a `moved` notice (shard migration), a transport failure, or a bare
+// EOF from a dying server. Per-connection drop counts fold into the
+// cumulative total before each reconnect. Consecutive connections that
+// die without delivering a single frame burn one reconnect attempt
+// each (with the client's backoff between them) so a wedged server
+// can't spin the loop forever; any delivered frame resets the budget.
 func (es *EventStream) run(ctx context.Context, body io.ReadCloser) {
 	defer close(es.ch)
-	defer body.Close()
+	fruitless := 0
+	for {
+		ended, sawFrame, err := es.consume(ctx, body)
+		body.Close()
+		if err != nil {
+			es.fail(err)
+			return
+		}
+		if ended {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			es.fail(err)
+			return
+		}
+		// Fold this connection's drops into the base: the next
+		// connection's gap notices count from zero again.
+		es.connBase = es.dropped.Load()
+		if sawFrame {
+			fruitless = 0
+		} else {
+			fruitless++
+			if fruitless > es.c.maxRetries {
+				es.fail(fmt.Errorf("client: events: %w: stream kept dying before any event", ErrGiveUp))
+				return
+			}
+			if err := es.c.sleep(ctx, fruitless-1, 0); err != nil {
+				es.fail(err)
+				return
+			}
+		}
+		nb, err := es.c.subscribe(ctx, es.session)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
+			es.fail(err)
+			return
+		}
+		body = nb
+	}
+}
+
+// consume parses one SSE connection: "event:"/"data:" lines grouped by
+// blank lines; a cycle event carries one encoded classification event,
+// an end event terminates the stream for good, a moved event or EOF
+// hands control back to run for a reconnect. Events already delivered
+// on a previous connection (replayed across a migration, where the new
+// owner resumes from a snapshot possibly older than what we saw) are
+// recognised by cycle time and skipped. ended reports a clean `end`;
+// sawFrame reports whether the connection produced any frame at all; a
+// non-nil err is terminal (protocol violation or cancellation), never
+// a mere connection loss.
+func (es *EventStream) consume(ctx context.Context, body io.Reader) (ended, sawFrame bool, err error) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 4096), wire.MaxLineLen*2)
 	event, data := "", ""
@@ -504,28 +591,42 @@ func (es *EventStream) run(ctx context.Context, body io.ReadCloser) {
 		line := sc.Text()
 		switch {
 		case line == "":
-			if event == wire.SSEEventEnd {
-				return
+			if event != "" {
+				sawFrame = true
 			}
-			if event == wire.SSEEventGap && data != "" {
-				n, err := wire.ParseGapJSON([]byte(data))
-				if err != nil {
-					es.fail(fmt.Errorf("client: events: %w", err))
-					return
+			switch event {
+			case wire.SSEEventEnd:
+				return true, true, nil
+			case wire.SSEEventMoved:
+				// Session still live on another replica; reconnect
+				// through the usual base URL — routing finds the owner.
+				return false, true, nil
+			case wire.SSEEventGap:
+				if data != "" {
+					n, perr := wire.ParseGapJSON([]byte(data))
+					if perr != nil {
+						return false, sawFrame, fmt.Errorf("client: events: %w", perr)
+					}
+					// The server count is cumulative per connection;
+					// connBase carries the completed connections.
+					es.dropped.Store(es.connBase + n)
 				}
-				es.dropped.Store(n) // server count is cumulative already
-			}
-			if event == wire.SSEEventCycle && data != "" {
-				ev, err := wire.ParseEventJSON([]byte(data))
-				if err != nil {
-					es.fail(fmt.Errorf("client: events: %w", err))
-					return
+			case wire.SSEEventCycle:
+				if data == "" {
+					break
+				}
+				ev, perr := wire.ParseEventJSON([]byte(data))
+				if perr != nil {
+					return false, sawFrame, fmt.Errorf("client: events: %w", perr)
+				}
+				if es.seen && ev.T <= es.lastT {
+					break // replay of an event delivered pre-reconnect
 				}
 				select {
 				case es.ch <- ev:
+					es.lastT, es.seen = ev.T, true
 				case <-ctx.Done():
-					es.fail(ctx.Err())
-					return
+					return false, sawFrame, ctx.Err()
 				}
 			}
 			event, data = "", ""
@@ -536,15 +637,12 @@ func (es *EventStream) run(ctx context.Context, body io.ReadCloser) {
 		}
 		// Comment lines (": …") and unknown fields are ignored per SSE.
 	}
-	if err := sc.Err(); err != nil && ctx.Err() == nil {
-		es.fail(fmt.Errorf("client: events: %w", err))
-		return
-	}
 	if err := ctx.Err(); err != nil {
-		es.fail(err)
+		return false, sawFrame, err
 	}
-	// A clean EOF without an end event means the server went away; the
-	// closed channel with nil error still marks end-of-stream.
+	// Scanner errors and bare EOF alike mean the connection died without
+	// an end event — the server went away mid-stream. Reconnectable.
+	return false, sawFrame, nil
 }
 
 func (es *EventStream) fail(err error) {

@@ -311,3 +311,128 @@ func TestBinaryBatchFrameAligned(t *testing.T) {
 		}
 	}
 }
+
+// TestEventStreamReconnects pins the stream's survival contract: a
+// connection killed mid-stream (no end event) is reconnected — through
+// refused handshakes, with the retry policy — events replayed by the
+// new connection are deduplicated, a `moved` notice triggers another
+// reconnect (shard migration), and per-connection gap counts fold into
+// a cumulative Dropped(). Only the final `end` closes the channel.
+func TestEventStreamReconnects(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch conns.Add(1) {
+		case 1:
+			// First connection dies abruptly after two events and a gap
+			// notice — a killed connection, not a session end.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer cannot hijack")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			io.WriteString(conn, "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\r\n")
+			io.WriteString(conn, ": attached session=s\n\n")
+			io.WriteString(conn, "event: cycle\ndata: {\"t\":1,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":2,\"offset\":0.01}\n\n")
+			io.WriteString(conn, "event: gap\ndata: {\"dropped\":3}\n\n")
+			io.WriteString(conn, "event: cycle\ndata: {\"t\":2,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":4,\"offset\":0.01}\n\n")
+			conn.Close()
+		case 2:
+			// The reconnect handshake gets refused once: the client's
+			// retry policy must carry it through.
+			w.Header().Set("Content-Type", wire.ContentTypeJSON)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"server is draining","code":"unavailable"}`)
+		case 3:
+			// Second live connection replays the events the client
+			// already has (the resumed snapshot was older than the
+			// delivered stream), adds one, then announces a shard move.
+			w.Header().Set("Content-Type", wire.ContentTypeSSE)
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "event: cycle\ndata: {\"t\":1,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":2,\"offset\":0.01}\n\n")
+			io.WriteString(w, "event: cycle\ndata: {\"t\":2,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":4,\"offset\":0.01}\n\n")
+			io.WriteString(w, "event: cycle\ndata: {\"t\":3,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":6,\"offset\":0.01}\n\n")
+			io.WriteString(w, "event: gap\ndata: {\"dropped\":2}\n\n")
+			io.WriteString(w, "event: moved\ndata: {\"owner\":\"http://elsewhere\"}\n\n")
+		default:
+			// Final connection: one more event, then a real end.
+			w.Header().Set("Content-Type", wire.ContentTypeSSE)
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "event: cycle\ndata: {\"t\":4,\"label\":\"walking\",\"steps_added\":2,\"total_steps\":8,\"offset\":0.01}\n\n")
+			io.WriteString(w, "event: end\ndata: {}\n\n")
+		}
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, WithRetry(5, time.Millisecond, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Events(context.Background(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	var events []ptrack.Event
+	for ev := range es.Events() {
+		events = append(events, ev)
+	}
+	if err := es.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("received %d events, want 4 (replays deduplicated)", len(events))
+	}
+	for i, ev := range events {
+		if ev.T != float64(i+1) {
+			t.Errorf("event %d: T = %v, want %d", i, ev.T, i+1)
+		}
+	}
+	if events[3].TotalSteps != 8 {
+		t.Errorf("TotalSteps = %d, want 8 (monotonic across reconnects)", events[3].TotalSteps)
+	}
+	if got := es.Dropped(); got != 5 {
+		t.Errorf("Dropped() = %d, want 5 (3 on the first connection + 2 on the second)", got)
+	}
+	if n := conns.Load(); n != 4 {
+		t.Errorf("connections = %d, want 4", n)
+	}
+}
+
+// TestEventStreamReconnectGivesUp bounds the reconnect loop: a server
+// that accepts subscriptions but kills every connection before a
+// single frame burns the retry budget and surfaces ErrGiveUp instead
+// of spinning forever.
+func TestEventStreamReconnectGivesUp(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", wire.ContentTypeSSE)
+		w.WriteHeader(http.StatusOK)
+		// No frames at all: the handshake succeeds, the stream is empty.
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, WithRetry(2, time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Events(context.Background(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	for range es.Events() {
+		t.Fatal("unexpected event")
+	}
+	if err := es.Err(); !errors.Is(err, ErrGiveUp) {
+		t.Fatalf("Err() = %v, want ErrGiveUp", err)
+	}
+	if n := conns.Load(); n != 3 {
+		t.Errorf("connections = %d, want 3 (initial + maxRetries reconnects)", n)
+	}
+}

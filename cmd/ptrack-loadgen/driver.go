@@ -52,7 +52,7 @@ type cellResult struct {
 
 // driver holds what a cell run shares across its generator goroutines.
 type driver struct {
-	base     string
+	bases    []string // replica base URLs; sessions round-robin across them
 	hc       *http.Client
 	traces   []*trace.Trace // fault-injected source material, round-robin
 	nonce    string
@@ -117,9 +117,16 @@ func (w *watermarks) match(t float64) time.Time {
 // coordinated-omission rule. Closed-loop mode sends the next batch the
 // moment the previous one completes.
 func (d *driver) runCell(ctx context.Context, cfg cell) (*cellResult, error) {
-	c, err := d.dial(cfg)
-	if err != nil {
-		return nil, err
+	// One client per target replica; session i sticks to client i%n, so
+	// a multi-replica sweep spreads entry points without a session ever
+	// switching replicas mid-stream.
+	clients := make([]*client.Client, len(d.bases))
+	for i, base := range d.bases {
+		c, err := d.dial(cfg, base)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
 	}
 
 	start := time.Now()
@@ -132,7 +139,7 @@ func (d *driver) runCell(ctx context.Context, cfg cell) (*cellResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := d.runSession(ctx, c, cfg, i, deadline, warmUntil); err != nil {
+			if err := d.runSession(ctx, clients[i%len(clients)], cfg, i, deadline, warmUntil); err != nil {
 				select {
 				case errs <- err:
 				default:
@@ -172,7 +179,7 @@ func (d *driver) runCell(ctx context.Context, cfg cell) (*cellResult, error) {
 	return res, nil
 }
 
-func (d *driver) dial(cfg cell) (*client.Client, error) {
+func (d *driver) dial(cfg cell, base string) (*client.Client, error) {
 	opts := []client.Option{
 		client.WithHTTPClient(d.hc),
 		client.WithBatchSize(cfg.Batch),
@@ -193,7 +200,7 @@ func (d *driver) dial(cfg cell) (*client.Client, error) {
 	if cfg.Framing == "binary" {
 		opts = append(opts, client.WithBinary())
 	}
-	return client.Dial(d.base, opts...)
+	return client.Dial(base, opts...)
 }
 
 // runSession is one generator goroutine: subscribe to events, replay a

@@ -76,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", "", "base URL of a running ptrack-serve (e.g. http://127.0.0.1:8080); empty implies -self")
+		targets   = fs.String("targets", "", "comma list of replica base URLs; sessions spread across them round-robin (cluster load; overrides -addr)")
 		self      = fs.Bool("self", false, "start an in-process server and drive it over loopback")
 		mode      = fs.String("mode", "closed", "driver: open (fixed schedule, coordinated-omission honest) or closed (send on ack)")
 		framings  = fs.String("framing", "ndjson,binary", "comma list of wire framings to sweep")
@@ -131,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	base := *addr
 	dbg := *debugURL
-	if base == "" {
+	if base == "" && *targets == "" {
 		*self = true
 	}
 	if *self {
@@ -145,6 +146,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			dbg = "http://" + debugAddr
 		}
 		fmt.Fprintf(stderr, "self-serving on %s\n", base)
+	}
+	// bases is the entry-point list sessions round-robin across: the
+	// -targets replica list, or the single -addr/-self base.
+	bases := []string{base}
+	if *targets != "" {
+		bases = bases[:0]
+		for _, tgt := range strings.Split(*targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt != "" {
+				bases = append(bases, tgt)
+			}
+		}
+		if len(bases) == 0 {
+			return fmt.Errorf("-targets: empty list")
+		}
+		if base == "" {
+			base = bases[0] // soak's single-target path
+		}
 	}
 
 	// One transport for the whole run: sessions each hold a push and an
@@ -184,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for _, framing := range framingList {
 		for _, n := range sessionCounts {
 			d := &driver{
-				base: base, hc: hc, traces: traces,
+				bases: bases, hc: hc, traces: traces,
 				nonce:    strconv.FormatInt(time.Now().UnixNano()%1e9, 36),
 				warmup:   *warmup,
 				duration: *duration,
@@ -333,7 +351,7 @@ type soakConfig struct {
 // noise does not.
 func runSoak(stdout, stderr io.Writer, cfg soakConfig) error {
 	d := &driver{
-		base: cfg.base, hc: cfg.hc, traces: cfg.traces,
+		bases: []string{cfg.base}, hc: cfg.hc, traces: cfg.traces,
 		nonce:    strconv.FormatInt(time.Now().UnixNano()%1e9, 36),
 		warmup:   0,
 		duration: cfg.duration,

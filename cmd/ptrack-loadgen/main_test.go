@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"ptrack/internal/cluster"
+	"ptrack/internal/server"
 )
 
 // TestLoadgenSmoke runs a real one-second closed-loop cell against an
@@ -103,5 +108,69 @@ func TestBenchLineRoundTrips(t *testing.T) {
 	fields := strings.Fields(line)
 	if len(fields)%2 != 0 {
 		t.Fatalf("odd field count %d: %q", len(fields), line)
+	}
+}
+
+// TestLoadgenTargetsSweep drives a short cell against a two-replica
+// cluster via -targets: sessions round-robin across the entry points
+// and the replicas' shard routing carries them to their ring owners —
+// the harness must still measure nonzero goodput and events.
+func TestLoadgenTargetsSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives two live servers for a second")
+	}
+	newReplica := func(name string) (*server.Server, string) {
+		cl, err := cluster.New(cluster.Config{Self: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{SampleRate: 50, Cluster: cl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		return srv, "http://" + srv.Addr()
+	}
+	srvA, baseA := newReplica("a")
+	srvB, baseB := newReplica("b")
+	nodes := []cluster.Node{{Name: "a", URL: baseA}, {Name: "b", URL: baseB}}
+	if err := srvA.SetRing(nodes); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvB.SetRing(nodes); err != nil {
+		t.Fatal(err)
+	}
+
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-targets", baseA + "," + baseB,
+		"-mode", "closed", "-framing", "ndjson",
+		"-sessions", "4", "-duration", "500ms", "-warmup", "100ms",
+		"-report", reportPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("report has %d cells, want 1", len(rep.Cells))
+	}
+	if c := rep.Cells[0]; c.AcceptedSamples <= 0 || c.Events <= 0 {
+		t.Errorf("cluster cell: %d samples, %d events, want both > 0", c.AcceptedSamples, c.Events)
 	}
 }

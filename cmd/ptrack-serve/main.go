@@ -12,11 +12,21 @@
 //	ptrack-serve -addr :8080 -rate 50 -debug-addr localhost:6060 \
 //	    -trace-sample 0.01 -trace-export /var/log/ptrack-traces.jsonl
 //	ptrack-serve -addr :8080 -rate 50 -state-dir /var/lib/ptrack/state
+//	ptrack-serve -addr :8081 -rate 50 -node a -state-dir /var/lib/ptrack/a \
+//	    -peers a=http://10.0.0.1:8081,b=http://10.0.0.2:8081,c=http://10.0.0.3:8081
 //
 // With -state-dir, session state is durable: every live session is
 // checkpointed into the directory (periodically and on shutdown), and a
 // restarted server resumes mid-stream sessions from it — step totals
 // continue instead of resetting. See docs/SESSIONS.md.
+//
+// With -node and a membership (-peers or -peers-file), the server is
+// one replica of a sharded cluster: sessions are assigned to replicas
+// by a consistent-hash ring, requests for sessions owned elsewhere are
+// proxied (or 307-redirected with -forward redirect), snapshots are
+// replicated to -replicas ring owners, and SIGHUP re-reads the peers
+// file, migrating sessions to the new ring. The ring is introspectable
+// at GET /v1/cluster/ring. See docs/CLUSTER.md.
 //
 // With -trace-sample > 0 (or -trace-export set), sampled requests are
 // decomposed into span trees browsable at /debug/traces on the debug
@@ -45,6 +55,7 @@ import (
 
 	"ptrack"
 	"ptrack/internal/buildinfo"
+	"ptrack/internal/cluster"
 	"ptrack/internal/obs/tracing"
 	"ptrack/internal/server"
 )
@@ -76,6 +87,11 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 		eventBuf    = fs.Int("event-buffer", 256, "per-subscriber event buffer (events)")
 		stateDir    = fs.String("state-dir", "", "persist session state under this directory; a restarted server resumes mid-stream sessions from it")
 		checkpoint  = fs.Duration("checkpoint", 0, "periodic session-checkpoint interval (0 = 30s default, negative = end-of-session only; needs -state-dir)")
+		nodeName    = fs.String("node", "", "this replica's node name; enables cluster mode (requires -peers or -peers-file)")
+		peersFlag   = fs.String("peers", "", "static cluster membership as name=url,name=url,… (normally includes this node)")
+		peersFile   = fs.String("peers-file", "", "file with one name=url membership entry per line (# comments); SIGHUP re-reads it and migrates sessions to the new ring")
+		replicas    = fs.Int("replicas", 0, "snapshot copies per session across the ring (0 = default 2)")
+		forward     = fs.String("forward", "proxy", "routing for sessions owned by another replica: proxy|redirect")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof, /debug/traces and /debug/sessions on this address")
 		traceSample = fs.Float64("trace-sample", 0, "head-sampling probability for request tracing in [0,1] (0 = trace nothing unless -trace-export is set, then errors only)")
@@ -165,6 +181,36 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 		logger.Info("session state is durable", "dir", *stateDir)
 	}
 
+	var clu *cluster.Cluster
+	if *nodeName != "" {
+		nodes, err := loadMembership(*peersFlag, *peersFile)
+		if err != nil {
+			return err
+		}
+		clu, err = cluster.New(cluster.Config{
+			Self:     *nodeName,
+			Nodes:    nodes,
+			Replicas: *replicas,
+			Logger:   logger,
+		})
+		if err != nil {
+			return err
+		}
+		self := false
+		for _, n := range nodes {
+			self = self || n.Name == *nodeName
+		}
+		if !self {
+			// Legal — a member outside the ring owns nothing and only
+			// routes — but far more often a typo'd -node.
+			logger.Warn("this node is not in the membership; it will own no sessions", "node", *nodeName)
+		}
+		logger.Info("cluster mode", "node", *nodeName,
+			"members", len(nodes), "ring", clu.Ring().Version(), "forward", *forward)
+	} else if *peersFlag != "" || *peersFile != "" {
+		return fmt.Errorf("-peers/-peers-file require -node")
+	}
+
 	srv, err := server.New(server.Config{
 		SampleRate:         *rate,
 		Options:            opts,
@@ -172,6 +218,8 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 		Workers:            *workers,
 		Store:              stateStore,
 		CheckpointInterval: *checkpoint,
+		Cluster:            clu,
+		ForwardMode:        *forward,
 		MaxInFlight:        *maxInflight,
 		RatePerSec:         *rps,
 		Burst:              *burst,
@@ -208,17 +256,100 @@ func run(args []string, stdout io.Writer, ready chan string) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
+	hup := make(chan os.Signal, 1)
+	if clu != nil && *peersFile != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+	}
+	var testDone chan string
 	if ready != nil {
 		ready <- srv.Addr()
-		<-ready // test closes the channel to trigger shutdown
-	} else {
-		<-stop
+		testDone = ready // test closes the channel to trigger shutdown
+	}
+	// testDone stays nil outside tests; receiving from a nil channel
+	// blocks forever, so only the signals matter then.
+	for running := true; running; {
+		select {
+		case <-stop:
+			running = false
+		case <-testDone:
+			running = false
+		case <-hup:
+			// Membership reload: re-read the peers file, install the new
+			// ring, migrate sessions this replica no longer owns.
+			nodes, err := readPeersFile(*peersFile)
+			if err != nil {
+				logger.Warn("peers-file reload failed; keeping current ring", "err", err)
+				continue
+			}
+			if err := srv.SetRing(nodes); err != nil {
+				logger.Warn("ring change rejected; keeping current ring", "err", err)
+				continue
+			}
+			logger.Info("ring reloaded", "members", len(nodes), "ring", clu.Ring().Version())
+		}
 	}
 	logger.Info("shutting down")
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// loadMembership resolves the cluster membership from the -peers flag
+// and/or the -peers-file (the file wins when both are given, since
+// SIGHUP re-reads only the file).
+func loadMembership(peers, file string) ([]cluster.Node, error) {
+	if file != "" {
+		return readPeersFile(file)
+	}
+	if peers == "" {
+		return nil, fmt.Errorf("cluster mode needs a membership: set -peers or -peers-file")
+	}
+	return parsePeers(peers)
+}
+
+// parsePeers parses "name=url,name=url,…" into a node list.
+func parsePeers(s string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("peer %q: want name=url", part)
+		}
+		nodes = append(nodes, cluster.Node{Name: name, URL: url})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("empty cluster membership")
+	}
+	return nodes, nil
+}
+
+// readPeersFile parses a membership file: one name=url entry per line,
+// blank lines and #-comments ignored.
+func readPeersFile(path string) ([]cluster.Node, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("peers-file: %w", err)
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	nodes, err := parsePeers(strings.Join(entries, ","))
+	if err != nil {
+		return nil, fmt.Errorf("peers-file %s: %w", path, err)
+	}
+	return nodes, nil
 }
 
 // parseProfile parses "arm,leg,k" in metres/metres/unitless.

@@ -133,3 +133,93 @@ func TestServeTracingLifecycle(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := parsePeers("a=http://h1:8080, b=http://h2:8080,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].Name != "a" || nodes[1].URL != "http://h2:8080" {
+		t.Fatalf("parsePeers = %+v", nodes)
+	}
+	for _, bad := range []string{"", "justaname", "=http://h:1"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestReadPeersFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers")
+	content := "# production ring\na=http://h1:8080\n\nb=http://h2:8080\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := readPeersFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].Name != "a" || nodes[1].Name != "b" {
+		t.Fatalf("readPeersFile = %+v", nodes)
+	}
+	if _, err := readPeersFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("readPeersFile(missing) succeeded, want error")
+	}
+}
+
+func TestClusterFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-peers", "a=http://h:1"}, // membership without -node
+		{"-node", "a"},             // -node without membership
+		{"-node", "a", "-peers", "a=http://h:1", "-forward", "sideways"}, // unknown mode
+		{"-node", "a", "-peers", "garbage"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestClusterLifecycle boots a single-member cluster and checks the
+// ring introspection endpoint answers with the member.
+func TestClusterLifecycle(t *testing.T) {
+	ready := make(chan string)
+	errc := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-rate", "50", "-log-level", "error",
+			"-node", "solo", "-peers", "solo=http://127.0.0.1:1"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	resp, err := http.Get("http://" + addr + "/v1/cluster/ring")
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ring: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body.String(), `"solo"`) {
+		t.Errorf("ring body %q does not name the member", body.String())
+	}
+	close(ready)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

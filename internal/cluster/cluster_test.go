@@ -1,0 +1,222 @@
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ptrack/internal/cluster"
+	"ptrack/internal/store"
+)
+
+// peerFixture is one simulated replica: a mem store served over the
+// state protocol.
+type peerFixture struct {
+	name string
+	st   *store.Mem
+	srv  *httptest.Server
+}
+
+func newPeers(t *testing.T, names ...string) []*peerFixture {
+	t.Helper()
+	out := make([]*peerFixture, len(names))
+	for i, name := range names {
+		st := store.NewMem()
+		srv := httptest.NewServer(cluster.NewStateHandler(st, 0))
+		t.Cleanup(srv.Close)
+		out[i] = &peerFixture{name: name, st: st, srv: srv}
+	}
+	return out
+}
+
+func membership(peers []*peerFixture) []cluster.Node {
+	nodes := make([]cluster.Node, len(peers))
+	for i, p := range peers {
+		nodes[i] = cluster.Node{Name: p.name, URL: p.srv.URL}
+	}
+	return nodes
+}
+
+// pickOwned finds a session ID whose primary owner is the wanted node.
+func pickOwned(t *testing.T, r *cluster.Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		id := fmt.Sprintf("probe-%d", i)
+		o, ok := r.Owner(id)
+		if ok && o.Name == owner {
+			return id
+		}
+	}
+	t.Fatalf("no session owned by %s in 100000 probes", owner)
+	return ""
+}
+
+// Saving through the routed store lands one copy on every ring owner
+// and nowhere else; loading from a non-owner replica finds the copy on
+// a peer.
+func TestRoutedStoreReplicatesToOwners(t *testing.T) {
+	peers := newPeers(t, "a", "b", "c")
+	local := store.NewMem()
+	c, err := cluster.New(cluster.Config{Self: "a", Nodes: membership(peers), Replicas: 2})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	rs := c.Store(local)
+
+	// A session this replica does not own: both copies go remote, none
+	// stays local. One in three IDs has owners {b, c}, so the probe
+	// always terminates.
+	var id string
+	for i := 0; i < 100000 && id == ""; i++ {
+		probe := fmt.Sprintf("probe-%d", i)
+		owners := c.Owners(probe)
+		if len(owners) == 2 && owners[0].Name != "a" && owners[1].Name != "a" {
+			id = probe
+		}
+	}
+	if id == "" {
+		t.Fatal("no session with both owners remote in 100000 probes")
+	}
+	blob := []byte("snapshot-bytes")
+	if err := rs.Save(id, blob); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if local.Len() != 0 {
+		t.Fatalf("non-owner kept a local copy (%d entries)", local.Len())
+	}
+	copies := 0
+	for _, p := range peers {
+		if b, err := p.st.Load(id); err == nil {
+			copies++
+			if !bytes.Equal(b, blob) {
+				t.Fatalf("peer %s holds wrong blob %q", p.name, b)
+			}
+		}
+	}
+	if copies != 2 {
+		t.Fatalf("snapshot on %d peers, want 2", copies)
+	}
+
+	got, err := rs.Load(id)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+
+	if err := rs.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	for _, p := range peers {
+		if _, err := p.st.Load(id); !errors.Is(err, store.ErrNotFound) {
+			t.Fatalf("peer %s still holds the deleted snapshot", p.name)
+		}
+	}
+}
+
+// When this replica is an owner, its copy is written locally — no HTTP
+// round-trip to itself.
+func TestRoutedStoreLocalOwnership(t *testing.T) {
+	peers := newPeers(t, "b", "c")
+	nodes := append(membership(peers), cluster.Node{Name: "a", URL: "http://self.invalid"})
+	local := store.NewMem()
+	c, err := cluster.New(cluster.Config{Self: "a", Nodes: nodes, Replicas: 1})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	rs := c.Store(local)
+	id := pickOwned(t, c.Ring(), "a")
+	if err := rs.Save(id, []byte("mine")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got, err := local.Load(id); err != nil || string(got) != "mine" {
+		t.Fatalf("local copy = %q, %v", got, err)
+	}
+}
+
+// A stale copy left on a non-owner (a ring change without handoff —
+// the killed-replica case) is still found by the Load sweep.
+func TestRoutedStoreLoadSweepFindsStrays(t *testing.T) {
+	peers := newPeers(t, "a", "b", "c")
+	local := store.NewMem()
+	c, err := cluster.New(cluster.Config{Self: "a", Nodes: membership(peers), Replicas: 1})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	rs := c.Store(local)
+	id := pickOwned(t, c.Ring(), "b")
+	// Plant the snapshot only on c, which does NOT own id.
+	for _, p := range peers {
+		if p.name == "c" {
+			if err := p.st.Save(id, []byte("stray")); err != nil {
+				t.Fatalf("plant: %v", err)
+			}
+		}
+	}
+	got, err := rs.Load(id)
+	if err != nil || string(got) != "stray" {
+		t.Fatalf("Load = %q, %v; want stray copy found", got, err)
+	}
+}
+
+// With every owner unreachable, Save parks the snapshot locally rather
+// than losing it, and a truly absent snapshot still reads as
+// ErrNotFound only when all peers answered.
+func TestRoutedStoreParksWhenOwnersDown(t *testing.T) {
+	peers := newPeers(t, "b", "c")
+	nodes := membership(peers)
+	for i := range nodes {
+		nodes[i].URL = "http://127.0.0.1:1" // nothing listens here
+	}
+	nodes = append(nodes, cluster.Node{Name: "a", URL: "http://self.invalid"})
+	local := store.NewMem()
+	c, err := cluster.New(cluster.Config{Self: "a", Nodes: nodes, Replicas: 1,
+		HTTPClient: &http.Client{Timeout: 200 * time.Millisecond}}) // fail fast
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	rs := c.Store(local)
+	id := pickOwned(t, c.Ring(), "b")
+	if err := rs.Save(id, []byte("parked")); err != nil {
+		t.Fatalf("Save with owners down = %v, want parked locally", err)
+	}
+	if got, err := local.Load(id); err != nil || string(got) != "parked" {
+		t.Fatalf("parked copy = %q, %v", got, err)
+	}
+	// Loading an unknown session while peers are down is an outage,
+	// not a miss.
+	if _, err := rs.Load(pickOwned(t, c.Ring(), "c")); err == nil || errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Load with peers down = %v, want outage error", err)
+	}
+}
+
+// SetNodes re-routes subsequent saves under the new ring.
+func TestClusterSetNodesRewiresRouting(t *testing.T) {
+	peers := newPeers(t, "a", "b", "c")
+	local := store.NewMem()
+	c, err := cluster.New(cluster.Config{Self: "a", Nodes: membership(peers), Replicas: 1})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	rs := c.Store(local)
+	id := pickOwned(t, c.Ring(), "b")
+	if err := rs.Save(id, []byte("v1")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Shrink to just this replica: the next save must land locally and
+	// clean nothing remote by itself (Delete handles cleanup).
+	if err := c.SetNodes([]cluster.Node{{Name: "a", URL: "http://self.invalid"}}); err != nil {
+		t.Fatalf("SetNodes: %v", err)
+	}
+	if owner, self := c.Owner(id); !self {
+		t.Fatalf("after shrink, owner = %v", owner)
+	}
+	if err := rs.Save(id, []byte("v2")); err != nil {
+		t.Fatalf("Save after shrink: %v", err)
+	}
+	if got, err := local.Load(id); err != nil || string(got) != "v2" {
+		t.Fatalf("local after shrink = %q, %v", got, err)
+	}
+}

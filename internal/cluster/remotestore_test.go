@@ -1,0 +1,119 @@
+package cluster_test
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ptrack/internal/cluster"
+	"ptrack/internal/store"
+	"ptrack/internal/store/storetest"
+)
+
+// newRemote boots a state endpoint over a fresh mem store and returns
+// a RemoteStore client for it, optionally behind a fault-injecting
+// transport.
+func newRemote(t *testing.T, rt http.RoundTripper) store.Store {
+	t.Helper()
+	srv := httptest.NewServer(cluster.NewStateHandler(store.NewMem(), 0))
+	t.Cleanup(srv.Close)
+	hc := &http.Client{Timeout: 10 * time.Second}
+	if rt != nil {
+		hc.Transport = rt
+	}
+	rs, err := cluster.NewRemoteStore(srv.URL,
+		cluster.WithRemoteHTTPClient(hc),
+		cluster.WithRemoteRetry(2, 2*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewRemoteStore: %v", err)
+	}
+	return rs
+}
+
+// The network-backed store passes the exact conformance suite the
+// in-process backends do — hostile IDs, aliasing, corruption
+// round-trips, concurrency under -race.
+func TestConformanceRemote(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store { return newRemote(t, nil) })
+}
+
+// flakyTransport deterministically fails the FIRST attempt of every
+// second operation, rotating between a transport-level error and a 500
+// response, so the retry path sees both failure shapes. Keying on the
+// attempt header (never failing a retry) keeps the injection
+// deterministic even under the concurrent conformance test: one retry
+// always recovers, so a correct retry loop passes and a missing one
+// fails loudly.
+type flakyTransport struct {
+	inner http.RoundTripper
+	mu    sync.Mutex
+	n     int
+}
+
+var errInjected = errors.New("injected transport fault")
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Header.Get("X-Ptrack-Attempt") == "0" {
+		f.mu.Lock()
+		n := f.n
+		f.n++
+		f.mu.Unlock()
+		if n%2 == 0 {
+			if n%4 == 0 {
+				return nil, errInjected
+			}
+			return &http.Response{
+				StatusCode: http.StatusInternalServerError,
+				Body:       http.NoBody,
+				Header:     http.Header{},
+				Request:    r,
+			}, nil
+		}
+	}
+	return f.inner.RoundTrip(r)
+}
+
+// Under a flaky transport the remote store still satisfies the full
+// contract: retries absorb transient faults instead of surfacing them
+// as lost snapshots or phantom misses.
+func TestConformanceRemoteFlaky(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		return newRemote(t, &flakyTransport{inner: http.DefaultTransport})
+	})
+}
+
+// A peer that is not serving the state protocol (bare 404, no
+// envelope) must read as an outage, never as "no snapshot" — mistaking
+// one for the other would silently fork session state.
+func TestRemoteStoreBare404IsNotAMiss(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	rs, err := cluster.NewRemoteStore(srv.URL, cluster.WithRemoteRetry(0, time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewRemoteStore: %v", err)
+	}
+	_, err = rs.Load("ghost")
+	if err == nil || errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Load via misrouted peer = %v, want non-ErrNotFound error", err)
+	}
+}
+
+// A dead peer surfaces as an error after the retry budget, not a hang
+// and not a miss.
+func TestRemoteStoreDeadPeer(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // dead: connection refused from here on
+	rs, err := cluster.NewRemoteStore(srv.URL, cluster.WithRemoteRetry(1, time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewRemoteStore: %v", err)
+	}
+	if err := rs.Save("s", []byte("blob")); err == nil {
+		t.Fatal("Save against dead peer succeeded")
+	}
+	if _, err := rs.Load("s"); err == nil || errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("Load against dead peer = %v, want outage error", err)
+	}
+}

@@ -679,6 +679,26 @@ func (h *Hub) End(id string) {
 	}
 }
 
+// Evict flushes and removes one session WITHOUT marking it terminal,
+// waiting for its trailing events to be delivered. With a Store
+// configured the session's final post-flush state is checkpointed, so
+// it resumes — here after an idle gap, or on another replica when the
+// store routes elsewhere. This is the handoff primitive cluster
+// migration is built on. Evicting an unknown session reports false.
+func (h *Hub) Evict(id string) bool {
+	h.mu.Lock()
+	sess := h.sessions[id]
+	if sess != nil {
+		h.removeLocked(sess)
+	}
+	h.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	<-sess.done
+	return true
+}
+
 // Len returns the number of live sessions.
 func (h *Hub) Len() int {
 	h.mu.RLock()

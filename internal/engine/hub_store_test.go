@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"ptrack/internal/obs"
 	"ptrack/internal/statecodec"
 	"ptrack/internal/store"
 	"ptrack/internal/stream"
@@ -217,5 +218,169 @@ func TestHubRestoreFailureStartsFresh(t *testing.T) {
 	}
 	if err := fresh.Restore(blob); err != nil {
 		t.Fatalf("snapshot written at Close does not restore: %v", err)
+	}
+}
+
+// failStore is a SessionStore whose every operation fails — the
+// degradation fixture: a hub in front of a dead store must keep
+// serving fresh sessions and count the failures, never surface them to
+// pushers.
+type failStore struct {
+	mu      sync.Mutex
+	saves   int
+	loads   int
+	deletes int
+}
+
+var errStoreDown = errors.New("injected store outage")
+
+func (f *failStore) Save(string, []byte) error {
+	f.mu.Lock()
+	f.saves++
+	f.mu.Unlock()
+	return errStoreDown
+}
+
+func (f *failStore) Load(string) ([]byte, error) {
+	f.mu.Lock()
+	f.loads++
+	f.mu.Unlock()
+	return nil, errStoreDown
+}
+
+func (f *failStore) Delete(string) error {
+	f.mu.Lock()
+	f.deletes++
+	f.mu.Unlock()
+	return errStoreDown
+}
+
+func (f *failStore) List() ([]string, error) { return nil, errStoreDown }
+
+func (f *failStore) counts() (saves, loads, deletes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.saves, f.loads, f.deletes
+}
+
+// TestHubStoreOutageDegradesGracefully pins the checkpoint degradation
+// contract: with a store whose Save/Load/Delete all fail, sessions
+// start fresh and deliver steps (no error ever reaches Push), the
+// session is not marked restored, and every failed operation increments
+// ptrack_session_checkpoints_total{op="error"}.
+func TestHubStoreOutageDegradesGracefully(t *testing.T) {
+	tr := walkingTrace(t, 15)
+	fs := &failStore{}
+	reg := obs.NewRegistry()
+
+	var log stepLog
+	cfg := hubConfig(tr)
+	cfg.Store = fs
+	cfg.Hooks = obs.NewHooks(reg)
+	cfg.OnEvent = log.hook
+	cfg.CheckpointInterval = 5 * time.Millisecond // exercise periodic saves too
+	h, err := NewHub(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pushSamples(t, h, "walker", tr.Samples[:len(tr.Samples)/2])
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stats := h.Stats()
+		if len(stats) == 1 && stats[0].Restored {
+			t.Fatalf("session claims to be restored from a dead store: %+v", stats)
+		}
+		if len(stats) == 1 && stats[0].Steps > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never delivered steps against a dead store: %+v", stats)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pushSamples(t, h, "walker", tr.Samples[len(tr.Samples)/2:])
+	h.Close() // epilogue checkpoint also fails — and must not block Close
+
+	steps := 0
+	for _, ev := range log.snapshot() {
+		steps += ev.StepsAdded
+	}
+	if steps == 0 {
+		t.Fatal("no steps delivered with a dead store")
+	}
+
+	// End of an unknown session tries the dormant-snapshot delete; with
+	// the store down that is one more counted error, still no panic.
+	h.End("ghost")
+
+	saves, loads, deletes := fs.counts()
+	if loads == 0 || saves == 0 || deletes == 0 {
+		t.Fatalf("store ops not exercised: saves=%d loads=%d deletes=%d", saves, loads, deletes)
+	}
+	errCount := reg.Counter("ptrack_session_checkpoints_total",
+		"Session-store operations performed by hub checkpointing, by op.", "op", "error").Value()
+	if want := float64(saves + loads + deletes); errCount != want {
+		t.Fatalf("ptrack_session_checkpoints_total{op=error} = %v, want %v (saves=%d loads=%d deletes=%d)",
+			errCount, want, saves, loads, deletes)
+	}
+	for _, op := range []string{"save", "restore", "delete"} {
+		if v := reg.Counter("ptrack_session_checkpoints_total",
+			"Session-store operations performed by hub checkpointing, by op.", "op", op).Value(); v != 0 {
+			t.Fatalf("ptrack_session_checkpoints_total{op=%s} = %v, want 0 during total outage", op, v)
+		}
+	}
+}
+
+// TestHubEvictCheckpointsForResume pins the migration primitive: Evict
+// flushes and checkpoints without ending the session, so a second hub
+// (the "new owner") resumes it from the shared store with monotonic
+// TotalSteps.
+func TestHubEvictCheckpointsForResume(t *testing.T) {
+	tr := walkingTrace(t, 30)
+	cut := len(tr.Samples) / 2
+	st := store.NewMem()
+
+	var logA stepLog
+	cfgA := hubConfig(tr)
+	cfgA.Store = st
+	cfgA.OnEvent = logA.hook
+	hubA, err := NewHub(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushSamples(t, hubA, "mover", tr.Samples[:cut])
+	if !hubA.Evict("mover") {
+		t.Fatal("Evict reported the session as unknown")
+	}
+	if hubA.Evict("mover") {
+		t.Fatal("second Evict claims the session was still live")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d snapshots after Evict, want 1", st.Len())
+	}
+
+	var logB stepLog
+	cfgB := hubConfig(tr)
+	cfgB.Store = st
+	cfgB.OnEvent = logB.hook
+	hubB, err := NewHub(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushSamples(t, hubB, "mover", tr.Samples[cut:])
+	hubB.Close()
+	hubA.Close()
+
+	total, last := 0, 0
+	for _, ev := range append(logA.snapshot(), logB.snapshot()...) {
+		total += ev.StepsAdded
+		if ev.TotalSteps < last {
+			t.Fatalf("TotalSteps went backwards across Evict handoff: %d after %d", ev.TotalSteps, last)
+		}
+		last = ev.TotalSteps
+	}
+	if total == 0 || total != last {
+		t.Fatalf("step ledger inconsistent across handoff: sum=%d final=%d", total, last)
 	}
 }

@@ -71,11 +71,11 @@ var (
 var (
 	httpRouteNames = []string{
 		"samples", "events", "end_session", "batch",
-		"healthz", "readyz", "version", "other",
+		"healthz", "readyz", "version", "state", "cluster", "other",
 	}
 	httpRejectReasons = []string{
 		"rate_limit", "overload", "body_too_large", "draining",
-		"decode", "backpressure", "other",
+		"decode", "backpressure", "shard_unreachable", "other",
 	}
 )
 

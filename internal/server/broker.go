@@ -16,6 +16,7 @@ import (
 type broker struct {
 	mu     sync.Mutex
 	feeds  map[string][]*subscriber
+	moving map[string]string // session → new owner URL, consumed by endSession
 	buf    int
 	hooks  *obs.Hooks
 	closed bool
@@ -47,13 +48,25 @@ type subscriber struct {
 	ch      chan eventMsg
 	dropped int64
 	pending int64
+	// moved, when non-empty at channel close, tells the SSE handler the
+	// session's shard migrated to the named replica (its base URL): the
+	// stream ends with a `moved` event instead of `end`, so the client
+	// reconnects rather than believing the session over. Written under
+	// the broker lock strictly before close(ch); the handler reads it
+	// only after the close, so the channel orders the accesses.
+	moved string
 }
 
 func newBroker(buf int, hooks *obs.Hooks) *broker {
 	if buf <= 0 {
 		buf = 256
 	}
-	return &broker{feeds: make(map[string][]*subscriber), buf: buf, hooks: hooks}
+	return &broker{
+		feeds:  make(map[string][]*subscriber),
+		moving: make(map[string]string),
+		buf:    buf,
+		hooks:  hooks,
+	}
 }
 
 // subscribe attaches a new subscriber to a session's event feed. The
@@ -131,6 +144,8 @@ func (b *broker) endSession(session string) {
 	defer b.mu.Unlock()
 	subs := b.feeds[session]
 	delete(b.feeds, session)
+	moved := b.moving[session]
+	delete(b.moving, session)
 	for _, sub := range subs {
 		if sub.pending > 0 {
 			select {
@@ -139,9 +154,21 @@ func (b *broker) endSession(session string) {
 			default:
 			}
 		}
+		sub.moved = moved
 		close(sub.ch)
 		b.hooks.EventStreamClosed()
 	}
+}
+
+// markMoved records that the session's next end is a shard migration to
+// owner (a base URL), not a real end: its subscribers' streams will
+// close with a `moved` event so clients reconnect. Called by the
+// cluster migration path strictly before the hub eviction that
+// triggers endSession.
+func (b *broker) markMoved(session, owner string) {
+	b.mu.Lock()
+	b.moving[session] = owner
+	b.mu.Unlock()
 }
 
 // close ends every feed and refuses new subscribers — the last step of

@@ -38,6 +38,7 @@ import (
 
 	"ptrack"
 	"ptrack/internal/buildinfo"
+	"ptrack/internal/cluster"
 	"ptrack/internal/obs"
 	"ptrack/internal/obs/tracing"
 	"ptrack/internal/wire"
@@ -71,12 +72,30 @@ type Config struct {
 	// sessions into it and resumes them from it, so a restarted server
 	// picks up mid-stream sessions (monotonic step totals) instead of
 	// resetting them. ptrack-serve wires a directory store here via its
-	// -state-dir flag.
+	// -state-dir flag. In cluster mode this is the replica's LOCAL
+	// store: the hub actually checkpoints through the cluster-routed
+	// wrapper, which replicates into the local stores of the session's
+	// ring owners via the /v1/state protocol. Nil with Cluster set
+	// falls back to an in-memory local store (migration and failover
+	// work; restart durability needs a dir store).
 	Store ptrack.SessionStore
 	// CheckpointInterval is the hub's periodic checkpoint cadence
 	// (default 30 s; negative leaves only end-of-session checkpoints).
 	// Ignored without Store.
 	CheckpointInterval time.Duration
+
+	// Cluster, when set, makes this server one replica of a sharded
+	// deployment: session requests are routed to their ring owner
+	// (proxied or redirected per ForwardMode), the local store is
+	// served to peers at /v1/state, the ring is introspectable and
+	// swappable at /v1/cluster/ring, and a ring change migrates live
+	// sessions to their new owners via snapshot handoff. See
+	// docs/CLUSTER.md.
+	Cluster *cluster.Cluster
+	// ForwardMode selects how requests for sessions owned elsewhere are
+	// routed: ForwardProxy (default) relays them server-side,
+	// ForwardRedirect answers 307 with a Shard-Owner header.
+	ForwardMode string
 
 	// MaxInFlight bounds concurrently admitted ingestion requests
 	// (sample pushes and batch runs); excess requests get 429 +
@@ -123,6 +142,9 @@ func (c Config) withDefaults() Config {
 	if c.Version == "" {
 		c.Version = buildinfo.String("ptrack-serve")
 	}
+	if c.ForwardMode == "" {
+		c.ForwardMode = ForwardProxy
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
 	}
@@ -143,6 +165,13 @@ type Server struct {
 	limiter *rateLimiter
 	gate    chan struct{}
 	mux     *http.ServeMux
+
+	// Cluster mode only: the replica's local snapshot store (what
+	// /v1/state serves), the ring-routed wrapper the hub checkpoints
+	// through, and the redirect-free client carrying proxied requests.
+	localStore   ptrack.SessionStore
+	clusterStore ptrack.SessionStore
+	proxyClient  *http.Client
 
 	draining atomic.Bool
 	inflight sync.WaitGroup // admitted ingestion requests
@@ -170,11 +199,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Conditioning {
 		opts = append(opts, ptrack.WithConditioning())
 	}
+	hubStore := cfg.Store
+	if cfg.Cluster != nil {
+		if err := validForwardMode(cfg.ForwardMode); err != nil {
+			return nil, err
+		}
+		s.localStore = cfg.Store
+		if s.localStore == nil {
+			// Migration and failover need somewhere to park snapshots
+			// even when the operator configured no durable store.
+			s.localStore = ptrack.NewMemSessionStore()
+		}
+		s.clusterStore = cfg.Cluster.Store(s.localStore)
+		hubStore = s.clusterStore
+		s.proxyClient = &http.Client{
+			// No overall timeout: proxied SSE streams are long-lived.
+			// Cancellation comes from the inbound request's context; no
+			// redirect following — a 307 from the owner goes back to
+			// the client that can replay the body.
+			CheckRedirect: func(*http.Request, []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		}
+	}
 	hubOpts := append(append([]ptrack.Option(nil), opts...),
 		ptrack.WithSessionEndHook(s.broker.endSession),
 		ptrack.WithTracedEventHook(s.onEvent))
-	if cfg.Store != nil {
-		hubOpts = append(hubOpts, ptrack.WithSessionStore(cfg.Store),
+	if hubStore != nil {
+		hubOpts = append(hubOpts, ptrack.WithSessionStore(hubStore),
 			ptrack.WithCheckpointInterval(cfg.CheckpointInterval))
 	}
 	hub, err := ptrack.NewSessionHub(cfg.SampleRate, hubOpts...)
@@ -196,6 +248,16 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /version", s.instrument("version", s.handleVersion))
+	if cfg.Cluster != nil {
+		stateH := cluster.NewStateHandler(s.localStore, cfg.MaxBodyBytes)
+		state := s.instrument("state", stateH.ServeHTTP)
+		s.mux.HandleFunc("GET /v1/state", state)
+		s.mux.HandleFunc("GET /v1/state/{id}", state)
+		s.mux.HandleFunc("PUT /v1/state/{id}", state)
+		s.mux.HandleFunc("DELETE /v1/state/{id}", state)
+		s.mux.HandleFunc("GET /v1/cluster/ring", s.instrument("cluster", s.handleRingGet))
+		s.mux.HandleFunc("POST /v1/cluster/ring", s.instrument("cluster", s.handleRingSet))
+	}
 	return s, nil
 }
 
@@ -488,6 +550,9 @@ func (s *Server) handleSamples(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.routeAway(w, r, id) {
+		return
+	}
 	ct := r.Header.Get("Content-Type")
 	if ct != wire.ContentTypeNDJSON && ct != wire.ContentTypeBinary {
 		writeError(w, http.StatusUnsupportedMediaType, wire.CodeBadRequest,
@@ -617,6 +682,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.routeAway(w, r, id) {
+		return
+	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
 		writeError(w, http.StatusInternalServerError, wire.CodeInternal, "response writer cannot stream", 0, -1)
@@ -647,7 +715,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case msg, open := <-sub.ch:
 			_ = rc.SetWriteDeadline(s.cfg.now().Add(s.cfg.WriteTimeout))
 			if !open {
-				fmt.Fprintf(w, "event: %s\ndata: {}\n\n", wire.SSEEventEnd)
+				if sub.moved != "" {
+					// Shard migration, not a real end: tell the client to
+					// reconnect (routing finds the new owner).
+					fmt.Fprintf(w, "event: %s\ndata: %s\n\n",
+						wire.SSEEventMoved, wire.AppendMoved(nil, sub.moved))
+				} else {
+					fmt.Fprintf(w, "event: %s\ndata: {}\n\n", wire.SSEEventEnd)
+				}
 				flusher.Flush()
 				return
 			}
@@ -697,6 +772,9 @@ func (s *Server) handleEndSession(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	id, ok := sessionID(w, r)
 	if !ok {
+		return
+	}
+	if s.routeAway(w, r, id) {
 		return
 	}
 	s.setWriteDeadline(w)

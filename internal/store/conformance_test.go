@@ -1,207 +1,50 @@
 package store_test
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
-	"sort"
-	"sync"
 	"testing"
 
-	"ptrack/internal/statecodec"
 	"ptrack/internal/store"
-	"ptrack/internal/stream"
+	"ptrack/internal/store/storetest"
 )
 
-// backends lists every Store implementation; the conformance suite runs
-// identically against each, so a new backend only has to register here.
-func backends(t *testing.T) map[string]store.Store {
+// The suite itself lives in storetest so network-backed stores (the
+// cluster remote store) run the exact same assertions; this file just
+// registers the in-process backends. The test names below are load-
+// bearing: `make conformance` selects -run 'TestConformance'.
+
+func backends(t *testing.T) map[string]func(t *testing.T) store.Store {
 	t.Helper()
-	dir, err := store.NewDir(t.TempDir())
-	if err != nil {
-		t.Fatalf("NewDir: %v", err)
-	}
-	return map[string]store.Store{
-		"mem": store.NewMem(),
-		"dir": dir,
+	return map[string]func(t *testing.T) store.Store{
+		"mem": func(t *testing.T) store.Store { return store.NewMem() },
+		"dir": func(t *testing.T) store.Store {
+			dir, err := store.NewDir(t.TempDir())
+			if err != nil {
+				t.Fatalf("NewDir: %v", err)
+			}
+			return dir
+		},
 	}
 }
 
 func TestConformance(t *testing.T) {
-	for name, s := range backends(t) {
-		t.Run(name, func(t *testing.T) { conformance(t, s) })
-	}
-}
-
-func conformance(t *testing.T, s store.Store) {
-	// Missing sessions fail with ErrNotFound, wrapped.
-	if _, err := s.Load("nobody"); !errors.Is(err, store.ErrNotFound) {
-		t.Fatalf("Load(missing) = %v, want ErrNotFound", err)
-	}
-	// Deleting a missing session is a no-op, not an error.
-	if err := s.Delete("nobody"); err != nil {
-		t.Fatalf("Delete(missing) = %v, want nil", err)
-	}
-
-	// Round-trip, including IDs that are hostile as filenames.
-	ids := []string{"plain", "with/slash", "..", "dots.and spaces", "ümlaut™"}
-	for i, id := range ids {
-		blob := []byte(fmt.Sprintf("snapshot-%d", i))
-		if err := s.Save(id, blob); err != nil {
-			t.Fatalf("Save(%q) = %v", id, err)
-		}
-		got, err := s.Load(id)
-		if err != nil {
-			t.Fatalf("Load(%q) = %v", id, err)
-		}
-		if !bytes.Equal(got, blob) {
-			t.Fatalf("Load(%q) = %q, want %q", id, got, blob)
-		}
-	}
-
-	// Save must not retain the caller's slice; Load must return an
-	// independent copy.
-	buf := []byte("original")
-	if err := s.Save("aliasing", buf); err != nil {
-		t.Fatalf("Save: %v", err)
-	}
-	copy(buf, "SCRIBBLE")
-	got, err := s.Load("aliasing")
-	if err != nil {
-		t.Fatalf("Load: %v", err)
-	}
-	if string(got) != "original" {
-		t.Fatalf("Save retained the caller's buffer: Load = %q", got)
-	}
-	copy(got, "clobber!")
-	if again, _ := s.Load("aliasing"); string(again) != "original" {
-		t.Fatalf("Load returned an aliased buffer: reload = %q", again)
-	}
-
-	// Overwrite replaces, not appends.
-	if err := s.Save("plain", []byte("v2")); err != nil {
-		t.Fatalf("Save(overwrite) = %v", err)
-	}
-	if got, _ := s.Load("plain"); string(got) != "v2" {
-		t.Fatalf("Load after overwrite = %q, want %q", got, "v2")
-	}
-
-	// List sees exactly the live sessions, round-tripping hostile IDs.
-	if err := s.Delete(".."); err != nil {
-		t.Fatalf("Delete = %v", err)
-	}
-	want := []string{"aliasing", "dots.and spaces", "plain", "with/slash", "ümlaut™"}
-	listed, err := s.List()
-	if err != nil {
-		t.Fatalf("List = %v", err)
-	}
-	sort.Strings(listed)
-	if fmt.Sprint(listed) != fmt.Sprint(want) {
-		t.Fatalf("List = %v, want %v", listed, want)
-	}
-	if _, err := s.Load(".."); !errors.Is(err, store.ErrNotFound) {
-		t.Fatalf("Load(deleted) = %v, want ErrNotFound", err)
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) { storetest.Conformance(t, mk(t)) })
 	}
 }
 
 // TestConformanceConcurrent hammers each backend from many goroutines;
 // run under -race it proves the required concurrency safety.
 func TestConformanceConcurrent(t *testing.T) {
-	for name, s := range backends(t) {
-		t.Run(name, func(t *testing.T) {
-			var wg sync.WaitGroup
-			for g := 0; g < 8; g++ {
-				wg.Add(1)
-				go func(g int) {
-					defer wg.Done()
-					id := fmt.Sprintf("session-%d", g%4) // force key collisions
-					for i := 0; i < 50; i++ {
-						blob := []byte(fmt.Sprintf("g%d-i%d", g, i))
-						if err := s.Save(id, blob); err != nil {
-							t.Errorf("Save: %v", err)
-							return
-						}
-						// Keys are shared, so a racing Delete may legitimately
-						// win between Save and Load; only other errors and
-						// torn (empty) blobs are failures.
-						if b, err := s.Load(id); err != nil && !errors.Is(err, store.ErrNotFound) {
-							t.Errorf("Load: %v", err)
-							return
-						} else if err == nil && len(b) == 0 {
-							t.Errorf("Load returned empty blob")
-							return
-						}
-						if i%10 == 9 {
-							if _, err := s.List(); err != nil {
-								t.Errorf("List: %v", err)
-								return
-							}
-							if err := s.Delete(id); err != nil {
-								t.Errorf("Delete: %v", err)
-								return
-							}
-						}
-					}
-				}(g)
-			}
-			wg.Wait()
-		})
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) { storetest.Concurrent(t, mk(t)) })
 	}
 }
 
 // TestConformanceRejectsBadBlobs proves the full durability contract:
-// whatever a backend hands back, a tracker restore accepts only intact
-// blobs of the current format version — corruption and stale versions
-// surface as errors, never as silently wrong state.
+// corruption and stale versions surface as errors from restore, never
+// as silently wrong state.
 func TestConformanceRejectsBadBlobs(t *testing.T) {
-	cfg := stream.Config{SampleRate: 100}
-	for name, s := range backends(t) {
-		t.Run(name, func(t *testing.T) {
-			tk, err := stream.New(cfg)
-			if err != nil {
-				t.Fatalf("stream.New: %v", err)
-			}
-			good := tk.Snapshot(nil)
-
-			// A bit-flipped blob round-trips the store but fails restore.
-			bad := append([]byte(nil), good...)
-			bad[len(bad)/2] ^= 0x40
-			if err := s.Save("corrupt", bad); err != nil {
-				t.Fatalf("Save: %v", err)
-			}
-			loaded, err := s.Load("corrupt")
-			if err != nil {
-				t.Fatalf("Load: %v", err)
-			}
-			fresh, _ := stream.New(cfg)
-			if err := fresh.Restore(loaded); !errors.Is(err, statecodec.ErrCorrupt) {
-				t.Fatalf("Restore(corrupt) = %v, want ErrCorrupt", err)
-			}
-
-			// A blob from a future format version fails with ErrVersion.
-			future := statecodec.NewEnc(nil, 200).Finish()
-			if err := s.Save("future", future); err != nil {
-				t.Fatalf("Save: %v", err)
-			}
-			loaded, err = s.Load("future")
-			if err != nil {
-				t.Fatalf("Load: %v", err)
-			}
-			if err := fresh.Restore(loaded); !errors.Is(err, statecodec.ErrVersion) {
-				t.Fatalf("Restore(future) = %v, want ErrVersion", err)
-			}
-
-			// The intact blob still restores after the failures above.
-			if err := s.Save("good", good); err != nil {
-				t.Fatalf("Save: %v", err)
-			}
-			loaded, err = s.Load("good")
-			if err != nil {
-				t.Fatalf("Load: %v", err)
-			}
-			if err := fresh.Restore(loaded); err != nil {
-				t.Fatalf("Restore(good) = %v", err)
-			}
-		})
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) { storetest.RejectsBadBlobs(t, mk(t)) })
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 )
 
 // snapExt marks snapshot files; anything else in the directory is
@@ -61,11 +62,38 @@ func (s *Dir) Save(session string, blob []byte) error {
 	if werr == nil {
 		werr = os.Rename(tmp, s.path(session))
 	}
+	if werr == nil {
+		// The rename is durable only once the directory entry itself is
+		// on disk: without an fsync of the parent, a power loss can
+		// resurrect the old snapshot — or leave no entry at all — even
+		// though the data blocks of the new file were synced above.
+		werr = syncDir(s.dir)
+	}
 	if werr != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: save %q: %w", session, werr)
 	}
 	return nil
+}
+
+// syncDir fsyncs a directory so preceding renames within it are
+// durable. Filesystems that cannot sync a directory handle (some
+// network mounts) report EINVAL/ENOTSUP; that is the platform's best
+// effort, not a failed save, so it is not surfaced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return cerr
+		}
+		return serr
+	}
+	return cerr
 }
 
 // Load implements Store.

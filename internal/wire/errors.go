@@ -41,6 +41,14 @@ const (
 	// CodeCanceled: the request's work was abandoned mid-flight
 	// (client disconnect, deadline).
 	CodeCanceled = "canceled"
+	// CodeNotFound: the addressed resource (a session snapshot on the
+	// cluster state endpoint) does not exist. Distinguishes a genuine
+	// miss from a store outage, which reports CodeInternal.
+	CodeNotFound = "not_found"
+	// CodeShardMoved: the request addressed a session owned by another
+	// replica and the server is configured to redirect rather than
+	// proxy; the Shard-Owner header and Location carry the owner.
+	CodeShardMoved = "shard_moved"
 	// CodeInternal: a server-side failure unrelated to the request.
 	CodeInternal = "internal"
 )

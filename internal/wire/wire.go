@@ -457,7 +457,36 @@ const (
 	// dropped count; the next cycle event's total_steps is authoritative,
 	// so a consumer resyncs by trusting it over its own event arithmetic.
 	SSEEventGap = "gap"
+	// SSEEventMoved ends a stream because the session's shard moved to
+	// another replica (cluster rebalance): the session is still live, so
+	// the subscriber should reconnect — routing finds the new owner. The
+	// data payload names the new owner's base URL for clients that
+	// target replicas directly.
+	SSEEventMoved = "moved"
 )
+
+// Moved is the JSON payload of one SSE moved event.
+type Moved struct {
+	// Owner is the base URL of the replica that now owns the session
+	// ("" when the source does not know it).
+	Owner string `json:"owner,omitempty"`
+}
+
+// AppendMoved appends the deterministic JSON encoding of a moved notice
+// to dst.
+func AppendMoved(dst []byte, owner string) []byte {
+	b, _ := json.Marshal(Moved{Owner: owner})
+	return append(dst, b...)
+}
+
+// ParseMovedJSON decodes an SSE moved payload produced by AppendMoved.
+func ParseMovedJSON(data []byte) (Moved, error) {
+	var m Moved
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Moved{}, fmt.Errorf("wire: decoding moved: %w", err)
+	}
+	return m, nil
+}
 
 // Gap is the JSON payload of one SSE gap event.
 type Gap struct {

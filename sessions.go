@@ -97,6 +97,14 @@ func (h *SessionHub) PushBlock(session string, samples []Sample) (int, error) {
 // events have been delivered. Ending an unknown session is a no-op.
 func (h *SessionHub) End(session string) { h.hub.End(session) }
 
+// Evict flushes and removes one session without ending it: with a
+// session store configured the final state is checkpointed, so the
+// session resumes on its next push — possibly in another process, which
+// is how the cluster layer migrates sessions between replicas. It
+// blocks until trailing events are delivered and reports whether the
+// session was live.
+func (h *SessionHub) Evict(session string) bool { return h.hub.Evict(session) }
+
 // ActiveSessions returns the number of live sessions.
 func (h *SessionHub) ActiveSessions() int { return h.hub.Len() }
 
